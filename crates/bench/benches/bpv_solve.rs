@@ -1,0 +1,72 @@
+//! BPV extraction cost: sensitivity matrices + stacked NNLS solve
+//! (paper Eq. (10)), and the NNLS-vs-clamped-LS ablation the design calls
+//! out (negative variances must not escape).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mosfet::{vs::VsParams, Geometry, MismatchSpec, Polarity};
+use numerics::{nnls::nnls, qr, Matrix};
+use vscore::bpv::{predict_variances, solve_bpv, BpvConfig, MeasuredVariance};
+use vscore::sensitivity::{VariedModel, VsBuilder};
+
+fn builders() -> Vec<VsBuilder> {
+    [120.0, 300.0, 600.0, 1000.0, 1500.0]
+        .into_iter()
+        .map(|w| VsBuilder {
+            params: VsParams::nmos_40nm(),
+            polarity: Polarity::Nmos,
+            geom: Geometry::from_nm(w, 40.0),
+        })
+        .collect()
+}
+
+fn bench_bpv(c: &mut Criterion) {
+    let bs = builders();
+    let truth = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+    let measured: Vec<MeasuredVariance> = bs
+        .iter()
+        .map(|b| MeasuredVariance {
+            geom: b.geom,
+            var: predict_variances(b, &truth, 0.9),
+        })
+        .collect();
+    let cfg = BpvConfig {
+        vdd: 0.9,
+        a_cinv: truth.a_cinv,
+    };
+
+    c.bench_function("bpv_full_extraction", |b| {
+        b.iter(|| {
+            let refs: Vec<&dyn VariedModel> = bs.iter().map(|x| x as &dyn VariedModel).collect();
+            solve_bpv(&refs, &measured, &cfg).expect("consistent data solves")
+        })
+    });
+
+    // Ablation: raw NNLS vs clamped least squares on a representative
+    // ill-scaled system.
+    let a = Matrix::from_rows(&[
+        &[1e-18, 2e-17, 9e-21],
+        &[5e-19, 3e-17, 4e-21],
+        &[2e-18, 1e-17, 8e-21],
+        &[8e-19, 2.5e-17, 6e-21],
+    ]);
+    let x_true = [4.0, 0.5, 2.0e5];
+    let b_vec: Vec<f64> = (0..4)
+        .map(|i| (0..3).map(|j| a[(i, j)] * x_true[j]).sum())
+        .collect();
+    let mut group = c.benchmark_group("alpha_squared_solvers");
+    group.bench_function("nnls", |bch| bch.iter(|| nnls(&a, &b_vec).expect("solvable")));
+    group.bench_function("clamped_lstsq", |bch| {
+        bch.iter(|| {
+            let x = qr::lstsq(&a, &b_vec).expect("solvable");
+            x.into_iter().map(|v| v.max(0.0)).collect::<Vec<f64>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_bpv
+}
+criterion_main!(benches);

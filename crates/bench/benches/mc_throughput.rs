@@ -1,0 +1,45 @@
+//! Device-level Monte Carlo throughput (Table III's workload): samples of
+//! `{Idsat, log10 Ioff, Cgg}` under Pelgrom mismatch, both model families.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mosfet::{bsim::BsimParams, vs::VsParams, Geometry, Polarity};
+use stats::Sampler;
+use vscore::mc::device_metric_samples;
+use vscore::sensitivity::{BsimBuilder, VsBuilder};
+
+fn bench_mc(c: &mut Criterion) {
+    let geom = Geometry::from_nm(600.0, 40.0);
+    let spec = mosfet::MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+    let vs = VsBuilder {
+        params: VsParams::nmos_40nm(),
+        polarity: Polarity::Nmos,
+        geom,
+    };
+    let kit = BsimBuilder {
+        params: BsimParams::nmos_40nm(),
+        polarity: Polarity::Nmos,
+        geom,
+    };
+
+    let mut group = c.benchmark_group("device_mc_100_samples");
+    group.bench_function("vs", |b| {
+        b.iter(|| {
+            let mut s = Sampler::from_seed(1);
+            device_metric_samples(&vs, &spec, 0.9, 100, &mut s)
+        })
+    });
+    group.bench_function("bsim", |b| {
+        b.iter(|| {
+            let mut s = Sampler::from_seed(1);
+            device_metric_samples(&kit, &spec, 0.9, 100, &mut s)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_mc
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Compact-model evaluation cost: VS vs the BSIM-like kit.
+//!
+//! The microscopic root of the paper's Table IV runtime claim — the VS
+//! model needs fewer operations per (I, Q) evaluation than a full-featured
+//! BSIM4-class model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mosfet::{bsim::BsimModel, vs::VsModel, Bias, Geometry, MosfetModel};
+
+fn bench_models(c: &mut Criterion) {
+    let geom = Geometry::from_nm(600.0, 40.0);
+    let vs = VsModel::nominal_nmos_40nm(geom);
+    let kit = BsimModel::nominal_nmos_40nm(geom);
+    let biases: Vec<Bias> = (0..64)
+        .map(|i| Bias {
+            vgs: (i % 8) as f64 * 0.12,
+            vds: (i / 8) as f64 * 0.12,
+            vbs: 0.0,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("ids_eval");
+    group.bench_function("vs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &bias in &biases {
+                acc += vs.ids(black_box(bias));
+            }
+            acc
+        })
+    });
+    group.bench_function("bsim", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &bias in &biases {
+                acc += kit.ids(black_box(bias));
+            }
+            acc
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("charge_eval");
+    group.bench_function("vs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &bias in &biases {
+                acc += vs.charges(black_box(bias)).qg;
+            }
+            acc
+        })
+    });
+    group.bench_function("bsim", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &bias in &biases {
+                acc += kit.charges(black_box(bias)).qg;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_models
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Table IV microbenchmark: one Monte Carlo sample of each paper workload
+//! (NAND2 transient, DFF transient, SRAM static) per model family.
+//!
+//! The `repro table4` experiment measures the full-scale wall-clock totals;
+//! this bench gives statistically robust per-sample numbers.
+
+use circuits::cells::InverterSizing;
+use circuits::delay::{DelayBench, GateKind};
+use circuits::dff::{DffBench, DffSizing};
+use circuits::sram::{read_disturb_ac, SramDevices, SramSizing};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mosfet::{bsim::BsimParams, vs::VsParams, MismatchSpec};
+use stats::Sampler;
+use vscore::mc::McFactory;
+
+fn factory(family: &str, seed: u64) -> McFactory {
+    let spec = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+    match family {
+        "vs" => McFactory::vs(
+            VsParams::nmos_40nm(),
+            VsParams::pmos_40nm(),
+            spec,
+            spec,
+            Sampler::from_seed(seed),
+        ),
+        _ => McFactory::bsim(
+            BsimParams::nmos_40nm(),
+            BsimParams::pmos_40nm(),
+            spec,
+            spec,
+            Sampler::from_seed(seed),
+        ),
+    }
+}
+
+fn bench_table4(c: &mut Criterion) {
+    for family in ["vs", "bsim"] {
+        let mut group = c.benchmark_group(format!("table4_{family}"));
+        group.sample_size(12);
+        group.bench_function("nand2_tran_sample", |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut f = factory(family, seed);
+                DelayBench::fo3(
+                    GateKind::Nand2,
+                    InverterSizing::from_nm(300.0, 300.0, 40.0),
+                    0.9,
+                    &mut f,
+                )
+                .measure_delay(2e-12)
+            })
+        });
+        group.bench_function("dff_tran_sample", |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut f = factory(family, seed);
+                DffBench::new(DffSizing::default(), 0.9, 150e-12, &mut f).captures(4e-12)
+            })
+        });
+        group.bench_function("sram_ac_sample", |b| {
+            let freqs = spice::ac::log_sweep(1e6, 1e11, 5);
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                let mut f = factory(family, seed);
+                let devices = SramDevices::draw(SramSizing::default(), &mut f);
+                read_disturb_ac(&devices, 0.9, &freqs)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_table4
+}
+criterion_main!(benches);

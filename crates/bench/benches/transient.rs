@@ -1,0 +1,33 @@
+//! Circuit transient cost: one FO3 inverter delay run per model family
+//! (the inner loop of the paper's Figs. 5-7 Monte Carlo).
+
+use circuits::cells::{InverterSizing, NominalBsimFactory, NominalVsFactory};
+use circuits::delay::{DelayBench, GateKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_transient(c: &mut Criterion) {
+    let sz = InverterSizing::from_nm(600.0, 300.0, 40.0);
+    let mut group = c.benchmark_group("inv_fo3_delay");
+    group.bench_function("vs", |b| {
+        b.iter(|| {
+            let mut f = NominalVsFactory;
+            let bench = DelayBench::fo3(GateKind::Inverter, sz, 0.9, &mut f);
+            bench.measure_delay(1.5e-12).expect("nominal delay converges")
+        })
+    });
+    group.bench_function("bsim", |b| {
+        b.iter(|| {
+            let mut f = NominalBsimFactory;
+            let bench = DelayBench::fo3(GateKind::Inverter, sz, 0.9, &mut f);
+            bench.measure_delay(1.5e-12).expect("nominal delay converges")
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_transient
+}
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all                 # every experiment, paper-scale sample counts
+//! repro fig5 fig7 --fast    # selected experiments at ~8% sample counts
+//! repro table2 --scale 0.5  # custom sample scale
+//! repro --out results/      # output directory (default: results/)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+use vsbench::{experiments, ExperimentContext};
+
+struct Args {
+    names: Vec<String>,
+    out: PathBuf,
+    scale: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut names = Vec::new();
+    let mut out = PathBuf::from("results");
+    let mut scale = 1.0;
+    let mut seed = 2013;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--fast" => scale = 0.08,
+            "--scale" => {
+                scale = argv
+                    .next()
+                    .ok_or("--scale needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+            }
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--out" => {
+                out = PathBuf::from(argv.next().ok_or("--out needs a value")?);
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: repro [EXPERIMENT...] [--fast] [--scale X] [--seed N] [--out DIR]\n\
+                     experiments: all, {}",
+                    experiments::ALL.join(", ")
+                ));
+            }
+            "all" => names.extend(experiments::ALL.iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        names.extend(experiments::ALL.iter().map(|s| s.to_string()));
+    }
+    names.dedup();
+    Ok(Args {
+        names,
+        out,
+        scale,
+        seed,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "[repro] extraction pipeline (fit + kit MC + BPV), scale {:.2} ...",
+        args.scale
+    );
+    let t0 = Instant::now();
+    let ctx = match ExperimentContext::prepare(args.out.clone(), args.scale, args.seed) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("extraction failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("[repro] extraction done in {:.1?}\n", t0.elapsed());
+
+    let mut failed = false;
+    for name in &args.names {
+        let t = Instant::now();
+        match experiments::run(name, &ctx) {
+            Ok(report) => {
+                println!("================ {name} ({:.1?}) ================", t.elapsed());
+                println!("{report}");
+                // Persist the text report next to the CSVs.
+                let path = ctx.out_dir.join(format!("{name}.txt"));
+                if let Err(e) = std::fs::write(&path, &report) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("[repro] {name} FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,71 @@
+//! Shared experiment context: extraction products, sample budget, output
+//! directory.
+
+use std::path::PathBuf;
+use vscore::pipeline::{extract_statistical_vs_model, CoreError, ExtractionConfig, ExtractionReport};
+
+/// Everything an experiment needs.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    /// Extraction products (fitted VS params + extracted mismatch, both
+    /// polarities, plus the kit).
+    pub extraction: ExtractionReport,
+    /// Directory for CSV artifacts.
+    pub out_dir: PathBuf,
+    /// Monte Carlo sample scale: 1.0 reproduces the paper's counts; smaller
+    /// values shrink every experiment proportionally (`--fast` uses 0.08).
+    pub scale: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExperimentContext {
+    /// Runs the extraction pipeline and prepares an output directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    pub fn prepare(out_dir: PathBuf, scale: f64, seed: u64) -> Result<Self, CoreError> {
+        let extraction = extract_statistical_vs_model(&ExtractionConfig::default())?;
+        Ok(ExperimentContext {
+            extraction,
+            out_dir,
+            scale,
+            seed,
+        })
+    }
+
+    /// Scales a paper sample count by the context's budget (min 20).
+    pub fn samples(&self, paper_count: usize) -> usize {
+        ((paper_count as f64 * self.scale).round() as usize).max(20)
+    }
+
+    /// Supply voltage used throughout.
+    pub fn vdd(&self) -> f64 {
+        self.extraction.config.vdd
+    }
+
+    /// A sampling factory for the statistical VS model (fitted parameters +
+    /// extracted mismatch), seeded per Monte Carlo trial.
+    pub fn vs_factory(&self, trial_seed: u64) -> vscore::mc::McFactory {
+        vscore::mc::McFactory::vs(
+            self.extraction.nmos.fit.params,
+            self.extraction.pmos.fit.params,
+            self.extraction.nmos.extracted,
+            self.extraction.pmos.extracted,
+            stats::Sampler::from_seed(trial_seed),
+        )
+    }
+
+    /// A sampling factory for the golden kit (nominal parameters + foundry
+    /// truth mismatch), seeded per Monte Carlo trial.
+    pub fn kit_factory(&self, trial_seed: u64) -> vscore::mc::McFactory {
+        vscore::mc::McFactory::bsim(
+            self.extraction.kit.nmos.params,
+            self.extraction.kit.pmos.params,
+            self.extraction.nmos.truth,
+            self.extraction.pmos.truth,
+            stats::Sampler::from_seed(trial_seed),
+        )
+    }
+}

@@ -1,0 +1,84 @@
+//! Fig. 1 — VS model fitting against the golden kit (Id-Vd and Id-Vg).
+
+use super::ExpResult;
+use crate::report::{eng, write_csv, TextTable};
+use crate::ExperimentContext;
+use mosfet::{vs::VsModel, Bias, Geometry, MosfetModel, Polarity};
+
+/// Regenerates the I-V overlay data and reports fit quality.
+pub fn run(ctx: &ExperimentContext) -> ExpResult {
+    let kit = &ctx.extraction.kit;
+    let geom = Geometry::from_nm(300.0, 40.0); // paper: W = 300 nm
+    let mut table = TextTable::new(&[
+        "polarity", "rms ln error", "Idsat kit", "Idsat VS", "Ioff kit", "Ioff VS",
+    ]);
+    let mut report = String::from("Fig. 1 — nominal VS fit to the golden kit (W=300nm, L=40nm)\n\n");
+
+    for (polarity, rep) in [
+        (Polarity::Nmos, &ctx.extraction.nmos),
+        (Polarity::Pmos, &ctx.extraction.pmos),
+    ] {
+        let vs = VsModel::new(rep.fit.params, polarity, geom);
+        let kit_dev =
+            mosfet::bsim::BsimModel::new(kit.corner(polarity).params, polarity, geom);
+        let s = polarity.sign();
+        let iv = kit.nominal_iv(polarity, geom);
+        let rows: Vec<Vec<f64>> = iv
+            .points
+            .iter()
+            .map(|&(vgs, vds, id_kit)| {
+                let id_vs = vs
+                    .ids(Bias {
+                        vgs: s * vgs,
+                        vds: s * vds,
+                        vbs: 0.0,
+                    })
+                    .abs();
+                vec![vgs, vds, id_kit, id_vs]
+            })
+            .collect();
+        let name = format!("fig1_iv_{}.csv", polarity.to_string().to_lowercase());
+        write_csv(&ctx.out_dir, &name, &["vgs", "vds", "id_kit", "id_vs"], rows)?;
+
+        let vdd = ctx.vdd();
+        let idsat_kit = kit_dev
+            .ids(Bias {
+                vgs: s * vdd,
+                vds: s * vdd,
+                vbs: 0.0,
+            })
+            .abs();
+        let idsat_vs = vs
+            .ids(Bias {
+                vgs: s * vdd,
+                vds: s * vdd,
+                vbs: 0.0,
+            })
+            .abs();
+        let ioff_kit = kit_dev
+            .ids(Bias {
+                vgs: 0.0,
+                vds: s * vdd,
+                vbs: 0.0,
+            })
+            .abs();
+        let ioff_vs = vs
+            .ids(Bias {
+                vgs: 0.0,
+                vds: s * vdd,
+                vbs: 0.0,
+            })
+            .abs();
+        table.row(vec![
+            polarity.to_string(),
+            format!("{:.4}", rep.fit.rms_log_error),
+            eng(idsat_kit, "A"),
+            eng(idsat_vs, "A"),
+            eng(ioff_kit, "A"),
+            eng(ioff_vs, "A"),
+        ]);
+    }
+    report.push_str(&table.render());
+    report.push_str("\nCSV: fig1_iv_nmos.csv, fig1_iv_pmos.csv (vgs, vds, id_kit, id_vs)\n");
+    Ok(report)
+}

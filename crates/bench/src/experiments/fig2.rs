@@ -1,0 +1,57 @@
+//! Fig. 2 — relative error in σVT0 / σLeff / σWeff between per-geometry and
+//! joint BPV solutions.
+
+use super::ExpResult;
+use crate::report::{write_csv, TextTable};
+use crate::ExperimentContext;
+use mosfet::StatParam;
+
+/// Regenerates the per-geometry-vs-joint comparison.
+pub fn run(ctx: &ExperimentContext) -> ExpResult {
+    let rep = &ctx.extraction.nmos;
+    let joint = rep.extracted;
+    let mut rows = Vec::new();
+    let mut table = TextTable::new(&["width (nm)", "dVT0 (%)", "dLeff (%)", "dWeff (%)"]);
+    for (meas, pg) in rep.measured.iter().zip(&rep.bpv.per_geometry) {
+        let geom = meas.geom;
+        let pct = |p: StatParam| {
+            let j = joint.sigma(p, geom);
+            if j == 0.0 {
+                0.0
+            } else {
+                100.0 * (pg.sigma(p, geom) - j) / j
+            }
+        };
+        let (dv, dl, dw) = (
+            pct(StatParam::Vt0),
+            pct(StatParam::Leff),
+            pct(StatParam::Weff),
+        );
+        rows.push(vec![geom.w_nm(), dv, dl, dw]);
+        table.row(vec![
+            format!("{:.0}", geom.w_nm()),
+            format!("{dv:+.2}"),
+            format!("{dl:+.2}"),
+            format!("{dw:+.2}"),
+        ]);
+    }
+    write_csv(
+        &ctx.out_dir,
+        "fig2_individual_vs_joint.csv",
+        &["width_nm", "dvt0_pct", "dleff_pct", "dweff_pct"],
+        rows.clone(),
+    )?;
+
+    let max_abs = rows
+        .iter()
+        .flat_map(|r| r[1..].iter())
+        .fold(0.0_f64, |m, &v| m.max(v.abs()));
+    let mut report = String::from(
+        "Fig. 2 — relative error between per-geometry and joint BPV solutions (NMOS)\n\n",
+    );
+    report.push_str(&table.render());
+    report.push_str(&format!(
+        "\nmax |difference| = {max_abs:.2}% (paper observes < 10%)\nCSV: fig2_individual_vs_joint.csv\n"
+    ));
+    Ok(report)
+}

@@ -1,0 +1,87 @@
+//! Fig. 4 — Ion / log10(Ioff) bivariate scatter with 1σ/2σ/3σ confidence
+//! ellipses for both models (medium device, 1000 Monte Carlo samples).
+
+use super::ExpResult;
+use crate::report::{write_csv, TextTable};
+use crate::ExperimentContext;
+use mosfet::{Geometry, Polarity};
+use stats::ellipse::Bivariate;
+use stats::Sampler;
+use vscore::mc::device_metric_samples;
+use vscore::sensitivity::{BsimBuilder, VsBuilder};
+
+/// Regenerates the scatter and confidence ellipses.
+pub fn run(ctx: &ExperimentContext) -> ExpResult {
+    let n = ctx.samples(1000);
+    let geom = Geometry::from_nm(600.0, 40.0);
+    let polarity = Polarity::Nmos;
+    let rep = &ctx.extraction.nmos;
+    let mut sampler = Sampler::from_seed(ctx.seed ^ 0xf194);
+
+    let kit_builder = BsimBuilder {
+        params: ctx.extraction.kit.corner(polarity).params,
+        polarity,
+        geom,
+    };
+    let vs_builder = VsBuilder {
+        params: rep.fit.params,
+        polarity,
+        geom,
+    };
+    let kit_samples = device_metric_samples(&kit_builder, &rep.truth, ctx.vdd(), n, &mut sampler);
+    let vs_samples =
+        device_metric_samples(&vs_builder, &rep.extracted, ctx.vdd(), n, &mut sampler);
+
+    // Scatter CSV (kit points — the "1000 Monte Carlo Data" of the figure).
+    write_csv(
+        &ctx.out_dir,
+        "fig4_scatter_kit.csv",
+        &["ion_a", "log10_ioff"],
+        kit_samples.iter().map(|s| vec![s.idsat, s.log10_ioff]),
+    )?;
+    write_csv(
+        &ctx.out_dir,
+        "fig4_scatter_vs.csv",
+        &["ion_a", "log10_ioff"],
+        vs_samples.iter().map(|s| vec![s.idsat, s.log10_ioff]),
+    )?;
+
+    let mut table = TextTable::new(&["model", "µ(Ion) uA", "σ(Ion) uA", "µ(logIoff)", "σ(logIoff)", "corr"]);
+    let mut biv = Vec::new();
+    for (label, samples) in [("kit", &kit_samples), ("vs", &vs_samples)] {
+        let xs: Vec<f64> = samples.iter().map(|s| s.idsat).collect();
+        let ys: Vec<f64> = samples.iter().map(|s| s.log10_ioff).collect();
+        let b = Bivariate::from_samples(&xs, &ys);
+        // Ellipse CSVs for 1/2/3 sigma.
+        for k in 1..=3 {
+            let pts = b.confidence_ellipse(k as f64, 96)?;
+            write_csv(
+                &ctx.out_dir,
+                &format!("fig4_ellipse_{label}_{k}sigma.csv"),
+                &["ion_a", "log10_ioff"],
+                pts.iter().map(|&(x, y)| vec![x, y]),
+            )?;
+        }
+        table.row(vec![
+            label.to_string(),
+            format!("{:.2}", b.mean_x * 1e6),
+            format!("{:.2}", b.var_x.sqrt() * 1e6),
+            format!("{:.3}", b.mean_y),
+            format!("{:.3}", b.var_y.sqrt()),
+            format!("{:.3}", b.correlation()),
+        ]);
+        biv.push(b);
+    }
+    let mut report = format!(
+        "Fig. 4 — Ion/log10(Ioff) bivariate comparison (NMOS 600/40, {n} MC samples)\n\n"
+    );
+    report.push_str(&table.render());
+    report.push_str(&format!(
+        "\nellipse agreement: σ(Ion) ratio {:.3}, σ(logIoff) ratio {:.3}, corr kit {:.3} vs VS {:.3}\nCSV: fig4_scatter_*.csv, fig4_ellipse_*_{{1,2,3}}sigma.csv\n",
+        (biv[1].var_x / biv[0].var_x).sqrt(),
+        (biv[1].var_y / biv[0].var_y).sqrt(),
+        biv[0].correlation(),
+        biv[1].correlation(),
+    ));
+    Ok(report)
+}

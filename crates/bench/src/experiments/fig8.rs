@@ -1,0 +1,83 @@
+//! Fig. 8 — D flip-flop setup-time distribution (250 Monte Carlo samples,
+//! each requiring a binary search of transient simulations — the workload
+//! where the compact VS model's speed advantage compounds).
+
+use super::ExpResult;
+use crate::report::{eng, write_csv, TextTable};
+use crate::ExperimentContext;
+use circuits::dff::{setup_time, DffBench, DffSizing};
+use stats::kde::Kde;
+use stats::Summary;
+
+/// Transient step for the setup search (coarser than delay benches; the
+/// pass/fail decision tolerates it).
+const DT: f64 = 4e-12;
+/// Binary-search window and resolution.
+const T_MAX: f64 = 250e-12;
+const RESOLUTION: f64 = 2e-12;
+
+/// Regenerates the setup-time PDF.
+pub fn run(ctx: &ExperimentContext) -> ExpResult {
+    let n = ctx.samples(250);
+    let mut table = TextTable::new(&["model", "mean setup", "sigma", "min", "max", "fails"]);
+    let mut report = format!(
+        "Fig. 8 — DFF setup time, {n} MC samples, binary search to {} resolution\n\n",
+        eng(RESOLUTION, "s")
+    );
+
+    for family in ["bsim", "vs"] {
+        let mut samples = Vec::with_capacity(n);
+        let mut failures = 0;
+        for trial in 0..n {
+            let seed = ctx.seed.wrapping_add(0xd1f_f000).wrapping_add(trial as u64);
+            // The same seed rebuilds the same mismatch at every candidate
+            // setup time inside the binary search.
+            let result = setup_time(
+                |t_su| {
+                    let mut f = match family {
+                        "vs" => ctx.vs_factory(seed),
+                        _ => ctx.kit_factory(seed),
+                    };
+                    DffBench::new(DffSizing::default(), ctx.vdd(), t_su, &mut f)
+                },
+                T_MAX,
+                RESOLUTION,
+                DT,
+            );
+            match result {
+                Ok(t) => samples.push(t),
+                Err(_) => failures += 1,
+            }
+        }
+        let s = Summary::from_slice(&samples);
+        let kde = Kde::from_sample(&samples);
+        write_csv(
+            &ctx.out_dir,
+            &format!("fig8_setup_pdf_{family}.csv"),
+            &["setup_s", "density"],
+            kde.curve(120).into_iter().map(|(x, y)| vec![x, y]),
+        )?;
+        write_csv(
+            &ctx.out_dir,
+            &format!("fig8_setup_samples_{family}.csv"),
+            &["setup_s"],
+            samples.iter().map(|&x| vec![x]),
+        )?;
+        table.row(vec![
+            family.to_string(),
+            eng(s.mean, "s"),
+            eng(s.std, "s"),
+            eng(s.min, "s"),
+            eng(s.max, "s"),
+            failures.to_string(),
+        ]);
+    }
+    report.push_str(&table.render());
+    report.push_str(
+        "\nshape: both models yield overlapping setup-time PDFs in the tens-of-ps range\n\
+         (paper Fig. 8c: ~15-50 ps). Each sample costs ~20x the SPICE runs of a\n\
+         combinational cell — the paper's argument for ultra-compact models.\n\
+         CSV: fig8_setup_pdf_<model>.csv, fig8_setup_samples_<model>.csv\n",
+    );
+    Ok(report)
+}

@@ -1,0 +1,48 @@
+//! One module per paper artifact.
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod vddscale;
+
+/// Result type shared by experiment runners: a rendered text report.
+pub type ExpResult = Result<String, Box<dyn std::error::Error + Send + Sync>>;
+
+/// All experiment names: the paper's artifacts in order, then extensions.
+pub const ALL: [&str; 13] = [
+    "fig1", "fig2", "table2", "fig3", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "table4", "vddscale",
+];
+
+/// Dispatches an experiment by name.
+///
+/// # Errors
+///
+/// Returns an error for unknown names or failing experiments.
+pub fn run(name: &str, ctx: &crate::ExperimentContext) -> ExpResult {
+    match name {
+        "fig1" => fig1::run(ctx),
+        "fig2" => fig2::run(ctx),
+        "fig3" => fig3::run(ctx),
+        "fig4" => fig4::run(ctx),
+        "fig5" => fig5::run(ctx),
+        "fig6" => fig6::run(ctx),
+        "fig7" => fig7::run(ctx),
+        "fig8" => fig8::run(ctx),
+        "fig9" => fig9::run(ctx),
+        "table2" => table2::run(ctx),
+        "table3" => table3::run(ctx),
+        "table4" => table4::run(ctx),
+        "vddscale" => vddscale::run(ctx),
+        other => Err(format!("unknown experiment '{other}' (expected one of {ALL:?})").into()),
+    }
+}

@@ -1,0 +1,91 @@
+//! Table III — standard deviation of device metrics: statistical VS model
+//! vs the golden kit, for wide/medium/short devices.
+
+use super::ExpResult;
+use crate::report::TextTable;
+use crate::ExperimentContext;
+use mosfet::{Geometry, Polarity};
+use stats::Sampler;
+use vscore::mc::device_metric_samples;
+use vscore::sensitivity::{BsimBuilder, VsBuilder};
+
+/// Regenerates the σ(Idsat) / σ(log10 Ioff) comparison.
+pub fn run(ctx: &ExperimentContext) -> ExpResult {
+    let n = ctx.samples(1500);
+    let sizes = [
+        ("Wide", Geometry::from_nm(1500.0, 40.0)),
+        ("Medium", Geometry::from_nm(600.0, 40.0)),
+        ("Short", Geometry::from_nm(120.0, 40.0)),
+    ];
+    let mut table = TextTable::new(&[
+        "device",
+        "metric",
+        "NMOS kit σ",
+        "NMOS VS σ",
+        "PMOS kit σ",
+        "PMOS VS σ",
+        "unit",
+    ]);
+    let mut sampler = Sampler::from_seed(ctx.seed ^ 0x7ab1e3);
+    let mut max_rel_err = 0.0_f64;
+
+    for (label, geom) in sizes {
+        // Per polarity: kit MC (truth) and VS MC (extracted).
+        let mut sig = [[0.0_f64; 2]; 4]; // [nmos_kit, nmos_vs, pmos_kit, pmos_vs][idsat, ioff]
+        for (pi, polarity) in [Polarity::Nmos, Polarity::Pmos].into_iter().enumerate() {
+            let rep = match polarity {
+                Polarity::Nmos => &ctx.extraction.nmos,
+                Polarity::Pmos => &ctx.extraction.pmos,
+            };
+            let kit_builder = BsimBuilder {
+                params: ctx.extraction.kit.corner(polarity).params,
+                polarity,
+                geom,
+            };
+            let vs_builder = VsBuilder {
+                params: rep.fit.params,
+                polarity,
+                geom,
+            };
+            let kit_samples =
+                device_metric_samples(&kit_builder, &rep.truth, ctx.vdd(), n, &mut sampler);
+            let vs_samples =
+                device_metric_samples(&vs_builder, &rep.extracted, ctx.vdd(), n, &mut sampler);
+            let v_kit = vscore::mc::variances(&kit_samples);
+            let v_vs = vscore::mc::variances(&vs_samples);
+            for m in 0..2 {
+                sig[2 * pi][m] = v_kit[m].sqrt();
+                sig[2 * pi + 1][m] = v_vs[m].sqrt();
+                let rel = (v_vs[m].sqrt() / v_kit[m].sqrt() - 1.0).abs();
+                max_rel_err = max_rel_err.max(rel);
+            }
+        }
+        table.row(vec![
+            format!("{label} ({:.0}/{:.0})", geom.w_nm(), geom.l_nm()),
+            "Idsat".into(),
+            format!("{:.2}", sig[0][0] * 1e6),
+            format!("{:.2}", sig[1][0] * 1e6),
+            format!("{:.2}", sig[2][0] * 1e6),
+            format!("{:.2}", sig[3][0] * 1e6),
+            "uA".into(),
+        ]);
+        table.row(vec![
+            String::new(),
+            "log10Ioff".into(),
+            format!("{:.3}", sig[0][1]),
+            format!("{:.3}", sig[1][1]),
+            format!("{:.3}", sig[2][1]),
+            format!("{:.3}", sig[3][1]),
+            String::new(),
+        ]);
+    }
+    let mut report = format!(
+        "Table III — Monte Carlo σ comparison, statistical VS vs golden kit ({n} samples each)\n\n"
+    );
+    report.push_str(&table.render());
+    report.push_str(&format!(
+        "\nworst-case σ disagreement: {:.1}% (paper shows ~1-4% agreement)\n",
+        100.0 * max_rel_err
+    ));
+    Ok(report)
+}

@@ -1,0 +1,145 @@
+//! Output helpers: CSV writers and fixed-width text tables.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Writes a CSV file with a header row into the output directory.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: impl IntoIterator<Item = Vec<f64>>,
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut s = String::new();
+    s.push_str(&header.join(","));
+    s.push('\n');
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.8e}")).collect();
+        s.push_str(&line.join(","));
+        s.push('\n');
+    }
+    fs::write(&path, s)?;
+    Ok(path)
+}
+
+/// A minimal fixed-width text table builder for terminal reports.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a pre-formatted row.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                let _ = write!(line, "{cell:<w$}  ");
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * ncols));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a number in engineering style with a unit.
+pub fn eng(v: f64, unit: &str) -> String {
+    let a = v.abs();
+    let (scale, prefix) = if a == 0.0 {
+        (1.0, "")
+    } else if a >= 1e12 {
+        (1e12, "T")
+    } else if a >= 1e9 {
+        (1e9, "G")
+    } else if a >= 1e6 {
+        (1e6, "M")
+    } else if a >= 1e3 {
+        (1e3, "k")
+    } else if a >= 1.0 {
+        (1.0, "")
+    } else if a >= 1e-3 {
+        (1e-3, "m")
+    } else if a >= 1e-6 {
+        (1e-6, "u")
+    } else if a >= 1e-9 {
+        (1e-9, "n")
+    } else if a >= 1e-12 {
+        (1e-12, "p")
+    } else {
+        (1e-15, "f")
+    };
+    format!("{:.3}{}{}", v / scale, prefix, unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1.0".into()]);
+        t.row(vec!["b".into(), "22.5".into()]);
+        let s = t.render();
+        assert!(s.contains("name"));
+        assert!(s.contains("alpha"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn eng_formatting() {
+        assert_eq!(eng(1.5e-12, "s"), "1.500ps");
+        assert_eq!(eng(3.2e9, "Hz"), "3.200GHz");
+        assert_eq!(eng(0.0, "A"), "0.000A");
+        assert_eq!(eng(2.5e-5, "A"), "25.000uA");
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("vsbench_test_csv");
+        let p = write_csv(&dir, "t.csv", &["a", "b"], vec![vec![1.0, 2.0]]).unwrap();
+        let content = std::fs::read_to_string(p).unwrap();
+        assert!(content.starts_with("a,b\n"));
+        assert!(content.contains("1.00000000e0"));
+    }
+}

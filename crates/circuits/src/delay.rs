@@ -1,0 +1,204 @@
+//! Fanout-of-3 delay testbenches (paper Figs. 5 and 7).
+//!
+//! The bench drives the device under test with a shaped pulse and loads it
+//! with three copies of itself (true gate loading, not a lumped capacitor),
+//! then measures the average of the rising- and falling-edge propagation
+//! delays at the 50% level.
+
+use crate::cells::{add_inverter, add_nand2, DeviceFactory, InverterSizing};
+use spice::measure::{cross_time, Edge};
+use spice::{Circuit, NodeId, SpiceError, TranOptions, Waveform};
+
+/// Which gate the bench instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateKind {
+    /// CMOS inverter.
+    Inverter,
+    /// 2-input NAND with one input tied high.
+    Nand2,
+}
+
+/// A constructed delay testbench.
+#[derive(Debug, Clone)]
+pub struct DelayBench {
+    circuit: Circuit,
+    input: NodeId,
+    output: NodeId,
+    vdd_value: f64,
+}
+
+/// Timing parameters of the stimulus.
+const T_DELAY: f64 = 50e-12;
+const T_EDGE: f64 = 15e-12;
+const T_WIDTH: f64 = 400e-12;
+
+impl DelayBench {
+    /// Builds a fanout-of-3 bench for the given gate, sizing, and supply.
+    ///
+    /// The DUT output drives three identical gates; each load gate's output
+    /// carries a small wire capacitance so its devices see realistic
+    /// waveforms.
+    pub fn fo3(kind: GateKind, sz: InverterSizing, vdd_value: f64, f: &mut dyn DeviceFactory) -> Self {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let input = c.node("in");
+        let output = c.node("out");
+        c.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(vdd_value));
+        c.vsource(
+            "VIN",
+            input,
+            Circuit::GROUND,
+            Waveform::Pulse {
+                v1: 0.0,
+                v2: vdd_value,
+                delay: T_DELAY,
+                rise: T_EDGE,
+                fall: T_EDGE,
+                width: T_WIDTH,
+                period: 0.0,
+            },
+        );
+        let add_gate = |c: &mut Circuit, name: &str, a: NodeId, out: NodeId, f: &mut dyn DeviceFactory| {
+            match kind {
+                GateKind::Inverter => add_inverter(c, name, a, out, vdd, sz, f),
+                GateKind::Nand2 => add_nand2(c, name, a, vdd, out, vdd, sz, f),
+            }
+        };
+        add_gate(&mut c, "DUT", input, output, f);
+        for k in 0..3 {
+            let lo = c.node(&format!("load{k}"));
+            add_gate(&mut c, &format!("L{k}"), output, lo, f);
+            // Small wire load on each fanout gate's own output.
+            c.capacitor(&format!("CW{k}"), lo, Circuit::GROUND, 0.2e-15);
+        }
+        DelayBench {
+            circuit: c,
+            input,
+            output,
+            vdd_value,
+        }
+    }
+
+    /// Access to the underlying circuit (for leakage analysis etc.).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Input node.
+    pub fn input(&self) -> NodeId {
+        self.input
+    }
+
+    /// Output node.
+    pub fn output(&self) -> NodeId {
+        self.output
+    }
+
+    /// Runs the transient and returns the average of the rising- and
+    /// falling-edge propagation delays (50% crossings), in seconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator failures; returns
+    /// [`SpiceError::NoConvergence`]-style errors when an edge is missing
+    /// (functional failure under extreme mismatch).
+    pub fn measure_delay(&self, dt: f64) -> Result<f64, SpiceError> {
+        let tstop = T_DELAY + 2.0 * T_EDGE + 2.0 * T_WIDTH;
+        let res = self.circuit.tran(&TranOptions::new(tstop, dt))?;
+        let t = res.times();
+        let vin = res.voltage(self.input);
+        let vout = res.voltage(self.output);
+        let half = self.vdd_value / 2.0;
+        let miss = |which: &str| SpiceError::NoConvergence {
+            analysis: "delay measurement",
+            detail: format!("missing {which} crossing"),
+        };
+        // Input rising edge -> output falling.
+        let t_in_r = cross_time(t, &vin, half, Edge::Rising, 0.0).ok_or_else(|| miss("input rising"))?;
+        let t_out_f =
+            cross_time(t, &vout, half, Edge::Falling, t_in_r).ok_or_else(|| miss("output falling"))?;
+        // Input falling edge -> output rising.
+        let t_in_f = cross_time(t, &vin, half, Edge::Falling, t_in_r).ok_or_else(|| miss("input falling"))?;
+        let t_out_r =
+            cross_time(t, &vout, half, Edge::Rising, t_in_f).ok_or_else(|| miss("output rising"))?;
+        let tphl = t_out_f - t_in_r;
+        let tplh = t_out_r - t_in_f;
+        Ok(0.5 * (tphl + tplh))
+    }
+
+    /// Default transient step for delay runs: fine enough for ps accuracy.
+    pub fn default_dt(&self) -> f64 {
+        1.5e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::{NominalBsimFactory, NominalVsFactory};
+
+    #[test]
+    fn inverter_fo3_delay_in_ps_range() {
+        let mut f = NominalVsFactory;
+        let bench = DelayBench::fo3(
+            GateKind::Inverter,
+            InverterSizing::from_nm(600.0, 300.0, 40.0),
+            0.9,
+            &mut f,
+        );
+        let d = bench.measure_delay(bench.default_dt()).unwrap();
+        assert!(d > 0.5e-12 && d < 50e-12, "delay = {d:.3e}");
+    }
+
+    #[test]
+    fn bigger_inverter_is_not_slower() {
+        // With pure FO3 self-loading, delay is roughly size-independent;
+        // it must certainly not grow with drive strength.
+        let mut f = NominalVsFactory;
+        let small = DelayBench::fo3(
+            GateKind::Inverter,
+            InverterSizing::from_nm(300.0, 150.0, 40.0),
+            0.9,
+            &mut f,
+        )
+        .measure_delay(1.5e-12)
+        .unwrap();
+        let large = DelayBench::fo3(
+            GateKind::Inverter,
+            InverterSizing::from_nm(1200.0, 600.0, 40.0),
+            0.9,
+            &mut f,
+        )
+        .measure_delay(1.5e-12)
+        .unwrap();
+        assert!(large < 1.6 * small, "small={small:.3e}, large={large:.3e}");
+    }
+
+    #[test]
+    fn nand2_fo3_delay_measurable_at_low_vdd() {
+        let mut f = NominalBsimFactory;
+        for vdd in [0.9, 0.7, 0.55] {
+            let bench = DelayBench::fo3(
+                GateKind::Nand2,
+                InverterSizing::from_nm(300.0, 300.0, 40.0),
+                vdd,
+                &mut f,
+            );
+            let d = bench.measure_delay(2e-12).unwrap();
+            assert!(d > 0.5e-12 && d < 500e-12, "vdd={vdd}: delay = {d:.3e}");
+        }
+    }
+
+    #[test]
+    fn delay_grows_as_vdd_drops() {
+        let mut f = NominalVsFactory;
+        let sz = InverterSizing::from_nm(300.0, 300.0, 40.0);
+        let d09 = DelayBench::fo3(GateKind::Nand2, sz, 0.9, &mut f)
+            .measure_delay(2e-12)
+            .unwrap();
+        let d055 = DelayBench::fo3(GateKind::Nand2, sz, 0.55, &mut f)
+            .measure_delay(2e-12)
+            .unwrap();
+        assert!(d055 > 1.4 * d09, "0.9V: {d09:.3e}, 0.55V: {d055:.3e}");
+    }
+}

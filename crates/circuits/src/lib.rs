@@ -1,0 +1,25 @@
+//! Benchmark circuits for statistical compact-model validation.
+//!
+//! The paper validates the statistical VS model on a set of SPICE-level
+//! benchmark circuits; this crate builds exactly those:
+//!
+//! * [`cells`] — standard-cell primitives (CMOS inverter, NAND2) and the
+//!   [`cells::DeviceFactory`] abstraction that lets any model family (VS,
+//!   BSIM-like golden kit) with any per-device mismatch populate a netlist.
+//! * [`delay`] — fanout-of-3 testbenches and propagation-delay measurement
+//!   (paper Figs. 5 and 7).
+//! * [`leakage`] — static leakage and frequency (1/delay) extraction for the
+//!   leakage-vs-frequency scatter (paper Fig. 6).
+//! * [`dff`] — the master-slave register built from NMOS-only pass
+//!   transistors, with a binary-search setup-time measurement (paper Fig. 8).
+//! * [`sram`] — the 6T SRAM cell: butterfly curves and static noise margin
+//!   for READ and HOLD modes via the rotated-axes maximal-square method
+//!   (paper Fig. 9).
+
+pub mod cells;
+pub mod delay;
+pub mod dff;
+pub mod leakage;
+pub mod sram;
+
+pub use cells::{DeviceFactory, InverterSizing, NominalBsimFactory, NominalVsFactory};

@@ -1,0 +1,258 @@
+//! The *full* (correlated) form of the paper's Eq. (8).
+//!
+//! The paper writes variance propagation with correlation terms:
+//!
+//! ```text
+//! σ²(e_i) = Σ_j (∂e_i/∂p_j)² σ²_pj
+//!         + 2 Σ_{k>j} Σ_j  r_jk (∂e_i/∂p_j)(∂e_i/∂p_k) σ_pj σ_pk
+//! ```
+//!
+//! and then *assumes independence* (`r_jk = 0`, its Eq. (9)) after choosing
+//! parameters whose physical origins are distinct (RDF vs LER vs stress vs
+//! OTF). This module implements the general form so that
+//!
+//! * the independence simplification is a *testable* statement rather than
+//!   an article of faith (`predict_variances_correlated` with `r = I`
+//!   reproduces [`crate::bpv::predict_variances`] exactly), and
+//! * users with correlated foundry data (e.g. Leff/Weff from a shared
+//!   litho step) can still propagate and sample it.
+
+use crate::sensitivity::{sensitivity_matrix, VariedModel};
+use mosfet::{MismatchSpec, StatParam, VariationDelta};
+use numerics::{cholesky::Cholesky, Matrix, NumericsError};
+
+/// A symmetric 5x5 correlation matrix over [`StatParam::ALL`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamCorrelation {
+    r: Matrix,
+}
+
+impl ParamCorrelation {
+    /// The identity (independent parameters — the paper's Eq. (9) regime).
+    pub fn independent() -> Self {
+        ParamCorrelation {
+            r: Matrix::identity(StatParam::ALL.len()),
+        }
+    }
+
+    /// Builds from an explicit symmetric matrix.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-5x5 input, unit-diagonal violations, asymmetry, and
+    /// out-of-range entries.
+    pub fn new(r: Matrix) -> Result<Self, NumericsError> {
+        let n = StatParam::ALL.len();
+        if r.rows() != n || r.cols() != n {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!("correlation matrix must be {n}x{n}"),
+            });
+        }
+        for i in 0..n {
+            if (r[(i, i)] - 1.0).abs() > 1e-12 {
+                return Err(NumericsError::InvalidArgument {
+                    context: format!("diagonal entry {i} is not 1"),
+                });
+            }
+            for j in 0..n {
+                if (r[(i, j)] - r[(j, i)]).abs() > 1e-12 || r[(i, j)].abs() > 1.0 {
+                    return Err(NumericsError::InvalidArgument {
+                        context: format!("entry ({i},{j}) invalid"),
+                    });
+                }
+            }
+        }
+        Ok(ParamCorrelation { r })
+    }
+
+    /// Sets one pairwise correlation (symmetric), returning the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `|rho| > 1`.
+    pub fn with(mut self, a: StatParam, b: StatParam, rho: f64) -> Self {
+        assert!(rho.abs() <= 1.0, "correlation out of range");
+        let ia = StatParam::ALL.iter().position(|&p| p == a).expect("member");
+        let ib = StatParam::ALL.iter().position(|&p| p == b).expect("member");
+        self.r[(ia, ib)] = rho;
+        self.r[(ib, ia)] = rho;
+        self
+    }
+
+    /// The raw matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.r
+    }
+}
+
+/// Eq. (8) in full: first-order metric variances under correlated
+/// parameters. Returns variances of `[Idsat, log10 Ioff, Cgg]`.
+pub fn predict_variances_correlated(
+    builder: &dyn VariedModel,
+    spec: &MismatchSpec,
+    corr: &ParamCorrelation,
+    vdd: f64,
+) -> [f64; 3] {
+    let s = sensitivity_matrix(builder, vdd);
+    let geom = builder.geometry();
+    let sigmas: Vec<f64> = StatParam::ALL
+        .into_iter()
+        .map(|p| spec.sigma(p, geom))
+        .collect();
+    let n = sigmas.len();
+    let mut out = [0.0; 3];
+    for i in 0..3 {
+        let mut v = 0.0;
+        for j in 0..n {
+            for k in 0..n {
+                v += corr.matrix()[(j, k)] * s[(i, j)] * s[(i, k)] * sigmas[j] * sigmas[k];
+            }
+        }
+        out[i] = v;
+    }
+    out
+}
+
+/// Draws one correlated mismatch sample: `δ = diag(σ) L z` with `R = L Lᵀ`
+/// and `z` standard normal.
+///
+/// # Errors
+///
+/// Fails when the correlation matrix is not positive definite.
+pub fn sample_correlated<F>(
+    spec: &MismatchSpec,
+    corr: &ParamCorrelation,
+    geom: mosfet::Geometry,
+    mut normal: F,
+) -> Result<VariationDelta, NumericsError>
+where
+    F: FnMut() -> f64,
+{
+    let n = StatParam::ALL.len();
+    let ch = Cholesky::factor(corr.matrix())?;
+    let z: Vec<f64> = (0..n).map(|_| normal()).collect();
+    let correlated = ch.correlate(&z);
+    let mut d = VariationDelta::default();
+    for (i, p) in StatParam::ALL.into_iter().enumerate() {
+        *d.component_mut(p) = spec.sigma(p, geom) * correlated[i];
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bpv::predict_variances;
+    use crate::sensitivity::VsBuilder;
+    use mosfet::{vs::VsParams, Geometry, Polarity};
+    use stats::Sampler;
+
+    const VDD: f64 = 0.9;
+
+    fn builder() -> VsBuilder {
+        VsBuilder {
+            params: VsParams::nmos_40nm(),
+            polarity: Polarity::Nmos,
+            geom: Geometry::from_nm(600.0, 40.0),
+        }
+    }
+
+    fn spec() -> MismatchSpec {
+        MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29)
+    }
+
+    #[test]
+    fn identity_correlation_reduces_to_independent_form() {
+        let b = builder();
+        let full = predict_variances_correlated(&b, &spec(), &ParamCorrelation::independent(), VDD);
+        let indep = predict_variances(&b, &spec(), VDD);
+        for (a, e) in full.iter().zip(&indep) {
+            assert!((a / e - 1.0).abs() < 1e-12, "{a} vs {e}");
+        }
+    }
+
+    #[test]
+    fn aligned_correlation_raises_idsat_variance() {
+        // Leff and Weff sensitivities on Idsat have opposite signs (shorter
+        // = more current, narrower = less current), so *positive* L-W
+        // correlation cancels and reduces variance; negative correlation
+        // adds. Verify the cross-term sign logic both ways.
+        let b = builder();
+        let s = crate::sensitivity::sensitivity_matrix(&b, VDD);
+        let sign = (s[(0, 1)] * s[(0, 2)]).signum();
+        let pos = predict_variances_correlated(
+            &b,
+            &spec(),
+            &ParamCorrelation::independent().with(StatParam::Leff, StatParam::Weff, 0.8),
+            VDD,
+        );
+        let neg = predict_variances_correlated(
+            &b,
+            &spec(),
+            &ParamCorrelation::independent().with(StatParam::Leff, StatParam::Weff, -0.8),
+            VDD,
+        );
+        let indep = predict_variances(&b, &spec(), VDD);
+        if sign > 0.0 {
+            assert!(pos[0] > indep[0] && neg[0] < indep[0]);
+        } else {
+            assert!(pos[0] < indep[0] && neg[0] > indep[0]);
+        }
+    }
+
+    #[test]
+    fn correlated_sampling_matches_prediction() {
+        let b = builder();
+        let corr = ParamCorrelation::independent().with(StatParam::Vt0, StatParam::Mu, 0.5);
+        let mut sampler = Sampler::from_seed(17);
+        let n = 4000;
+        let mut idsat = Vec::with_capacity(n);
+        for _ in 0..n {
+            let d = sample_correlated(&spec(), &corr, b.geom, || sampler.standard_normal())
+                .expect("PD correlation");
+            let m = b.build(d);
+            idsat.push(crate::metrics::DeviceMetrics::evaluate(m.as_ref(), VDD).idsat);
+        }
+        let mc_var = stats::Summary::from_slice(&idsat).variance;
+        let predicted = predict_variances_correlated(&b, &spec(), &corr, VDD)[0];
+        assert!(
+            (mc_var / predicted - 1.0).abs() < 0.15,
+            "MC {mc_var:.3e} vs predicted {predicted:.3e}"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_matrices() {
+        assert!(ParamCorrelation::new(Matrix::identity(4)).is_err());
+        let mut bad_diag = Matrix::identity(5);
+        bad_diag[(0, 0)] = 0.9;
+        assert!(ParamCorrelation::new(bad_diag).is_err());
+        let mut asym = Matrix::identity(5);
+        asym[(0, 1)] = 0.5;
+        assert!(ParamCorrelation::new(asym).is_err());
+        let mut ok = Matrix::identity(5);
+        ok[(0, 1)] = 0.5;
+        ok[(1, 0)] = 0.5;
+        assert!(ParamCorrelation::new(ok).is_ok());
+    }
+
+    #[test]
+    fn perfectly_correlated_matrix_fails_sampling() {
+        // r = 1 between two parameters is singular (not PD).
+        let corr = ParamCorrelation::independent().with(StatParam::Leff, StatParam::Weff, 1.0);
+        let mut sampler = Sampler::from_seed(1);
+        assert!(sample_correlated(
+            &spec(),
+            &corr,
+            Geometry::from_nm(600.0, 40.0),
+            || sampler.standard_normal()
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_rho_panics() {
+        let _ = ParamCorrelation::independent().with(StatParam::Vt0, StatParam::Mu, 1.5);
+    }
+}

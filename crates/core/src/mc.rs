@@ -1,0 +1,298 @@
+//! Monte Carlo engines.
+//!
+//! Two levels, mirroring the paper's validation:
+//!
+//! * **Device level** — sample mismatch, evaluate the electrical metrics
+//!   (Table III, Figs. 3-4).
+//! * **Circuit level** — [`McFactory`] implements
+//!   [`circuits::DeviceFactory`], drawing an independent
+//!   [`mosfet::VariationDelta`] per transistor instance so that benchmark
+//!   netlists (INV, NAND2, DFF, SRAM) see uncorrelated within-die mismatch
+//!   (Figs. 5-9).
+
+use crate::metrics::DeviceMetrics;
+use crate::sensitivity::VariedModel;
+use circuits::cells::DeviceFactory;
+use mosfet::{
+    bsim::{BsimModel, BsimParams},
+    vs::{VsModel, VsParams},
+    Geometry, MismatchSpec, MosfetModel, Polarity,
+};
+use stats::Sampler;
+
+/// Draws `n` mismatch samples and evaluates the metrics for each.
+pub fn device_metric_samples(
+    builder: &dyn VariedModel,
+    spec: &MismatchSpec,
+    vdd: f64,
+    n: usize,
+    sampler: &mut Sampler,
+) -> Vec<DeviceMetrics> {
+    let geom = builder.geometry();
+    (0..n)
+        .map(|_| {
+            let delta = spec.sample(geom, || sampler.standard_normal());
+            DeviceMetrics::evaluate(builder.build(delta).as_ref(), vdd)
+        })
+        .collect()
+}
+
+/// Sample variances of `[Idsat, log10 Ioff, Cgg]`.
+///
+/// # Panics
+///
+/// Panics if `samples` has fewer than 2 entries.
+pub fn variances(samples: &[DeviceMetrics]) -> [f64; 3] {
+    assert!(samples.len() >= 2, "need at least two samples");
+    let mut out = [0.0; 3];
+    for i in 0..3 {
+        let xs: Vec<f64> = samples.iter().map(|s| s.as_array()[i]).collect();
+        out[i] = stats::Summary::from_slice(&xs).variance;
+    }
+    out
+}
+
+/// Sample means of `[Idsat, log10 Ioff, Cgg]`.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn means(samples: &[DeviceMetrics]) -> [f64; 3] {
+    assert!(!samples.is_empty(), "need at least one sample");
+    let mut out = [0.0; 3];
+    for i in 0..3 {
+        let xs: Vec<f64> = samples.iter().map(|s| s.as_array()[i]).collect();
+        out[i] = stats::descriptive::mean(&xs);
+    }
+    out
+}
+
+/// Which model family a factory instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelFamily {
+    /// The statistical Virtual Source model (fitted parameters + extracted
+    /// mismatch).
+    Vs,
+    /// The golden BSIM-like kit (nominal parameters + foundry truth).
+    Bsim,
+}
+
+/// A sampling device factory for circuit-level Monte Carlo.
+///
+/// Every call to [`DeviceFactory::nmos`]/[`DeviceFactory::pmos`] draws an
+/// independent mismatch vector — the within-die assumption of the paper.
+/// Construct with [`MismatchSpec::default`] (all zeros) for nominal devices.
+#[derive(Debug, Clone)]
+pub struct McFactory {
+    family: ModelFamily,
+    vs_nmos: VsParams,
+    vs_pmos: VsParams,
+    bsim_nmos: BsimParams,
+    bsim_pmos: BsimParams,
+    spec_nmos: MismatchSpec,
+    spec_pmos: MismatchSpec,
+    sampler: Sampler,
+}
+
+impl McFactory {
+    /// Factory for the statistical VS model.
+    pub fn vs(
+        nmos: VsParams,
+        pmos: VsParams,
+        spec_nmos: MismatchSpec,
+        spec_pmos: MismatchSpec,
+        sampler: Sampler,
+    ) -> Self {
+        McFactory {
+            family: ModelFamily::Vs,
+            vs_nmos: nmos,
+            vs_pmos: pmos,
+            bsim_nmos: BsimParams::nmos_40nm(),
+            bsim_pmos: BsimParams::pmos_40nm(),
+            spec_nmos,
+            spec_pmos,
+            sampler,
+        }
+    }
+
+    /// Factory for the golden kit.
+    pub fn bsim(
+        nmos: BsimParams,
+        pmos: BsimParams,
+        spec_nmos: MismatchSpec,
+        spec_pmos: MismatchSpec,
+        sampler: Sampler,
+    ) -> Self {
+        McFactory {
+            family: ModelFamily::Bsim,
+            vs_nmos: VsParams::nmos_40nm(),
+            vs_pmos: VsParams::pmos_40nm(),
+            bsim_nmos: nmos,
+            bsim_pmos: pmos,
+            spec_nmos,
+            spec_pmos,
+            sampler,
+        }
+    }
+
+    /// Reseeds the internal sampler (one seed per Monte Carlo trial keeps
+    /// trials independent and reproducible).
+    pub fn reseed(&mut self, seed: u64) {
+        self.sampler = Sampler::from_seed(seed);
+    }
+}
+
+impl DeviceFactory for McFactory {
+    fn nmos(&mut self, geom: Geometry) -> Box<dyn MosfetModel> {
+        let spec = self.spec_nmos;
+        let delta = spec.sample(geom, || self.sampler.standard_normal());
+        match self.family {
+            ModelFamily::Vs => Box::new(VsModel::with_variation(
+                self.vs_nmos,
+                Polarity::Nmos,
+                geom,
+                delta,
+            )),
+            ModelFamily::Bsim => Box::new(BsimModel::with_variation(
+                self.bsim_nmos,
+                Polarity::Nmos,
+                geom,
+                delta,
+            )),
+        }
+    }
+
+    fn pmos(&mut self, geom: Geometry) -> Box<dyn MosfetModel> {
+        let spec = self.spec_pmos;
+        let delta = spec.sample(geom, || self.sampler.standard_normal());
+        match self.family {
+            ModelFamily::Vs => Box::new(VsModel::with_variation(
+                self.vs_pmos,
+                Polarity::Pmos,
+                geom,
+                delta,
+            )),
+            ModelFamily::Bsim => Box::new(BsimModel::with_variation(
+                self.bsim_pmos,
+                Polarity::Pmos,
+                geom,
+                delta,
+            )),
+        }
+    }
+
+    fn family(&self) -> &'static str {
+        match self.family {
+            ModelFamily::Vs => "vs",
+            ModelFamily::Bsim => "bsim",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensitivity::VsBuilder;
+
+    const VDD: f64 = 0.9;
+
+    #[test]
+    fn metric_sampling_statistics_follow_spec() {
+        let builder = VsBuilder {
+            params: VsParams::nmos_40nm(),
+            polarity: Polarity::Nmos,
+            geom: Geometry::from_nm(600.0, 40.0),
+        };
+        let spec = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+        let mut sampler = Sampler::from_seed(3);
+        let samples = device_metric_samples(&builder, &spec, VDD, 3000, &mut sampler);
+        let v = variances(&samples);
+        let predicted = crate::bpv::predict_variances(&builder, &spec, VDD);
+        // Monte Carlo variance matches linear propagation within ~15%.
+        for (mc, lin) in v.iter().zip(&predicted) {
+            assert!(
+                (mc / lin - 1.0).abs() < 0.2,
+                "MC {mc:.3e} vs linear {lin:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_spec_is_deterministic() {
+        let builder = VsBuilder {
+            params: VsParams::nmos_40nm(),
+            polarity: Polarity::Nmos,
+            geom: Geometry::from_nm(600.0, 40.0),
+        };
+        let mut sampler = Sampler::from_seed(1);
+        let samples =
+            device_metric_samples(&builder, &MismatchSpec::default(), VDD, 5, &mut sampler);
+        let v = variances(&samples);
+        assert!(v.iter().all(|&x| x.abs() < 1e-30));
+    }
+
+    #[test]
+    fn factory_produces_distinct_devices() {
+        let spec = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+        let mut f = McFactory::vs(
+            VsParams::nmos_40nm(),
+            VsParams::pmos_40nm(),
+            spec,
+            spec,
+            Sampler::from_seed(11),
+        );
+        let g = Geometry::from_nm(300.0, 40.0);
+        let a = f.nmos(g);
+        let b = f.nmos(g);
+        let bias = mosfet::Bias {
+            vgs: VDD,
+            vds: VDD,
+            vbs: 0.0,
+        };
+        assert_ne!(a.ids(bias), b.ids(bias), "instances must be independent");
+        assert_eq!(f.family(), "vs");
+    }
+
+    #[test]
+    fn reseeded_factories_reproduce() {
+        let spec = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+        let mk = || {
+            McFactory::bsim(
+                BsimParams::nmos_40nm(),
+                BsimParams::pmos_40nm(),
+                spec,
+                spec,
+                Sampler::from_seed(42),
+            )
+        };
+        let g = Geometry::from_nm(300.0, 40.0);
+        let bias = mosfet::Bias {
+            vgs: VDD,
+            vds: VDD,
+            vbs: 0.0,
+        };
+        let mut f1 = mk();
+        let mut f2 = mk();
+        assert_eq!(f1.nmos(g).ids(bias), f2.nmos(g).ids(bias));
+        assert_eq!(f1.family(), "bsim");
+    }
+
+    #[test]
+    fn means_and_variances_have_matching_shapes() {
+        let builder = VsBuilder {
+            params: VsParams::nmos_40nm(),
+            polarity: Polarity::Nmos,
+            geom: Geometry::from_nm(300.0, 40.0),
+        };
+        let mut sampler = Sampler::from_seed(2);
+        let samples = device_metric_samples(
+            &builder,
+            &MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29),
+            VDD,
+            100,
+            &mut sampler,
+        );
+        let m = means(&samples);
+        assert!(m[0] > 0.0 && m[1] < 0.0 && m[2] > 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! The end-to-end extraction pipeline.
+//!
+//! Chains the paper's full flow for both polarities:
+//!
+//! 1. measure `Cinv` (oxide) and fit the nominal VS model to the kit I-V;
+//! 2. Monte Carlo the kit at several geometries to "measure" metric
+//!    variances;
+//! 3. backward-propagate those variances through the fitted VS model to
+//!    extract the Pelgrom coefficients `α1..α5` (Table II);
+//! 4. report everything needed for validation.
+
+use crate::bpv::{solve_bpv, BpvConfig, BpvSolution, MeasuredVariance};
+use crate::fit::{fit_vs_to_kit, FittedVs};
+use crate::kit::GoldenKit;
+use crate::sensitivity::{VariedModel, VsBuilder};
+use mosfet::{vs::VsParams, Geometry, MismatchSpec, Polarity};
+use numerics::NumericsError;
+use stats::Sampler;
+use std::fmt;
+
+/// Errors from the extraction pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Nominal fitting failed.
+    Fit(NumericsError),
+    /// BPV solve failed.
+    Bpv(NumericsError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Fit(e) => write!(f, "nominal fit failed: {e}"),
+            CoreError::Bpv(e) => write!(f, "BPV extraction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct ExtractionConfig {
+    /// Supply voltage, V.
+    pub vdd: f64,
+    /// Geometry set used for the BPV stack (paper: several widths at
+    /// L = 40 nm).
+    pub geometries: Vec<Geometry>,
+    /// Kit Monte Carlo samples per geometry (paper: > 1000).
+    pub mc_samples: usize,
+    /// Geometry used for the nominal I-V fit.
+    pub fit_geometry: Geometry,
+    /// RNG seed for the kit Monte Carlo.
+    pub seed: u64,
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        ExtractionConfig {
+            vdd: 0.9,
+            geometries: [120.0, 300.0, 600.0, 1000.0, 1500.0]
+                .into_iter()
+                .map(|w| Geometry::from_nm(w, 40.0))
+                .collect(),
+            mc_samples: 1500,
+            fit_geometry: Geometry::from_nm(300.0, 40.0),
+            seed: 20130318, // DATE 2013 week
+        }
+    }
+}
+
+/// Extraction products for one polarity.
+#[derive(Debug, Clone)]
+pub struct PolarityReport {
+    /// Device polarity.
+    pub polarity: Polarity,
+    /// Fit outcome (fitted parameters inside).
+    pub fit: FittedVs,
+    /// Extracted mismatch coefficients.
+    pub extracted: MismatchSpec,
+    /// The kit's hidden truth (oracle — for validation tables only).
+    pub truth: MismatchSpec,
+    /// Kit-measured metric variances per geometry.
+    pub measured: Vec<MeasuredVariance>,
+    /// Full BPV solution (joint + per-geometry).
+    pub bpv: BpvSolution,
+}
+
+impl PolarityReport {
+    /// Fitted VS parameters.
+    pub fn params(&self) -> VsParams {
+        self.fit.params
+    }
+
+    /// VS builders at the configured geometries (for validation MC).
+    pub fn builders(&self, geometries: &[Geometry]) -> Vec<VsBuilder> {
+        geometries
+            .iter()
+            .map(|&geom| VsBuilder {
+                params: self.fit.params,
+                polarity: self.polarity,
+                geom,
+            })
+            .collect()
+    }
+}
+
+/// Full extraction report.
+#[derive(Debug, Clone)]
+pub struct ExtractionReport {
+    /// NMOS products.
+    pub nmos: PolarityReport,
+    /// PMOS products.
+    pub pmos: PolarityReport,
+    /// The kit everything was characterized against.
+    pub kit: GoldenKit,
+    /// The configuration used.
+    pub config: ExtractionConfig,
+}
+
+fn extract_polarity(
+    kit: &GoldenKit,
+    polarity: Polarity,
+    cfg: &ExtractionConfig,
+    sampler: &mut Sampler,
+) -> Result<PolarityReport, CoreError> {
+    let fit = fit_vs_to_kit(kit, polarity, cfg.fit_geometry).map_err(CoreError::Fit)?;
+    let measured: Vec<MeasuredVariance> = cfg
+        .geometries
+        .iter()
+        .map(|&g| kit.measure_variances(polarity, g, cfg.mc_samples, sampler))
+        .collect();
+    let builders: Vec<VsBuilder> = cfg
+        .geometries
+        .iter()
+        .map(|&geom| VsBuilder {
+            params: fit.params,
+            polarity,
+            geom,
+        })
+        .collect();
+    let refs: Vec<&dyn VariedModel> = builders.iter().map(|b| b as &dyn VariedModel).collect();
+    let bpv = solve_bpv(
+        &refs,
+        &measured,
+        &BpvConfig {
+            vdd: cfg.vdd,
+            a_cinv: kit.measured_a_cinv(polarity),
+        },
+    )
+    .map_err(CoreError::Bpv)?;
+    Ok(PolarityReport {
+        polarity,
+        fit,
+        extracted: bpv.spec,
+        truth: kit.corner(polarity).truth,
+        measured,
+        bpv,
+    })
+}
+
+/// Runs the complete extraction for both polarities.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] when fitting or BPV fails.
+pub fn extract_statistical_vs_model(
+    cfg: &ExtractionConfig,
+) -> Result<ExtractionReport, CoreError> {
+    let kit = GoldenKit::default_40nm();
+    let mut sampler = Sampler::from_seed(cfg.seed);
+    let nmos = extract_polarity(&kit, Polarity::Nmos, cfg, &mut sampler)?;
+    let pmos = extract_polarity(&kit, Polarity::Pmos, cfg, &mut sampler)?;
+    Ok(ExtractionReport {
+        nmos,
+        pmos,
+        kit,
+        config: cfg.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ExtractionConfig {
+        ExtractionConfig {
+            mc_samples: 600,
+            geometries: [120.0, 300.0, 600.0, 1500.0]
+                .into_iter()
+                .map(|w| Geometry::from_nm(w, 40.0))
+                .collect(),
+            ..ExtractionConfig::default()
+        }
+    }
+
+    #[test]
+    fn pipeline_runs_end_to_end() {
+        let report = extract_statistical_vs_model(&quick_config()).unwrap();
+        for rep in [&report.nmos, &report.pmos] {
+            let alphas = rep.extracted.to_paper_units();
+            // All coefficients positive and in the paper's order of
+            // magnitude (Table II: α1 ~ 2-3 V·nm, α2 ~ 3-4 nm, α4 ~
+            // hundreds-to-thousands nm·cm²/Vs).
+            assert!(alphas[0] > 0.5 && alphas[0] < 8.0, "{:?} α1 = {}", rep.polarity, alphas[0]);
+            assert!(alphas[1] > 0.5 && alphas[1] < 12.0, "{:?} α2 = {}", rep.polarity, alphas[1]);
+            assert_eq!(alphas[1], alphas[2], "α2 = α3 by construction");
+        }
+    }
+
+    #[test]
+    fn extracted_variances_match_measured() {
+        // The paper's Table III criterion: the statistical VS model must
+        // reproduce the kit's σ(Idsat) and σ(log10 Ioff).
+        let report = extract_statistical_vs_model(&quick_config()).unwrap();
+        let rep = &report.nmos;
+        let builders = rep.builders(&report.config.geometries);
+        for (b, meas) in builders.iter().zip(&rep.measured) {
+            let predicted = crate::bpv::predict_variances(b, &rep.extracted, report.config.vdd);
+            // σ agreement within ~20% (MC noise at 600 samples is ~6%).
+            for i in 0..2 {
+                let ratio = (predicted[i] / meas.var[i]).sqrt();
+                assert!(
+                    (0.75..1.3).contains(&ratio),
+                    "{} σ ratio = {ratio} at {}",
+                    crate::metrics::DeviceMetrics::NAMES[i],
+                    meas.geom
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Finite-difference sensitivities `∂e_i/∂p_j` (paper Eq. (10)'s matrix).
+//!
+//! The paper computes the sensitivity matrix "from SPICE simulation using
+//! the VS model"; here the metrics are direct model evaluations (the
+//! circuit-simulator path produces identical values for a single device),
+//! differentiated centrally with parameter-appropriate steps.
+
+use crate::metrics::DeviceMetrics;
+use mosfet::{
+    bsim::{BsimModel, BsimParams},
+    vs::{VsModel, VsParams},
+    Geometry, MosfetModel, Polarity, StatParam, VariationDelta,
+};
+use numerics::Matrix;
+
+/// Builds model instances at arbitrary mismatch — the handle the extraction
+/// flow uses to differentiate and to run Monte Carlo.
+pub trait VariedModel: Send + Sync {
+    /// Instantiates the model with the given perturbation.
+    fn build(&self, delta: VariationDelta) -> Box<dyn MosfetModel>;
+    /// The device geometry.
+    fn geometry(&self) -> Geometry;
+}
+
+/// A [`VariedModel`] over the Virtual Source model.
+#[derive(Debug, Clone)]
+pub struct VsBuilder {
+    /// VS parameters (typically the fitted set).
+    pub params: VsParams,
+    /// Device polarity.
+    pub polarity: Polarity,
+    /// Device geometry.
+    pub geom: Geometry,
+}
+
+impl VariedModel for VsBuilder {
+    fn build(&self, delta: VariationDelta) -> Box<dyn MosfetModel> {
+        Box::new(VsModel::with_variation(
+            self.params,
+            self.polarity,
+            self.geom,
+            delta,
+        ))
+    }
+
+    fn geometry(&self) -> Geometry {
+        self.geom
+    }
+}
+
+/// A [`VariedModel`] over the BSIM-like kit model.
+#[derive(Debug, Clone)]
+pub struct BsimBuilder {
+    /// Kit parameters.
+    pub params: BsimParams,
+    /// Device polarity.
+    pub polarity: Polarity,
+    /// Device geometry.
+    pub geom: Geometry,
+}
+
+impl VariedModel for BsimBuilder {
+    fn build(&self, delta: VariationDelta) -> Box<dyn MosfetModel> {
+        Box::new(BsimModel::with_variation(
+            self.params,
+            self.polarity,
+            self.geom,
+            delta,
+        ))
+    }
+
+    fn geometry(&self) -> Geometry {
+        self.geom
+    }
+}
+
+/// Central-difference step for each statistical parameter (SI units).
+fn fd_step(param: StatParam) -> f64 {
+    match param {
+        StatParam::Vt0 => 2e-3,    // 2 mV
+        StatParam::Leff => 0.2e-9, // 0.2 nm
+        StatParam::Weff => 1e-9,   // 1 nm
+        StatParam::Mu => 1e-4,     // 1 cm²/(V·s)
+        StatParam::Cinv => 1e-4,   // 0.01 µF/cm²
+    }
+}
+
+/// The 3x5 sensitivity matrix: rows follow [`DeviceMetrics::NAMES`], columns
+/// follow [`StatParam::ALL`].
+pub fn sensitivity_matrix(builder: &dyn VariedModel, vdd: f64) -> Matrix {
+    let mut s = Matrix::zeros(3, StatParam::ALL.len());
+    for (j, param) in StatParam::ALL.into_iter().enumerate() {
+        let h = fd_step(param);
+        let ep = DeviceMetrics::evaluate(
+            builder.build(VariationDelta::single(param, h)).as_ref(),
+            vdd,
+        )
+        .as_array();
+        let em = DeviceMetrics::evaluate(
+            builder.build(VariationDelta::single(param, -h)).as_ref(),
+            vdd,
+        )
+        .as_array();
+        for i in 0..3 {
+            s[(i, j)] = (ep[i] - em[i]) / (2.0 * h);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VDD: f64 = 0.9;
+
+    fn nmos_builder() -> VsBuilder {
+        VsBuilder {
+            params: VsParams::nmos_40nm(),
+            polarity: Polarity::Nmos,
+            geom: Geometry::from_nm(600.0, 40.0),
+        }
+    }
+
+    #[test]
+    fn sensitivity_signs_match_physics() {
+        let s = sensitivity_matrix(&nmos_builder(), VDD);
+        // Row 0 = Idsat, row 1 = log10 Ioff, row 2 = Cgg.
+        // Higher VT0 -> lower Idsat, much lower Ioff, ~no Cgg change.
+        assert!(s[(0, 0)] < 0.0, "dIdsat/dVT0 = {}", s[(0, 0)]);
+        assert!(s[(1, 0)] < 0.0, "dlogIoff/dVT0 = {}", s[(1, 0)]);
+        // Wider device -> more current, more capacitance.
+        assert!(s[(0, 2)] > 0.0);
+        assert!(s[(2, 2)] > 0.0);
+        // More mobility -> more current.
+        assert!(s[(0, 3)] > 0.0);
+        // More Cinv -> more current and more capacitance.
+        assert!(s[(0, 4)] > 0.0);
+        assert!(s[(2, 4)] > 0.0);
+        // Longer channel -> less DIBL -> lower Ioff.
+        assert!(s[(1, 1)] < 0.0, "dlogIoff/dL = {}", s[(1, 1)]);
+    }
+
+    #[test]
+    fn log_ioff_vt_sensitivity_matches_subthreshold_slope() {
+        // d(log10 Ioff)/dVT0 = -1 / (n φt ln 10).
+        let s = sensitivity_matrix(&nmos_builder(), VDD);
+        let expected = -1.0 / (VsParams::nmos_40nm().n0 * mosfet::PHI_T * std::f64::consts::LN_10);
+        assert!(
+            (s[(1, 0)] / expected - 1.0).abs() < 0.10,
+            "{} vs {}",
+            s[(1, 0)],
+            expected
+        );
+    }
+
+    #[test]
+    fn idsat_width_sensitivity_close_to_linear_scaling() {
+        // Idsat ~ W  =>  dIdsat/dW ≈ Idsat / W.
+        let b = nmos_builder();
+        let s = sensitivity_matrix(&b, VDD);
+        let e = DeviceMetrics::evaluate(b.build(VariationDelta::zero()).as_ref(), VDD);
+        let expected = e.idsat / b.geom.w;
+        assert!(
+            (s[(0, 2)] / expected - 1.0).abs() < 0.1,
+            "{} vs {}",
+            s[(0, 2)],
+            expected
+        );
+    }
+
+    #[test]
+    fn kit_builder_also_differentiates() {
+        let b = BsimBuilder {
+            params: BsimParams::nmos_40nm(),
+            polarity: Polarity::Nmos,
+            geom: Geometry::from_nm(600.0, 40.0),
+        };
+        let s = sensitivity_matrix(&b, VDD);
+        assert!(s[(0, 0)] < 0.0);
+        assert!(s[(1, 0)] < 0.0);
+        assert!(s[(2, 2)] > 0.0);
+    }
+
+    #[test]
+    fn cgg_insensitive_to_vt_in_strong_inversion() {
+        let s = sensitivity_matrix(&nmos_builder(), VDD);
+        // Paper Eq. (10) zeroes this entry; numerically it is tiny relative
+        // to the Cinv sensitivity.
+        let rel = (s[(2, 0)] / s[(2, 4)]).abs();
+        assert!(rel < 0.05, "Cgg-VT0 relative sensitivity = {rel}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Temperature derating of the compact-model parameter sets.
+//!
+//! The core equations evaluate at the 300 K thermal voltage ([`crate::PHI_T`]);
+//! temperature enters by *scaling the parameter set* — the same device at a
+//! different temperature is a different parameter vector:
+//!
+//! * threshold falls roughly linearly (`dVT/dT ≈ -0.9 mV/K`),
+//! * mobility follows phonon scattering (`µ ∝ (T/300)^-1.5`),
+//! * injection/saturation velocity softens weakly (`∝ (T/300)^-0.3`),
+//! * the subthreshold swing broadens with `kT/q` — absorbed by scaling the
+//!   slope factor `n` (and the VS transition width `α`) by `T/300`, which
+//!   keeps the 300 K `φt` inside the core equations exact.
+//!
+//! These are the leading-order dependencies every production model card
+//! carries; the statistical flow itself is temperature-blind (mismatch σ
+//! values are extracted per temperature corner in practice).
+
+use crate::bsim::BsimParams;
+use crate::vs::VsParams;
+
+/// Nominal temperature, K.
+pub const T_NOM: f64 = 300.0;
+
+/// Threshold temperature coefficient, V/K.
+pub const DVT_DT: f64 = -0.9e-3;
+
+/// Mobility power-law exponent.
+pub const MU_EXP: f64 = -1.5;
+
+/// Velocity power-law exponent.
+pub const V_EXP: f64 = -0.3;
+
+fn check_temperature(t_k: f64) {
+    assert!(
+        (150.0..=500.0).contains(&t_k),
+        "temperature {t_k} K outside the model's validity range (150-500 K)"
+    );
+}
+
+impl VsParams {
+    /// Returns this parameter set derated to temperature `t_k` (kelvin).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside 150-500 K.
+    pub fn at_temperature(&self, t_k: f64) -> VsParams {
+        check_temperature(t_k);
+        let tr = t_k / T_NOM;
+        VsParams {
+            vt0: self.vt0 + DVT_DT * (t_k - T_NOM),
+            mu: self.mu * tr.powf(MU_EXP),
+            vxo: self.vxo * tr.powf(V_EXP),
+            n0: self.n0 * tr,
+            alpha: self.alpha * tr,
+            ..*self
+        }
+    }
+}
+
+impl BsimParams {
+    /// Returns this parameter set derated to temperature `t_k` (kelvin).
+    ///
+    /// # Panics
+    ///
+    /// Panics outside 150-500 K.
+    pub fn at_temperature(&self, t_k: f64) -> BsimParams {
+        check_temperature(t_k);
+        let tr = t_k / T_NOM;
+        BsimParams {
+            vth0: self.vth0 + DVT_DT * (t_k - T_NOM),
+            u0: self.u0 * tr.powf(MU_EXP),
+            vsat: self.vsat * tr.powf(V_EXP),
+            nfac: self.nfac * tr,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Bias, MosfetModel};
+    use crate::types::{Geometry, Polarity};
+    use crate::vs::VsModel;
+
+    const VDD: f64 = 0.9;
+
+    fn vs_at(t_k: f64) -> VsModel {
+        VsModel::new(
+            VsParams::nmos_40nm().at_temperature(t_k),
+            Polarity::Nmos,
+            Geometry::from_nm(600.0, 40.0),
+        )
+    }
+
+    fn bsim_at(t_k: f64) -> crate::bsim::BsimModel {
+        crate::bsim::BsimModel::new(
+            BsimParams::nmos_40nm().at_temperature(t_k),
+            Polarity::Nmos,
+            Geometry::from_nm(600.0, 40.0),
+        )
+    }
+
+    #[test]
+    fn nominal_temperature_is_identity() {
+        let p = VsParams::nmos_40nm();
+        let q = p.at_temperature(T_NOM);
+        assert_eq!(p, q);
+        let b = BsimParams::nmos_40nm();
+        assert_eq!(b, b.at_temperature(T_NOM));
+    }
+
+    #[test]
+    fn hot_devices_leak_more_in_both_models() {
+        let off = |m: &dyn MosfetModel| {
+            m.ids(Bias {
+                vgs: 0.0,
+                vds: VDD,
+                vbs: 0.0,
+            })
+        };
+        let cold_vs = off(&vs_at(300.0));
+        let hot_vs = off(&vs_at(400.0));
+        assert!(
+            hot_vs > 5.0 * cold_vs,
+            "VS Ioff must grow strongly with T: {cold_vs:.3e} -> {hot_vs:.3e}"
+        );
+        let cold_kit = off(&bsim_at(300.0));
+        let hot_kit = off(&bsim_at(400.0));
+        assert!(hot_kit > 5.0 * cold_kit);
+    }
+
+    #[test]
+    fn on_current_temperature_behaviour_is_model_appropriate() {
+        let on = |m: &dyn MosfetModel| {
+            m.ids(Bias {
+                vgs: VDD,
+                vds: VDD,
+                vbs: 0.0,
+            })
+        };
+        // Drift-diffusion kit: mobility loss dominates at full overdrive.
+        assert!(on(&bsim_at(400.0)) < on(&bsim_at(300.0)));
+        // Quasi-ballistic VS at a 0.9 V supply sits near the temperature-
+        // inversion crossover: injection velocity softens only weakly, so
+        // Idsat(T) is nearly flat (ITC behaviour of low-Vdd nodes). Require
+        // the change to stay small rather than prescribing its sign.
+        let i300 = on(&vs_at(300.0));
+        let i400 = on(&vs_at(400.0));
+        assert!(
+            (i400 / i300 - 1.0).abs() < 0.10,
+            "VS Idsat(T) should be near-flat at 0.9 V: {i300:.3e} -> {i400:.3e}"
+        );
+    }
+
+    #[test]
+    fn near_threshold_shows_temperature_inversion() {
+        // At very low gate drive the VT reduction wins: hotter is stronger —
+        // the classic temperature-inversion effect of low-voltage design.
+        let weak = |m: &dyn MosfetModel| {
+            m.ids(Bias {
+                vgs: 0.4,
+                vds: VDD,
+                vbs: 0.0,
+            })
+        };
+        assert!(weak(&vs_at(400.0)) > weak(&vs_at(300.0)));
+        assert!(weak(&bsim_at(400.0)) > weak(&bsim_at(300.0)));
+    }
+
+    #[test]
+    fn subthreshold_swing_broadens() {
+        let ss = |m: &dyn MosfetModel| {
+            let i1 = m.ids(Bias {
+                vgs: 0.10,
+                vds: VDD,
+                vbs: 0.0,
+            });
+            let i2 = m.ids(Bias {
+                vgs: 0.20,
+                vds: VDD,
+                vbs: 0.0,
+            });
+            100.0 / (i2 / i1).log10()
+        };
+        let cold = ss(&vs_at(250.0));
+        let hot = ss(&vs_at(400.0));
+        assert!(hot > cold * 1.3, "SS: {cold:.1} -> {hot:.1} mV/dec");
+    }
+
+    #[test]
+    #[should_panic]
+    fn absurd_temperature_panics() {
+        let _ = VsParams::nmos_40nm().at_temperature(1000.0);
+    }
+}

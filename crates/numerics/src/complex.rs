@@ -1,0 +1,288 @@
+//! Minimal complex arithmetic and complex linear solves for AC analysis.
+//!
+//! The AC small-signal analysis solves `(G + jωC) x = b` per frequency
+//! point; this module provides the complex scalar type and an LU solver
+//! over complex matrices. Kept deliberately small — only what the simulator
+//! needs (the allowed dependency list has no complex-number crate).
+
+use crate::NumericsError;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> C64 {
+        C64 { re, im }
+    }
+
+    /// A purely real value.
+    pub fn real(re: f64) -> C64 {
+        C64 { re, im: 0.0 }
+    }
+
+    /// A purely imaginary value.
+    pub fn imag(im: f64) -> C64 {
+        C64 { re: 0.0, im }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> C64 {
+        C64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// True when both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    fn add(self, o: C64) -> C64 {
+        C64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for C64 {
+    fn add_assign(&mut self, o: C64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    fn sub(self, o: C64) -> C64 {
+        C64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    fn mul(self, o: C64) -> C64 {
+        C64::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    fn div(self, o: C64) -> C64 {
+        // Smith's algorithm for robust complex division.
+        if o.re.abs() >= o.im.abs() {
+            let r = o.im / o.re;
+            let d = o.re + o.im * r;
+            C64::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = o.re / o.im;
+            let d = o.re * r + o.im;
+            C64::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+/// A dense row-major complex matrix (only what AC analysis needs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    n: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// Creates an `n x n` zero matrix.
+    pub fn zeros(n: usize) -> CMatrix {
+        CMatrix {
+            n,
+            data: vec![C64::ZERO; n * n],
+        }
+    }
+
+    /// Matrix order.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Element access.
+    pub fn at(&self, i: usize, j: usize) -> C64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Mutable element access.
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut C64 {
+        &mut self.data[i * self.n + j]
+    }
+
+    /// Builds `G + jω C` from two real matrices of equal order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrices are not square with equal order.
+    pub fn from_gc(g: &crate::Matrix, c: &crate::Matrix, omega: f64) -> CMatrix {
+        assert!(g.is_square() && c.is_square() && g.rows() == c.rows());
+        let n = g.rows();
+        let mut m = CMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                *m.at_mut(i, j) = C64::new(g[(i, j)], omega * c[(i, j)]);
+            }
+        }
+        m
+    }
+
+    /// Solves `A x = b` in place by LU with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::SingularMatrix`] on pivot breakdown and
+    /// [`NumericsError::DimensionMismatch`] on rhs length mismatch.
+    pub fn solve(mut self, b: &[C64]) -> Result<Vec<C64>, NumericsError> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!("complex solve: rhs {} for order {}", b.len(), n),
+            });
+        }
+        let mut x = b.to_vec();
+        for k in 0..n {
+            // Pivot on magnitude.
+            let mut p = k;
+            let mut pmax = self.at(k, k).abs();
+            for i in (k + 1)..n {
+                let v = self.at(i, k).abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if !(pmax > 1e-300) || !pmax.is_finite() {
+                return Err(NumericsError::SingularMatrix { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let tmp = self.at(k, j);
+                    *self.at_mut(k, j) = self.at(p, j);
+                    *self.at_mut(p, j) = tmp;
+                }
+                x.swap(k, p);
+            }
+            let pivot = self.at(k, k);
+            for i in (k + 1)..n {
+                let m = self.at(i, k) / pivot;
+                if m != C64::ZERO {
+                    for j in (k + 1)..n {
+                        let v = self.at(k, j);
+                        *self.at_mut(i, j) = self.at(i, j) - m * v;
+                    }
+                    x[i] = x[i] - m * x[k];
+                }
+                *self.at_mut(i, k) = m;
+            }
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s = s - self.at(i, j) * x[j];
+            }
+            x[i] = s / self.at(i, i);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = C64::new(3.0, 4.0);
+        let b = C64::new(-1.0, 2.0);
+        assert_eq!(a.abs(), 5.0);
+        assert_eq!((a + b) - b, a);
+        let prod = a * b;
+        assert_eq!(prod, C64::new(-11.0, 2.0));
+        let q = prod / b;
+        assert!((q.re - a.re).abs() < 1e-12 && (q.im - a.im).abs() < 1e-12);
+        assert_eq!(a.conj().im, -4.0);
+        assert_eq!(-a, C64::new(-3.0, -4.0));
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn division_is_robust_for_small_denominators() {
+        let a = C64::new(1.0, 0.0);
+        let tiny = C64::new(1e-200, 1e-200);
+        let q = a / tiny;
+        assert!(q.is_finite() || q.abs() > 1e150);
+    }
+
+    #[test]
+    fn complex_solve_known_system() {
+        // (1+j) x + y = 2 ; x - y = j  => solve and verify by substitution.
+        let mut m = CMatrix::zeros(2);
+        *m.at_mut(0, 0) = C64::new(1.0, 1.0);
+        *m.at_mut(0, 1) = C64::ONE;
+        *m.at_mut(1, 0) = C64::ONE;
+        *m.at_mut(1, 1) = -C64::ONE;
+        let b = [C64::new(2.0, 0.0), C64::imag(1.0)];
+        let m2 = m.clone();
+        let x = m.solve(&b).unwrap();
+        for i in 0..2 {
+            let mut s = C64::ZERO;
+            for j in 0..2 {
+                s += m2.at(i, j) * x[j];
+            }
+            assert!((s - b[i]).abs() < 1e-12, "row {i}: {s:?} vs {:?}", b[i]);
+        }
+    }
+
+    #[test]
+    fn from_gc_builds_impedance_matrix() {
+        let g = crate::Matrix::from_diag(&[2.0]);
+        let c = crate::Matrix::from_diag(&[1e-9]);
+        let m = CMatrix::from_gc(&g, &c, 1e9);
+        assert_eq!(m.at(0, 0), C64::new(2.0, 1.0));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let m = CMatrix::zeros(2);
+        assert!(m.solve(&[C64::ONE, C64::ONE]).is_err());
+    }
+}

@@ -1,0 +1,417 @@
+//! Dense row-major matrix.
+//!
+//! Circuit MNA systems and BPV sensitivity matrices in this project are small
+//! (tens of rows), so a straightforward dense representation is both simpler
+//! and faster than a sparse one.
+
+use crate::NumericsError;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// Dense row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use numerics::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(a[(1, 0)], 3.0);
+/// assert_eq!(a.transpose()[(0, 1)], 3.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        if rows.is_empty() {
+            return Matrix::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "from_rows: ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, NumericsError> {
+        if data.len() != rows * cols {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!("{}x{} matrix from {} elements", rows, cols, data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Builds a diagonal matrix from its diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let mut m = Matrix::zeros(diag.len(), diag.len());
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rows`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column index out of bounds");
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// The underlying row-major data slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Fills the matrix with zeros in place (for re-use across solver iterations).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix-vector product `A * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            y[i] = crate::dot(self.row(i), x);
+        }
+        y
+    }
+
+    /// Transposed matrix-vector product `A^T * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            for j in 0..self.cols {
+                y[j] += self[(i, j)] * xi;
+            }
+        }
+        y
+    }
+
+    /// Matrix product `A * B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: dimension mismatch");
+        let mut c = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    c[(i, j)] += aik * other[(k, j)];
+                }
+            }
+        }
+        c
+    }
+
+    /// Gram matrix `A^T * A` (symmetric positive semi-definite).
+    pub fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let r = self.row(i);
+            for j in 0..self.cols {
+                let rj = r[j];
+                if rj == 0.0 {
+                    continue;
+                }
+                for k in j..self.cols {
+                    g[(j, k)] += rj * r[k];
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for j in 0..self.cols {
+            for k in (j + 1)..self.cols {
+                g[(k, j)] = g[(j, k)];
+            }
+        }
+        g
+    }
+
+    /// Frobenius norm.
+    pub fn norm_fro(&self) -> f64 {
+        crate::norm2(&self.data)
+    }
+
+    /// Maximum absolute entry.
+    pub fn norm_max(&self) -> f64 {
+        crate::norm_inf(&self.data)
+    }
+
+    /// Scales every entry by `s`, in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        self.data.iter_mut().for_each(|x| *x *= s);
+    }
+
+    /// Returns a new matrix scaled by `s`.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        let mut m = self.clone();
+        m.scale_mut(s);
+        m
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f64) -> Matrix {
+        self.scaled(s)
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>12.5e}", self[(i, j)])?;
+                if j + 1 < self.cols.min(8) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 8 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+        assert!(!m.is_square());
+    }
+
+    #[test]
+    fn from_vec_checks_dims() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let i3 = Matrix::identity(3);
+        let x = vec![1.0, -2.0, 0.5];
+        assert_eq!(i3.matvec(&x), x);
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = a.gram();
+        let explicit = a.transpose().matmul(&a);
+        assert!((&g - &explicit).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose_matvec() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let x = vec![1.0, -1.0, 2.0];
+        let expected = a.transpose().matvec(&x);
+        assert_eq!(a.matvec_t(&x), expected);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[3.0, 5.0]]);
+        assert_eq!((&a + &b).row(0), &[4.0, 7.0]);
+        assert_eq!((&b - &a).row(0), &[2.0, 3.0]);
+        assert_eq!((&a * 2.0).row(0), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn diag_and_fill() {
+        let mut d = Matrix::from_diag(&[1.0, 2.0]);
+        assert_eq!(d[(1, 1)], 2.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        d.fill_zero();
+        assert_eq!(d.norm_max(), 0.0);
+    }
+
+    #[test]
+    fn debug_output_is_bounded() {
+        let m = Matrix::zeros(20, 20);
+        let s = format!("{m:?}");
+        assert!(s.contains("Matrix 20x20"));
+        assert!(s.contains("..."));
+    }
+}

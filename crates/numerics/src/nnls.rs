@@ -1,0 +1,227 @@
+//! Non-negative least squares (NNLS).
+//!
+//! The BPV extraction solves for *squared* Pelgrom coefficients
+//! `x = (α1², α2², α4²)`; a plain least-squares solution can go negative when
+//! the measured variances are noisy, which would make `α = sqrt(x)` undefined.
+//! This module implements the classical Lawson-Hanson active-set algorithm to
+//! solve `min ||A x - b||` subject to `x >= 0`.
+
+use crate::{qr, Matrix, NumericsError};
+
+/// Result of an NNLS solve.
+#[derive(Debug, Clone)]
+pub struct NnlsSolution {
+    /// The non-negative solution vector.
+    pub x: Vec<f64>,
+    /// Euclidean norm of the residual `A x - b`.
+    pub residual_norm: f64,
+    /// Number of outer iterations used.
+    pub iterations: usize,
+}
+
+/// Solves `min ||A x - b||_2` subject to `x >= 0` (Lawson-Hanson).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::DimensionMismatch`] on inconsistent shapes and
+/// [`NumericsError::NoConvergence`] if the active-set loop exceeds its
+/// iteration budget (3 * n outer iterations, which is generous for the tiny
+/// systems used in extraction).
+///
+/// # Example
+///
+/// ```
+/// use numerics::{nnls::nnls, Matrix};
+///
+/// # fn main() -> Result<(), numerics::NumericsError> {
+/// // Unconstrained optimum is x = (-1, 2); NNLS clamps the first entry.
+/// let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+/// let sol = nnls(&a, &[-1.0, 2.0])?;
+/// assert_eq!(sol.x[0], 0.0);
+/// assert!((sol.x[1] - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, NumericsError> {
+    let (m, n) = (a.rows(), a.cols());
+    if b.len() != m {
+        return Err(NumericsError::DimensionMismatch {
+            context: format!("nnls: A is {}x{}, b has {}", m, n, b.len()),
+        });
+    }
+    // Column equilibration: BPV-style systems mix columns whose scales
+    // differ by many orders of magnitude; normalizing keeps the active-set
+    // bookkeeping numerically honest. Solve for y = D x with A D^-1.
+    let col_scale: Vec<f64> = (0..n)
+        .map(|j| {
+            let nrm = crate::norm2(&a.col(j));
+            if nrm > 0.0 {
+                nrm
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let mut a_scaled = a.clone();
+    for i in 0..m {
+        for j in 0..n {
+            a_scaled[(i, j)] /= col_scale[j];
+        }
+    }
+    let inner = nnls_scaled(&a_scaled, b)?;
+    let x: Vec<f64> = inner
+        .x
+        .iter()
+        .zip(&col_scale)
+        .map(|(y, s)| y / s)
+        .collect();
+    Ok(NnlsSolution {
+        x,
+        residual_norm: inner.residual_norm,
+        iterations: inner.iterations,
+    })
+}
+
+/// Lawson-Hanson on an already column-equilibrated system.
+fn nnls_scaled(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, NumericsError> {
+    let (m, n) = (a.rows(), a.cols());
+    let mut x = vec![0.0; n];
+    let mut passive = vec![false; n];
+    let max_outer = 10 * n.max(1) + 20;
+    let tol = 1e-10 * a.norm_max().max(1.0) * crate::norm_inf(b).max(1.0);
+
+    let residual = |x: &[f64]| -> Vec<f64> {
+        let ax = a.matvec(x);
+        b.iter().zip(ax).map(|(bi, axi)| bi - axi).collect()
+    };
+
+    for outer in 0..max_outer {
+        // Gradient of 1/2||Ax-b||^2 is -A^T r; w = A^T r points uphill for x.
+        let r = residual(&x);
+        let w = a.matvec_t(&r);
+
+        // Find the most promising inactive variable.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..n {
+            if !passive[j] && w[j] > tol
+                && best.is_none_or(|(_, bw)| w[j] > bw) {
+                    best = Some((j, w[j]));
+                }
+        }
+        let Some((jstar, _)) = best else {
+            // KKT conditions satisfied.
+            return Ok(NnlsSolution {
+                residual_norm: crate::norm2(&r),
+                x,
+                iterations: outer,
+            });
+        };
+        passive[jstar] = true;
+
+        // Inner loop: solve the unconstrained problem on the passive set and
+        // walk back along the segment if any passive variable went negative.
+        loop {
+            let idx: Vec<usize> = (0..n).filter(|&j| passive[j]).collect();
+            let mut ap = Matrix::zeros(m, idx.len());
+            for i in 0..m {
+                for (c, &j) in idx.iter().enumerate() {
+                    ap[(i, c)] = a[(i, j)];
+                }
+            }
+            let z = qr::lstsq(&ap, b)?;
+            if z.iter().all(|&zi| zi > 0.0) {
+                for (c, &j) in idx.iter().enumerate() {
+                    x[j] = z[c];
+                }
+                break;
+            }
+            // Step length to the first boundary crossing.
+            let mut alpha = f64::INFINITY;
+            for (c, &j) in idx.iter().enumerate() {
+                if z[c] <= 0.0 {
+                    let denom = x[j] - z[c];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[j] / denom);
+                    } else {
+                        alpha = 0.0;
+                    }
+                }
+            }
+            for (c, &j) in idx.iter().enumerate() {
+                x[j] += alpha * (z[c] - x[j]);
+                if x[j] <= tol.max(1e-15) {
+                    x[j] = 0.0;
+                    passive[j] = false;
+                }
+            }
+        }
+    }
+    let r = residual(&x);
+    Err(NumericsError::NoConvergence {
+        algorithm: "nnls",
+        iterations: max_outer,
+        residual: crate::norm2(&r),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_unconstrained_when_interior() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0], &[0.5, 0.5]]);
+        let b = [5.0, 10.0, 2.0];
+        let sol = nnls(&a, &b).unwrap();
+        let x_ls = qr::lstsq(&a, &b).unwrap();
+        // The unconstrained optimum is positive here, so they must agree.
+        assert!(x_ls.iter().all(|&v| v > 0.0));
+        for (p, q) in sol.x.iter().zip(&x_ls) {
+            assert!((p - q).abs() < 1e-9, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn clamps_negative_components() {
+        let a = Matrix::identity(3);
+        let sol = nnls(&a, &[1.0, -5.0, 2.0]).unwrap();
+        assert_eq!(sol.x[1], 0.0);
+        assert!((sol.x[0] - 1.0).abs() < 1e-12);
+        assert!((sol.x[2] - 2.0).abs() < 1e-12);
+        assert!((sol.residual_norm - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let sol = nnls(&a, &[0.0, 0.0]).unwrap();
+        assert_eq!(sol.x, vec![0.0, 0.0]);
+        assert_eq!(sol.iterations, 0);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let a = Matrix::identity(2);
+        assert!(nnls(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn kkt_conditions_hold() {
+        // Random-ish fixed system with an active constraint.
+        let a = Matrix::from_rows(&[&[1.0, -1.0], &[1.0, 1.0], &[2.0, 0.5]]);
+        let b = [-2.0, 0.5, -1.0];
+        let sol = nnls(&a, &b).unwrap();
+        let ax = a.matvec(&sol.x);
+        let r: Vec<f64> = b.iter().zip(ax).map(|(bi, axi)| bi - axi).collect();
+        let w = a.matvec_t(&r);
+        for j in 0..2 {
+            if sol.x[j] > 0.0 {
+                // Passive variables: gradient must vanish.
+                assert!(w[j].abs() < 1e-8, "w[{j}]={}", w[j]);
+            } else {
+                // Active variables: gradient must not be ascent direction.
+                assert!(w[j] <= 1e-8, "w[{j}]={}", w[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the numerical kernels.
+
+use numerics::{cholesky::Cholesky, lu, nnls::nnls, qr, roots, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a diagonally dominant (hence well-conditioned, non-singular)
+/// square matrix of the given order plus a right-hand side.
+fn dominant_system(n: usize) -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (
+        proptest::collection::vec(-1.0..1.0f64, n * n),
+        proptest::collection::vec(-10.0..10.0f64, n),
+    )
+        .prop_map(move |(entries, b)| {
+            let mut a = Matrix::from_vec(n, n, entries).expect("sized above");
+            for i in 0..n {
+                let row_sum: f64 = (0..n).map(|j| a[(i, j)].abs()).sum();
+                a[(i, i)] = row_sum + 1.0; // strict diagonal dominance
+            }
+            (a, b)
+        })
+}
+
+proptest! {
+    #[test]
+    fn lu_solves_dominant_systems((a, b) in dominant_system(5)) {
+        let x = lu::solve(&a, &b).expect("dominant matrices are non-singular");
+        let ax = a.matvec(&x);
+        for (l, r) in ax.iter().zip(&b) {
+            prop_assert!((l - r).abs() < 1e-8, "residual too large: {} vs {}", l, r);
+        }
+    }
+
+    #[test]
+    fn lu_det_matches_product_through_inverse((a, _b) in dominant_system(4)) {
+        // det(A) * det(A^-1) = 1.
+        let d = lu::Lu::factor(&a).unwrap().det();
+        let inv = lu::inverse(&a).unwrap();
+        let dinv = lu::Lu::factor(&inv).unwrap().det();
+        prop_assert!((d * dinv - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn qr_least_squares_has_orthogonal_residual(
+        entries in proptest::collection::vec(-5.0..5.0f64, 8 * 3),
+        b in proptest::collection::vec(-5.0..5.0f64, 8),
+    ) {
+        let a = Matrix::from_vec(8, 3, entries).unwrap();
+        // Skip near-rank-deficient draws.
+        let qrf = match qr::Qr::factor(&a) {
+            Ok(f) if f.is_full_rank() => f,
+            _ => return Ok(()),
+        };
+        if let Ok(x) = qrf.solve_least_squares(&b) {
+            let ax = a.matvec(&x);
+            let r: Vec<f64> = b.iter().zip(ax).map(|(bi, axi)| bi - axi).collect();
+            let atr = a.matvec_t(&r);
+            prop_assert!(numerics::norm_inf(&atr) < 1e-6 * (1.0 + numerics::norm2(&b)));
+        }
+    }
+
+    #[test]
+    fn cholesky_roundtrips_spd_matrices(entries in proptest::collection::vec(-1.0..1.0f64, 4 * 4)) {
+        // Build SPD as B^T B + I.
+        let bmat = Matrix::from_vec(4, 4, entries).unwrap();
+        let spd = {
+            let mut g = bmat.gram();
+            for i in 0..4 {
+                g[(i, i)] += 1.0;
+            }
+            g
+        };
+        let ch = Cholesky::factor(&spd).expect("construction guarantees SPD");
+        let l = ch.lower();
+        let rebuilt = l.matmul(&l.transpose());
+        prop_assert!((&rebuilt - &spd).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn nnls_is_nonnegative_and_no_worse_than_clamped_ls(
+        entries in proptest::collection::vec(-3.0..3.0f64, 6 * 3),
+        b in proptest::collection::vec(-3.0..3.0f64, 6),
+    ) {
+        let a = Matrix::from_vec(6, 3, entries).unwrap();
+        if let Ok(sol) = nnls(&a, &b) {
+            prop_assert!(sol.x.iter().all(|&v| v >= 0.0));
+            // Compare against naive clamp of the unconstrained LS solution.
+            if let Ok(xls) = qr::lstsq(&a, &b) {
+                let clamped: Vec<f64> = xls.iter().map(|&v| v.max(0.0)).collect();
+                let res_clamped = {
+                    let ax = a.matvec(&clamped);
+                    let r: Vec<f64> = b.iter().zip(ax).map(|(bi, axi)| bi - axi).collect();
+                    numerics::norm2(&r)
+                };
+                prop_assert!(sol.residual_norm <= res_clamped + 1e-8,
+                    "nnls {} worse than clamp {}", sol.residual_norm, res_clamped);
+            }
+        }
+    }
+
+    #[test]
+    fn brent_finds_roots_of_shifted_cubics(shift in -5.0..5.0f64) {
+        // f(x) = x^3 - shift has a unique real root at cbrt(shift).
+        let f = |x: f64| x * x * x - shift;
+        let r = roots::brent(f, -10.0, 10.0, roots::RootOptions::default()).unwrap();
+        prop_assert!((r - shift.cbrt()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn linear_crossing_is_exact_for_lines(
+        x0 in -10.0..10.0f64,
+        dx in 0.1..10.0f64,
+        slope in proptest::sample::select(vec![-2.0, -0.5, 0.5, 2.0]),
+    ) {
+        // y = slope * (x - x0) crosses 0 exactly at x0.
+        let x1 = x0 + dx;
+        let y0 = 0.0_f64;
+        let y1 = slope * dx;
+        if y0.signum() != y1.signum() || y0 == 0.0 {
+            let c = roots::linear_crossing(x0, y0, x1, y1, 0.0).unwrap();
+            prop_assert!((c - x0).abs() < 1e-9);
+        }
+    }
+}

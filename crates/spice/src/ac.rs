@@ -1,0 +1,370 @@
+//! AC small-signal analysis.
+//!
+//! Linearizes the circuit at its DC operating point into conductance and
+//! capacitance matrices `(G, C)`, then solves `(G + jωC) x = b` across a
+//! frequency sweep with a unit-magnitude excitation on one voltage source —
+//! the analysis the paper's Table IV runs on the SRAM cell ("SRAM AC").
+
+use crate::elements::Element;
+use crate::error::SpiceError;
+use crate::netlist::{Circuit, NodeId};
+use mosfet::Bias;
+use numerics::complex::{C64, CMatrix};
+use numerics::Matrix;
+
+/// Perturbation step for small-signal linearization (V).
+const FD_STEP: f64 = 1e-6;
+
+/// Result of an AC sweep: complex node voltages per frequency.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    freqs: Vec<f64>,
+    /// One complex unknown vector per frequency point.
+    solutions: Vec<Vec<C64>>,
+}
+
+impl AcResult {
+    /// Swept frequencies, Hz.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Complex voltage of a node across the sweep (0 for ground).
+    pub fn voltage(&self, node: NodeId) -> Vec<C64> {
+        match node.unknown() {
+            None => vec![C64::ZERO; self.freqs.len()],
+            Some(i) => self.solutions.iter().map(|x| x[i]).collect(),
+        }
+    }
+
+    /// Voltage magnitude of a node across the sweep.
+    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
+        self.voltage(node).into_iter().map(C64::abs).collect()
+    }
+
+    /// Voltage phase (radians) of a node across the sweep.
+    pub fn phase(&self, node: NodeId) -> Vec<f64> {
+        self.voltage(node).into_iter().map(C64::arg).collect()
+    }
+}
+
+/// Small-signal matrices at an operating point.
+#[derive(Debug, Clone)]
+pub struct Linearized {
+    /// Conductance matrix (includes voltage-source branch rows).
+    pub g: Matrix,
+    /// Capacitance matrix (zero in the branch rows).
+    pub c: Matrix,
+    nn: usize,
+}
+
+impl Circuit {
+    /// Linearizes every element at the operating-point unknown vector
+    /// `x_op` (as returned by [`crate::dc::DcResult::raw`]).
+    pub fn linearize(&self, x_op: &[f64]) -> Linearized {
+        let nn = self.node_count() - 1;
+        let n = self.n_unknowns();
+        let mut g = Matrix::zeros(n, n);
+        let mut c = Matrix::zeros(n, n);
+        let volt = |node: NodeId| node.unknown().map_or(0.0, |i| x_op[i]);
+        let stamp_g = |gm: &mut Matrix, a: Option<usize>, b: Option<usize>, v: f64| {
+            if let Some(i) = a {
+                gm[(i, i)] += v;
+            }
+            if let Some(j) = b {
+                gm[(j, j)] += v;
+            }
+            if let (Some(i), Some(j)) = (a, b) {
+                gm[(i, j)] -= v;
+                gm[(j, i)] -= v;
+            }
+        };
+        let mut v_idx = 0usize;
+        for e in self.elements() {
+            match e {
+                Element::Resistor { a, b, r, .. } => {
+                    stamp_g(&mut g, a.unknown(), b.unknown(), 1.0 / r);
+                }
+                Element::Capacitor { a, b, c: cap, .. } => {
+                    stamp_g(&mut c, a.unknown(), b.unknown(), *cap);
+                }
+                Element::Vsource { pos, neg, .. } => {
+                    let row = nn + v_idx;
+                    if let Some(i) = pos.unknown() {
+                        g[(i, row)] += 1.0;
+                        g[(row, i)] += 1.0;
+                    }
+                    if let Some(j) = neg.unknown() {
+                        g[(j, row)] -= 1.0;
+                        g[(row, j)] -= 1.0;
+                    }
+                    v_idx += 1;
+                }
+                Element::Isource { .. } => {} // open in small signal
+                Element::Mosfet {
+                    d, g: gate, s, b, model, ..
+                } => {
+                    let bias = Bias {
+                        vgs: volt(*gate) - volt(*s),
+                        vds: volt(*d) - volt(*s),
+                        vbs: volt(*b) - volt(*s),
+                    };
+                    let id0 = model.ids(bias);
+                    let d_of = |db: Bias| (model.ids(db) - id0) / FD_STEP;
+                    let gm = d_of(Bias {
+                        vgs: bias.vgs + FD_STEP,
+                        ..bias
+                    });
+                    let gds = d_of(Bias {
+                        vds: bias.vds + FD_STEP,
+                        ..bias
+                    });
+                    let gmb = if b == s {
+                        0.0
+                    } else {
+                        d_of(Bias {
+                            vbs: bias.vbs + FD_STEP,
+                            ..bias
+                        })
+                    };
+                    let (du, gu, su, bu) = (d.unknown(), gate.unknown(), s.unknown(), b.unknown());
+                    let gsum = gm + gds + gmb;
+                    // Drain row of the transconductance stamp.
+                    if let Some(i) = du {
+                        if let Some(j) = gu {
+                            g[(i, j)] += gm;
+                        }
+                        g[(i, i)] += gds;
+                        if let Some(j) = bu {
+                            g[(i, j)] += gmb;
+                        }
+                        if let Some(j) = su {
+                            g[(i, j)] -= gsum;
+                        }
+                    }
+                    if let Some(i) = su {
+                        if let Some(j) = gu {
+                            g[(i, j)] -= gm;
+                        }
+                        if let Some(j) = du {
+                            g[(i, j)] -= gds;
+                        }
+                        if let Some(j) = bu {
+                            g[(i, j)] -= gmb;
+                        }
+                        g[(i, i)] += gsum;
+                    }
+                    // Charge derivatives -> capacitance stamps.
+                    let q0 = model.charges(bias);
+                    let dq = |db: Bias| {
+                        let qp = model.charges(db);
+                        [
+                            (qp.qg - q0.qg) / FD_STEP,
+                            (qp.qd - q0.qd) / FD_STEP,
+                            (qp.qs - q0.qs) / FD_STEP,
+                            (qp.qb - q0.qb) / FD_STEP,
+                        ]
+                    };
+                    let c_vgs = dq(Bias {
+                        vgs: bias.vgs + FD_STEP,
+                        ..bias
+                    });
+                    let c_vds = dq(Bias {
+                        vds: bias.vds + FD_STEP,
+                        ..bias
+                    });
+                    let c_vbs = if b == s {
+                        [0.0; 4]
+                    } else {
+                        dq(Bias {
+                            vbs: bias.vbs + FD_STEP,
+                            ..bias
+                        })
+                    };
+                    let terms = [gu, du, su, bu];
+                    for (t_i, &row) in terms.iter().enumerate() {
+                        let Some(row) = row else { continue };
+                        let cg = c_vgs[t_i];
+                        let cd = c_vds[t_i];
+                        let cb = c_vbs[t_i];
+                        let cs = -(cg + cd + cb);
+                        if let Some(j) = gu {
+                            c[(row, j)] += cg;
+                        }
+                        if let Some(j) = du {
+                            c[(row, j)] += cd;
+                        }
+                        if let Some(j) = su {
+                            c[(row, j)] += cs;
+                        }
+                        if let Some(j) = bu {
+                            c[(row, j)] += cb;
+                        }
+                    }
+                }
+            }
+        }
+        // Gmin floor on node diagonals (matches the DC assembly).
+        for i in 0..nn {
+            g[(i, i)] += 1e-12;
+        }
+        Linearized { g, c, nn }
+    }
+
+    /// Runs an AC sweep: solves the operating point, linearizes, applies a
+    /// unit AC magnitude to the voltage source named `source`, and solves
+    /// at each frequency.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the operating point cannot be found, the source is missing,
+    /// the frequency list is empty/non-positive, or a frequency point is
+    /// singular.
+    pub fn ac_sweep(&self, source: &str, freqs: &[f64]) -> Result<AcResult, SpiceError> {
+        let op = self.dc_op()?;
+        self.ac_sweep_from_op(source, freqs, &op)
+    }
+
+    /// [`Circuit::ac_sweep`] around a caller-supplied operating point —
+    /// needed for bistable circuits where the caller selects the state via
+    /// [`Circuit::dc_op_with_guess`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Circuit::ac_sweep`], minus operating-point search.
+    pub fn ac_sweep_from_op(
+        &self,
+        source: &str,
+        freqs: &[f64],
+        op: &crate::dc::DcResult,
+    ) -> Result<AcResult, SpiceError> {
+        if freqs.is_empty() || freqs.iter().any(|&f| f <= 0.0) {
+            return Err(SpiceError::InvalidArgument {
+                context: "AC sweep needs positive frequencies".into(),
+            });
+        }
+        let src_idx = self.vsource_index(source)?;
+        let lin = self.linearize(op.raw());
+        let n = lin.g.rows();
+        let mut b = vec![C64::ZERO; n];
+        b[lin.nn + src_idx] = C64::ONE;
+        let mut solutions = Vec::with_capacity(freqs.len());
+        for &f in freqs {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            let m = CMatrix::from_gc(&lin.g, &lin.c, omega);
+            let x = m.solve(&b).map_err(|e| SpiceError::SingularSystem {
+                context: format!("AC point at {f:.3e} Hz: {e}"),
+            })?;
+            solutions.push(x);
+        }
+        Ok(AcResult {
+            freqs: freqs.to_vec(),
+            solutions,
+        })
+    }
+}
+
+/// Logarithmically spaced frequency points (decade sweep).
+///
+/// # Panics
+///
+/// Panics unless `0 < f_start < f_stop` and `points_per_decade > 0`.
+pub fn log_sweep(f_start: f64, f_stop: f64, points_per_decade: usize) -> Vec<f64> {
+    assert!(f_start > 0.0 && f_stop > f_start && points_per_decade > 0);
+    let decades = (f_stop / f_start).log10();
+    let n = (decades * points_per_decade as f64).ceil() as usize + 1;
+    (0..n)
+        .map(|i| f_start * 10f64.powf(i as f64 / points_per_decade as f64))
+        .filter(|&f| f <= f_stop * 1.0001)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+    use mosfet::{vs::VsModel, Geometry};
+
+    #[test]
+    fn rc_lowpass_bode() {
+        let r = 1e3;
+        let c = 1e-9;
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("V1", vin, Circuit::GROUND, Waveform::dc(0.0));
+        ckt.resistor("R1", vin, out, r);
+        ckt.capacitor("C1", out, Circuit::GROUND, c);
+        let res = ckt
+            .ac_sweep("V1", &[fc / 100.0, fc, fc * 100.0])
+            .unwrap();
+        let mag = res.magnitude(out);
+        let ph = res.phase(out);
+        assert!((mag[0] - 1.0).abs() < 1e-3, "passband |H| = {}", mag[0]);
+        assert!(
+            (mag[1] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3,
+            "|H(fc)| = {}",
+            mag[1]
+        );
+        assert!(mag[2] < 0.011, "stopband |H| = {}", mag[2]);
+        assert!((ph[1] + std::f64::consts::FRAC_PI_4).abs() < 1e-3, "phase(fc) = {}", ph[1]);
+    }
+
+    #[test]
+    fn inverter_small_signal_gain_rolls_off() {
+        // Bias an inverter near its switching threshold; low-frequency gain
+        // is well above 1 and falls at high frequency.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(0.9));
+        ckt.vsource("VIN", vin, Circuit::GROUND, Waveform::dc(0.42));
+        ckt.mosfet(
+            "MP",
+            out,
+            vin,
+            vdd,
+            vdd,
+            Box::new(VsModel::nominal_pmos_40nm(Geometry::from_nm(600.0, 40.0))),
+        );
+        ckt.mosfet(
+            "MN",
+            out,
+            vin,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            Box::new(VsModel::nominal_nmos_40nm(Geometry::from_nm(300.0, 40.0))),
+        );
+        ckt.capacitor("CL", out, Circuit::GROUND, 1e-15);
+        let res = ckt.ac_sweep("VIN", &[1e6, 1e12]).unwrap();
+        let mag = res.magnitude(out);
+        assert!(mag[0] > 2.0, "low-frequency gain = {}", mag[0]);
+        assert!(mag[1] < 0.5 * mag[0], "gain must roll off: {mag:?}");
+    }
+
+    #[test]
+    fn log_sweep_spacing() {
+        let f = log_sweep(1e3, 1e6, 10);
+        assert_eq!(f.len(), 31);
+        assert!((f[10] / f[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.resistor("R1", a, Circuit::GROUND, 1.0);
+        assert!(ckt.ac_sweep("V1", &[]).is_err());
+        assert!(ckt.ac_sweep("V1", &[-1.0]).is_err());
+        assert!(ckt.ac_sweep("nope", &[1.0]).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn log_sweep_validates() {
+        log_sweep(0.0, 1e3, 10);
+    }
+}

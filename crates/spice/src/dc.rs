@@ -1,0 +1,300 @@
+//! DC operating point and DC sweeps.
+
+use crate::engine::{newton, Mode, Workspace};
+use crate::error::SpiceError;
+use crate::netlist::{Circuit, NodeId};
+use crate::waveform::Waveform;
+
+/// A solved DC operating point.
+#[derive(Debug, Clone)]
+pub struct DcResult {
+    x: Vec<f64>,
+    nn: usize,
+}
+
+impl DcResult {
+    pub(crate) fn new(x: Vec<f64>, nn: usize) -> Self {
+        DcResult { x, nn }
+    }
+
+    /// Voltage of a node (0 for ground).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        node.unknown().map_or(0.0, |i| self.x[i])
+    }
+
+    /// Branch current of the `k`-th voltage source (by addition order, see
+    /// [`Circuit::vsource_index`]). SPICE convention: positive current flows
+    /// *into* the positive terminal (so a supply delivering power reports a
+    /// negative current).
+    pub fn vsource_current(&self, k: usize) -> f64 {
+        self.x[self.nn + k]
+    }
+
+    /// The raw unknown vector (node voltages then branch currents) — used as
+    /// warm start by sweeps and the transient engine.
+    pub fn raw(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Gmin continuation ladder (largest first).
+const GMIN_STEPS: [f64; 7] = [1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12];
+/// Source-stepping ladder.
+const SOURCE_STEPS: [f64; 8] = [0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 0.95, 1.0];
+
+impl Circuit {
+    /// Solves the DC operating point.
+    ///
+    /// Tries plain Newton first, then gmin stepping, then source stepping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NoConvergence`] when all continuation
+    /// strategies fail, or netlist/singularity errors from assembly.
+    pub fn dc_op(&self) -> Result<DcResult, SpiceError> {
+        self.dc_op_from(None)
+    }
+
+    /// Solves the DC operating point starting from an initial node-voltage
+    /// guess. Useful for bistable circuits (SRAM, latches): the guess
+    /// selects which stable state Newton converges to.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Circuit::dc_op`].
+    pub fn dc_op_with_guess(&self, guess: &[(NodeId, f64)]) -> Result<DcResult, SpiceError> {
+        self.dc_op_from(Some(guess))
+    }
+
+    fn dc_op_from(&self, guess: Option<&[(NodeId, f64)]>) -> Result<DcResult, SpiceError> {
+        self.validate()?;
+        let mut ws = Workspace::new(self);
+        let nn = self.node_count() - 1;
+        let mut x0 = vec![0.0; self.n_unknowns()];
+        if let Some(g) = guess {
+            for &(node, v) in g {
+                if let Some(i) = node.unknown() {
+                    x0[i] = v;
+                }
+            }
+        }
+
+        let direct = newton(
+            self,
+            &x0,
+            &Mode::Dc {
+                gmin: 0.0,
+                source_scale: 1.0,
+            },
+            &mut ws,
+        );
+        if let Ok(x) = direct {
+            return Ok(DcResult::new(x, nn));
+        }
+
+        // Gmin stepping: relax with a large shunt conductance, then tighten.
+        let mut x = x0.clone();
+        let mut ok = true;
+        for &gmin in &GMIN_STEPS {
+            match newton(
+                self,
+                &x,
+                &Mode::Dc {
+                    gmin,
+                    source_scale: 1.0,
+                },
+                &mut ws,
+            ) {
+                Ok(next) => x = next,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            if let Ok(fin) = newton(
+                self,
+                &x,
+                &Mode::Dc {
+                    gmin: 0.0,
+                    source_scale: 1.0,
+                },
+                &mut ws,
+            ) {
+                return Ok(DcResult::new(fin, nn));
+            }
+        }
+
+        // Source stepping: ramp all independent sources from zero.
+        let mut x = x0;
+        let mut stepping_failed = None;
+        for &scale in &SOURCE_STEPS {
+            match newton(
+                self,
+                &x,
+                &Mode::Dc {
+                    gmin: 0.0,
+                    source_scale: scale,
+                },
+                &mut ws,
+            ) {
+                Ok(next) => x = next,
+                Err(e) => {
+                    stepping_failed = Some((scale, e));
+                    break;
+                }
+            }
+        }
+        let Some((scale, e)) = stepping_failed else {
+            return Ok(DcResult::new(x, nn));
+        };
+        // A user-supplied guess can park the continuation in a basin that
+        // no longer exists for this sample (e.g. mismatch destroyed one
+        // latch state). A bad guess must never be worse than no guess:
+        // retry the whole ladder cold.
+        if guess.is_some() {
+            return self.dc_op_from(None);
+        }
+        Err(SpiceError::NoConvergence {
+            analysis: "dc op",
+            detail: format!("source stepping stuck at scale {scale}: {e}"),
+        })
+    }
+
+    /// Sweeps the DC value of voltage source `source` over `values`,
+    /// re-solving with warm starts. The source's waveform is restored
+    /// afterwards (the circuit is cloned internally).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the source does not exist, the sweep is empty, or any
+    /// point fails to converge.
+    pub fn dc_sweep(&self, source: &str, values: &[f64]) -> Result<SweepResult, SpiceError> {
+        if values.is_empty() {
+            return Err(SpiceError::InvalidArgument {
+                context: "empty sweep".into(),
+            });
+        }
+        self.vsource_index(source)?;
+        let mut c = self.clone();
+        let nn = c.node_count() - 1;
+        let mut ws = Workspace::new(&c);
+        let mut points = Vec::with_capacity(values.len());
+        let mut warm: Option<Vec<f64>> = None;
+        for &v in values {
+            c.set_vsource(source, Waveform::dc(v))?;
+            let x0 = warm.clone().unwrap_or_else(|| vec![0.0; c.n_unknowns()]);
+            let x = match newton(
+                &c,
+                &x0,
+                &Mode::Dc {
+                    gmin: 0.0,
+                    source_scale: 1.0,
+                },
+                &mut ws,
+            ) {
+                Ok(x) => x,
+                // Cold retry with the full continuation ladder.
+                Err(_) => c.dc_op()?.raw().to_vec(),
+            };
+            warm = Some(x.clone());
+            points.push(DcResult::new(x, nn));
+        }
+        Ok(SweepResult {
+            values: values.to_vec(),
+            points,
+        })
+    }
+}
+
+/// Result of a DC sweep: one operating point per swept value.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The swept source values.
+    pub values: Vec<f64>,
+    /// The operating points, aligned with `values`.
+    pub points: Vec<DcResult>,
+}
+
+impl SweepResult {
+    /// Voltage trace of a node across the sweep.
+    pub fn voltages(&self, node: NodeId) -> Vec<f64> {
+        self.points.iter().map(|p| p.voltage(node)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divider_op() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let m = c.node("m");
+        c.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
+        c.resistor("R1", a, m, 2e3);
+        c.resistor("R2", m, Circuit::GROUND, 1e3);
+        let op = c.dc_op().unwrap();
+        assert!((op.voltage(m) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((op.voltage(Circuit::GROUND)).abs() < 1e-12);
+        // Source current = -1/3 mA (delivering).
+        assert!((op.vsource_current(0) + 1.0 / 3.0e3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacitor_is_open_in_dc() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let m = c.node("m");
+        c.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
+        c.resistor("R1", a, m, 1e3);
+        c.capacitor("C1", m, Circuit::GROUND, 1e-12);
+        let op = c.dc_op().unwrap();
+        // No DC path to ground through C: node follows the source.
+        assert!((op.voltage(m) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sweep_tracks_source() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let m = c.node("m");
+        c.vsource("Vin", a, Circuit::GROUND, Waveform::dc(0.0));
+        c.resistor("R1", a, m, 1e3);
+        c.resistor("R2", m, Circuit::GROUND, 1e3);
+        let sweep = c.dc_sweep("Vin", &[0.0, 0.5, 1.0, 2.0]).unwrap();
+        let vm = sweep.voltages(m);
+        for (v, vin) in vm.iter().zip(&sweep.values) {
+            assert!((v - vin / 2.0).abs() < 1e-6);
+        }
+        // The original circuit still has its original source value.
+        assert_eq!(
+            c.dc_op().unwrap().voltage(a),
+            0.0
+        );
+    }
+
+    #[test]
+    fn empty_sweep_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
+        c.resistor("R1", a, Circuit::GROUND, 1.0);
+        assert!(c.dc_sweep("V1", &[]).is_err());
+        assert!(c.dc_sweep("nope", &[1.0]).is_err());
+    }
+
+    #[test]
+    fn guess_selects_units() {
+        // A plain linear circuit: the guess must not change the answer.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
+        c.resistor("R1", a, Circuit::GROUND, 1e3);
+        let op1 = c.dc_op().unwrap();
+        let op2 = c.dc_op_with_guess(&[(a, -5.0)]).unwrap();
+        assert!((op1.voltage(a) - op2.voltage(a)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,113 @@
+//! Circuit elements.
+
+use crate::netlist::NodeId;
+use crate::waveform::Waveform;
+use mosfet::MosfetModel;
+
+/// A circuit element instance.
+#[derive(Debug, Clone)]
+pub enum Element {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms (must be > 0).
+        r: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads (must be > 0).
+        c: f64,
+    },
+    /// Independent voltage source from `pos` to `neg`.
+    Vsource {
+        /// Instance name.
+        name: String,
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Source waveform.
+        wave: Waveform,
+    },
+    /// Independent current source driving current *into* `pos` (out of `neg`).
+    Isource {
+        /// Instance name.
+        name: String,
+        /// Terminal receiving the current.
+        pos: NodeId,
+        /// Terminal sourcing the current.
+        neg: NodeId,
+        /// Source waveform (amps).
+        wave: Waveform,
+    },
+    /// Four-terminal MOSFET evaluated through a compact model.
+    Mosfet {
+        /// Instance name.
+        name: String,
+        /// Drain node.
+        d: NodeId,
+        /// Gate node.
+        g: NodeId,
+        /// Source node.
+        s: NodeId,
+        /// Bulk node.
+        b: NodeId,
+        /// The compact model instance (owns geometry + mismatch).
+        model: Box<dyn MosfetModel>,
+    },
+}
+
+impl Element {
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor { name, .. }
+            | Element::Capacitor { name, .. }
+            | Element::Vsource { name, .. }
+            | Element::Isource { name, .. }
+            | Element::Mosfet { name, .. } => name,
+        }
+    }
+
+    /// All nodes this element touches.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            Element::Resistor { a, b, .. } | Element::Capacitor { a, b, .. } => vec![*a, *b],
+            Element::Vsource { pos, neg, .. } | Element::Isource { pos, neg, .. } => {
+                vec![*pos, *neg]
+            }
+            Element::Mosfet { d, g, s, b, .. } => vec![*d, *g, *s, *b],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Circuit;
+
+    #[test]
+    fn names_and_nodes() {
+        let mut c = Circuit::new();
+        let n1 = c.node("n1");
+        let r = Element::Resistor {
+            name: "R1".into(),
+            a: n1,
+            b: Circuit::GROUND,
+            r: 1e3,
+        };
+        assert_eq!(r.name(), "R1");
+        assert_eq!(r.nodes(), vec![n1, Circuit::GROUND]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Result export: CSV waveform dumps for external plotting.
+
+use crate::netlist::{Circuit, NodeId};
+use crate::tran::TranResult;
+use std::io::{self, Write};
+
+/// Writes selected node waveforms as CSV (`time` first column).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Example
+///
+/// ```
+/// use spice::{Circuit, TranOptions, Waveform};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut c = Circuit::new();
+/// let a = c.node("a");
+/// c.vsource("V1", a, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+/// c.resistor("R1", a, Circuit::GROUND, 1e3);
+/// let res = c.tran(&TranOptions::new(1e-9, 1e-11))?;
+/// let mut out = Vec::new();
+/// spice::io::write_waveforms_csv(&mut out, &c, &res, &[a])?;
+/// assert!(String::from_utf8(out)?.starts_with("time,a\n"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_waveforms_csv<W: Write>(
+    mut w: W,
+    circuit: &Circuit,
+    result: &TranResult,
+    nodes: &[NodeId],
+) -> io::Result<()> {
+    // Header.
+    write!(w, "time")?;
+    for &n in nodes {
+        write!(w, ",{}", circuit.node_name(n))?;
+    }
+    writeln!(w)?;
+    // Rows.
+    let traces: Vec<Vec<f64>> = nodes.iter().map(|&n| result.voltage(n)).collect();
+    for (k, &t) in result.times().iter().enumerate() {
+        write!(w, "{t:.9e}")?;
+        for trace in &traces {
+            write!(w, ",{:.9e}", trace[k])?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tran::TranOptions;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn csv_has_header_and_all_rows() {
+        let mut c = Circuit::new();
+        let a = c.node("in");
+        let b = c.node("out");
+        c.vsource("V1", a, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        c.resistor("R1", a, b, 1e3);
+        c.capacitor("C1", b, Circuit::GROUND, 1e-12);
+        let res = c.tran(&TranOptions::new(1e-9, 0.1e-9)).unwrap();
+        let mut buf = Vec::new();
+        write_waveforms_csv(&mut buf, &c, &res, &[a, b]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "time,in,out");
+        assert_eq!(lines.len(), res.len() + 1);
+        // Every row has 3 comma-separated fields.
+        assert!(lines[1..].iter().all(|l| l.split(',').count() == 3));
+    }
+
+    #[test]
+    fn ground_column_is_zero() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
+        c.resistor("R1", a, Circuit::GROUND, 1e3);
+        c.capacitor("C1", a, Circuit::GROUND, 1e-15);
+        let res = c.tran(&TranOptions::new(1e-10, 1e-11)).unwrap();
+        let mut buf = Vec::new();
+        write_waveforms_csv(&mut buf, &c, &res, &[Circuit::GROUND]).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        for line in s.lines().skip(1) {
+            let v: f64 = line.split(',').nth(1).unwrap().parse().unwrap();
+            assert_eq!(v, 0.0);
+        }
+    }
+}

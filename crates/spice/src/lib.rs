@@ -1,0 +1,51 @@
+//! A small SPICE-class circuit simulator built on modified nodal analysis.
+//!
+//! The paper validates its statistical VS model with SPICE-level Monte Carlo
+//! on standard cells, a D flip-flop, and a 6T SRAM cell. This crate is the
+//! simulation substrate: netlists of resistors, capacitors, independent
+//! sources, and compact-model MOSFETs (any [`mosfet::MosfetModel`]), with
+//!
+//! * **nonlinear DC** operating-point analysis (Newton-Raphson with voltage
+//!   step damping, plus gmin and source stepping as continuation fallbacks),
+//! * **DC sweeps** with warm starting (butterfly curves, VTCs),
+//! * **transient** analysis (trapezoidal with backward-Euler startup,
+//!   charge-conserving companion models for device charges),
+//! * **measurements** (threshold crossings, propagation delay, source
+//!   currents for leakage/power).
+//!
+//! # Example
+//!
+//! ```
+//! use spice::{Circuit, Waveform};
+//!
+//! # fn main() -> Result<(), spice::SpiceError> {
+//! // A resistive divider: 1 V across two 1 kΩ resistors.
+//! let mut c = Circuit::new();
+//! let vin = c.node("in");
+//! let mid = c.node("mid");
+//! c.vsource("V1", vin, Circuit::GROUND, Waveform::dc(1.0));
+//! c.resistor("R1", vin, mid, 1e3);
+//! c.resistor("R2", mid, Circuit::GROUND, 1e3);
+//! let op = c.dc_op()?;
+//! assert!((op.voltage(mid) - 0.5).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod ac;
+pub mod dc;
+pub mod elements;
+pub mod engine;
+pub mod error;
+pub mod io;
+pub mod measure;
+pub mod netlist;
+pub mod parser;
+pub mod tran;
+pub mod waveform;
+
+pub use dc::{DcResult, SweepResult};
+pub use error::SpiceError;
+pub use netlist::{Circuit, NodeId};
+pub use tran::{TranOptions, TranResult};
+pub use waveform::Waveform;

@@ -1,0 +1,357 @@
+//! A SPICE-format netlist parser.
+//!
+//! Supports the subset a statistical cell-characterization flow needs:
+//!
+//! ```text
+//! * comment lines and trailing comments ($ ...)
+//! Rname n1 n2 1k
+//! Cname n1 n2 10f
+//! Vname n+ n- DC 0.9
+//! Vname n+ n- PULSE(0 0.9 1n 10p 10p 500p 2n)
+//! Vname n+ n- PWL(0 0 1n 0.9)
+//! Iname n+ n- DC 1u
+//! Mname d g s b vsn W=600n L=40n
+//! .model  — only the four built-in cards: vsn, vsp, bsimn, bsimp
+//! .end
+//! ```
+//!
+//! Engineering suffixes (`f p n u m k meg g t`) are accepted on all values.
+//! MOSFET model cards instantiate the nominal built-in models; programmatic
+//! construction (the [`crate::Circuit`] builder API) remains the path for
+//! mismatch-perturbed devices.
+
+use crate::error::SpiceError;
+use crate::netlist::Circuit;
+use crate::waveform::Waveform;
+use mosfet::{bsim::BsimModel, vs::VsModel, Geometry, MosfetModel};
+
+/// Parses an engineering-notation value like `1k`, `10f`, `3.3meg`.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::BadNetlist`] for malformed numbers.
+pub fn parse_value(token: &str) -> Result<f64, SpiceError> {
+    let t = token.trim().to_ascii_lowercase();
+    let bad = || SpiceError::BadNetlist {
+        context: format!("cannot parse value '{token}'"),
+    };
+    // Split number prefix from suffix.
+    let split = t
+        .char_indices()
+        .find(|(_, ch)| !(ch.is_ascii_digit() || matches!(ch, '.' | '+' | '-' | 'e')))
+        .map(|(i, _)| i)
+        .unwrap_or(t.len());
+    // Guard: "1e-9" keeps its exponent ("e" is followed by digit/sign).
+    let (num_str, suffix) = t.split_at(split);
+    let base: f64 = num_str.parse().map_err(|_| bad())?;
+    let mult = match suffix {
+        "" => 1.0,
+        "f" => 1e-15,
+        "p" => 1e-12,
+        "n" => 1e-9,
+        "u" => 1e-6,
+        "m" => 1e-3,
+        "k" => 1e3,
+        "meg" => 1e6,
+        "g" => 1e9,
+        "t" => 1e12,
+        _ => return Err(bad()),
+    };
+    Ok(base * mult)
+}
+
+/// Strips comments and joins `+` continuation lines.
+fn preprocess(text: &str) -> Vec<String> {
+    let mut lines: Vec<String> = Vec::new();
+    for raw in text.lines() {
+        let line = raw.split('$').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('*') {
+            continue;
+        }
+        if let Some(cont) = line.strip_prefix('+') {
+            if let Some(prev) = lines.last_mut() {
+                prev.push(' ');
+                prev.push_str(cont.trim());
+                continue;
+            }
+        }
+        lines.push(line.to_string());
+    }
+    lines
+}
+
+/// Parses a source specification (everything after the two node names).
+fn parse_source(tokens: &[&str], name: &str) -> Result<Waveform, SpiceError> {
+    let bad = |msg: &str| SpiceError::BadNetlist {
+        context: format!("source {name}: {msg}"),
+    };
+    if tokens.is_empty() {
+        return Err(bad("missing value"));
+    }
+    let joined = tokens.join(" ");
+    let upper = joined.to_ascii_uppercase();
+    if let Some(rest) = upper.strip_prefix("DC") {
+        return Ok(Waveform::dc(parse_value(rest.trim())?));
+    }
+    if upper.starts_with("PULSE") {
+        let args = extract_args(&joined)?;
+        if args.len() != 7 {
+            return Err(bad("PULSE needs 7 arguments (v1 v2 td tr tf pw per)"));
+        }
+        return Ok(Waveform::Pulse {
+            v1: args[0],
+            v2: args[1],
+            delay: args[2],
+            rise: args[3].max(1e-15),
+            fall: args[4].max(1e-15),
+            width: args[5],
+            period: args[6],
+        });
+    }
+    if upper.starts_with("PWL") {
+        let args = extract_args(&joined)?;
+        if args.len() < 2 || args.len() % 2 != 0 {
+            return Err(bad("PWL needs an even number of arguments"));
+        }
+        let pts: Vec<(f64, f64)> = args.chunks(2).map(|c| (c[0], c[1])).collect();
+        if pts.windows(2).any(|w| w[1].0 < w[0].0) {
+            return Err(bad("PWL times must be non-decreasing"));
+        }
+        return Ok(Waveform::Pwl(pts));
+    }
+    // Bare value.
+    Ok(Waveform::dc(parse_value(tokens[0])?))
+}
+
+/// Extracts the numbers inside `NAME(a b c)` or `NAME a b c`.
+fn extract_args(spec: &str) -> Result<Vec<f64>, SpiceError> {
+    let inner: String = match (spec.find('('), spec.rfind(')')) {
+        (Some(lo), Some(hi)) if hi > lo => spec[lo + 1..hi].to_string(),
+        _ => spec.split_whitespace().skip(1).collect::<Vec<_>>().join(" "),
+    };
+    inner
+        .split(|c: char| c.is_whitespace() || c == ',')
+        .filter(|s| !s.is_empty())
+        .map(parse_value)
+        .collect()
+}
+
+/// Instantiates a built-in model card.
+fn instantiate_model(card: &str, geom: Geometry) -> Result<Box<dyn MosfetModel>, SpiceError> {
+    match card.to_ascii_lowercase().as_str() {
+        "vsn" => Ok(Box::new(VsModel::nominal_nmos_40nm(geom))),
+        "vsp" => Ok(Box::new(VsModel::nominal_pmos_40nm(geom))),
+        "bsimn" => Ok(Box::new(BsimModel::nominal_nmos_40nm(geom))),
+        "bsimp" => Ok(Box::new(BsimModel::nominal_pmos_40nm(geom))),
+        other => Err(SpiceError::BadNetlist {
+            context: format!("unknown model card '{other}' (expected vsn/vsp/bsimn/bsimp)"),
+        }),
+    }
+}
+
+/// Parses a netlist into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`SpiceError::BadNetlist`] with the offending line on any syntax
+/// problem.
+pub fn parse(text: &str) -> Result<Circuit, SpiceError> {
+    let mut c = Circuit::new();
+    for line in preprocess(text) {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let head = tokens[0];
+        let err = |msg: String| SpiceError::BadNetlist {
+            context: format!("line '{line}': {msg}"),
+        };
+        let kind = head.chars().next().expect("non-empty token").to_ascii_uppercase();
+        match kind {
+            '.' => {
+                let directive = head.to_ascii_lowercase();
+                if directive == ".end" {
+                    break;
+                }
+                // .model cards for the built-ins are implicit; other
+                // directives are ignored (title-style) rather than fatal.
+                continue;
+            }
+            'R' | 'C' => {
+                if tokens.len() != 4 {
+                    return Err(err(format!("{kind} element needs 4 fields")));
+                }
+                let a = c.node(tokens[1]);
+                let b = c.node(tokens[2]);
+                let v = parse_value(tokens[3])?;
+                if v <= 0.0 {
+                    return Err(err("value must be positive".into()));
+                }
+                if kind == 'R' {
+                    c.resistor(head, a, b, v);
+                } else {
+                    c.capacitor(head, a, b, v);
+                }
+            }
+            'V' | 'I' => {
+                if tokens.len() < 4 {
+                    return Err(err("source needs nodes and a value".into()));
+                }
+                let pos = c.node(tokens[1]);
+                let neg = c.node(tokens[2]);
+                let wave = parse_source(&tokens[3..], head)?;
+                if kind == 'V' {
+                    c.vsource(head, pos, neg, wave);
+                } else {
+                    c.isource(head, pos, neg, wave);
+                }
+            }
+            'M' => {
+                if tokens.len() < 6 {
+                    return Err(err("MOSFET needs d g s b model [W= L=]".into()));
+                }
+                let d = c.node(tokens[1]);
+                let g = c.node(tokens[2]);
+                let s = c.node(tokens[3]);
+                let b = c.node(tokens[4]);
+                let card = tokens[5];
+                let mut w = 600e-9;
+                let mut l = 40e-9;
+                for t in &tokens[6..] {
+                    let lower = t.to_ascii_lowercase();
+                    if let Some(v) = lower.strip_prefix("w=") {
+                        w = parse_value(v)?;
+                    } else if let Some(v) = lower.strip_prefix("l=") {
+                        l = parse_value(v)?;
+                    } else {
+                        return Err(err(format!("unknown MOSFET parameter '{t}'")));
+                    }
+                }
+                if w <= 0.0 || l <= 0.0 {
+                    return Err(err("W and L must be positive".into()));
+                }
+                let model = instantiate_model(card, Geometry::new(w, l))?;
+                c.mosfet(head, d, g, s, b, model);
+            }
+            other => {
+                return Err(err(format!("unsupported element type '{other}'")));
+            }
+        }
+    }
+    c.validate()?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_with_suffixes() {
+        assert_eq!(parse_value("1k").unwrap(), 1e3);
+        assert!((parse_value("10f").unwrap() - 1e-14).abs() < 1e-26);
+        assert!((parse_value("3.3meg").unwrap() - 3.3e6).abs() < 1e-3);
+        assert!((parse_value("600n").unwrap() - 600e-9).abs() < 1e-18);
+        assert!((parse_value("-2.5m").unwrap() + 2.5e-3).abs() < 1e-15);
+        assert_eq!(parse_value("1e-9").unwrap(), 1e-9);
+        assert_eq!(parse_value("2.0").unwrap(), 2.0);
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("1x").is_err());
+    }
+
+    #[test]
+    fn parses_divider_and_solves() {
+        let c = parse(
+            "* divider
+             V1 in 0 DC 2.0
+             R1 in mid 1k
+             R2 mid 0 1k
+             .end",
+        )
+        .unwrap();
+        let op = c.dc_op().unwrap();
+        let mid = c.find_node("mid").unwrap();
+        assert!((op.voltage(mid) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_pulse_and_pwl_sources() {
+        let c = parse(
+            "V1 a 0 PULSE(0 0.9 1n 10p 10p 500p 2n)
+             V2 b 0 PWL(0 0 1n 0.9)
+             R1 a 0 1k
+             R2 b 0 1k",
+        )
+        .unwrap();
+        assert_eq!(c.elements().len(), 4);
+        // Waveform values at known times.
+        if let crate::elements::Element::Vsource { wave, .. } = &c.elements()[0] {
+            assert_eq!(wave.value(0.0), 0.0);
+            assert!((wave.value(1.2e-9) - 0.9).abs() < 1e-12);
+        } else {
+            panic!("expected vsource");
+        }
+    }
+
+    #[test]
+    fn parses_mosfet_with_geometry() {
+        let c = parse(
+            "VDD vdd 0 DC 0.9
+             VIN in 0 DC 0.0
+             MP out in vdd vdd vsp W=600n L=40n
+             MN out in 0 0 vsn W=300n L=40n
+             CL out 0 1f",
+        )
+        .unwrap();
+        let op = c.dc_op().unwrap();
+        let out = c.find_node("out").unwrap();
+        assert!(op.voltage(out) > 0.85, "inverter output high: {}", op.voltage(out));
+    }
+
+    #[test]
+    fn continuation_lines_join() {
+        let c = parse(
+            "V1 a 0
+             + DC 1.5
+             R1 a 0 1k",
+        )
+        .unwrap();
+        let op = c.dc_op().unwrap();
+        assert!((op.voltage(c.find_node("a").unwrap()) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comments_and_end_are_respected() {
+        let c = parse(
+            "* title
+             V1 a 0 DC 1.0 $ supply
+             R1 a 0 1k
+             .end
+             R2 ghost 0 1k",
+        )
+        .unwrap();
+        // The post-.end element is ignored.
+        assert!(c.find_node("ghost").is_none());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("R1 a 0").is_err()); // too few fields
+        assert!(parse("R1 a 0 -5").is_err()); // negative resistance
+        assert!(parse("Q1 a b c").is_err()); // unsupported element
+        assert!(parse("M1 d g s b nomodel").is_err()); // unknown card
+        assert!(parse("V1 a 0 PULSE(1 2 3)").is_err()); // short pulse
+        assert!(parse("V1 a 0 PWL(1n 1 0 0)").is_err()); // non-monotone PWL
+        assert!(parse("").is_err()); // empty netlist
+    }
+
+    #[test]
+    fn bsim_cards_also_instantiate() {
+        let c = parse(
+            "VD d 0 DC 0.9
+             VG g 0 DC 0.9
+             M1 d g 0 0 bsimn W=600n L=40n",
+        )
+        .unwrap();
+        let op = c.dc_op().unwrap();
+        // Drain current flows: the supply sources it.
+        assert!(op.vsource_current(0) < -1e-5);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the circuit simulator.
+
+use proptest::prelude::*;
+use spice::{Circuit, TranOptions, Waveform};
+
+/// A random series resistor ladder from a source to ground: node voltages
+/// must follow the analytic divider formula.
+fn ladder(resistors: &[f64], v: f64) -> (Circuit, Vec<spice::NodeId>) {
+    let mut c = Circuit::new();
+    let top = c.node("n0");
+    c.vsource("V1", top, Circuit::GROUND, Waveform::dc(v));
+    let mut nodes = vec![top];
+    let mut prev = top;
+    for (i, &r) in resistors.iter().enumerate() {
+        let next = if i + 1 == resistors.len() {
+            Circuit::GROUND
+        } else {
+            c.node(&format!("n{}", i + 1))
+        };
+        c.resistor(&format!("R{i}"), prev, next, r);
+        if next != Circuit::GROUND {
+            nodes.push(next);
+        }
+        prev = next;
+    }
+    (c, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn resistor_ladder_matches_divider_formula(
+        rs in proptest::collection::vec(10.0..1e6f64, 2..6),
+        v in -5.0..5.0f64,
+    ) {
+        let (c, nodes) = ladder(&rs, v);
+        let op = c.dc_op().expect("linear circuit solves");
+        let r_total: f64 = rs.iter().sum();
+        // Voltage at node k is v * (remaining resistance below k) / total.
+        let mut below = r_total;
+        // The GMIN floor (1e-12 S per node) perturbs high-impedance ladders
+        // by up to ~n * R * gmin * |v|.
+        let tol = 1e-6 * v.abs().max(1.0) + 10.0 * r_total * 1e-12 * v.abs();
+        for (k, &node) in nodes.iter().enumerate() {
+            let expected = v * below / r_total;
+            let got = op.voltage(node);
+            prop_assert!(
+                (got - expected).abs() < tol,
+                "node {k}: {got} vs {expected}"
+            );
+            below -= rs[k];
+        }
+        // Source current = -v / r_total, up to the simulator's GMIN floor
+        // (1e-12 S from every node to ground).
+        let gmin_leak = 10.0 * v.abs() * 1e-12;
+        prop_assert!(
+            (op.vsource_current(0) + v / r_total).abs()
+                < 1e-9 * (v.abs() / r_total).max(1e-12) + gmin_leak
+        );
+    }
+
+    #[test]
+    fn superposition_holds_for_two_sources(
+        v1 in -2.0..2.0f64,
+        v2 in -2.0..2.0f64,
+        r1 in 100.0..10e3f64,
+        r2 in 100.0..10e3f64,
+        r3 in 100.0..10e3f64,
+    ) {
+        // Two sources driving a common node through r1/r2, r3 to ground.
+        let run = |a: f64, b: f64| {
+            let mut c = Circuit::new();
+            let na = c.node("a");
+            let nb = c.node("b");
+            let mid = c.node("mid");
+            c.vsource("VA", na, Circuit::GROUND, Waveform::dc(a));
+            c.vsource("VB", nb, Circuit::GROUND, Waveform::dc(b));
+            c.resistor("R1", na, mid, r1);
+            c.resistor("R2", nb, mid, r2);
+            c.resistor("R3", mid, Circuit::GROUND, r3);
+            let op = c.dc_op().expect("linear");
+            op.voltage(mid)
+        };
+        let both = run(v1, v2);
+        let only1 = run(v1, 0.0);
+        let only2 = run(0.0, v2);
+        prop_assert!((both - (only1 + only2)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rc_transient_settles_to_source_value(
+        r in 100.0..100e3f64,
+        c_val in 1e-13..1e-10f64,
+        v in 0.1..3.0f64,
+    ) {
+        let tau = r * c_val;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("V1", vin, Circuit::GROUND, Waveform::step(0.0, v, 0.0, tau / 100.0));
+        ckt.resistor("R1", vin, out, r);
+        ckt.capacitor("C1", out, Circuit::GROUND, c_val);
+        let res = ckt.tran(&TranOptions::new(8.0 * tau, tau / 40.0)).expect("transient");
+        let vo = res.voltage(out);
+        let last = vo[vo.len() - 1];
+        prop_assert!((last - v).abs() < 1e-3 * v, "settled to {last}, expected {v}");
+        // Energy sanity: output never overshoots the source (RC is monotone).
+        prop_assert!(vo.iter().all(|&x| x <= v * (1.0 + 1e-6)));
+    }
+
+    #[test]
+    fn ac_rc_matches_transfer_function(
+        r in 100.0..100e3f64,
+        c_val in 1e-13..1e-10f64,
+        decade in -2..3i32,
+    ) {
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c_val);
+        let f = fc * 10f64.powi(decade);
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("V1", vin, Circuit::GROUND, Waveform::dc(0.0));
+        ckt.resistor("R1", vin, out, r);
+        ckt.capacitor("C1", out, Circuit::GROUND, c_val);
+        let res = ckt.ac_sweep("V1", &[f]).expect("ac");
+        let mag = res.magnitude(out)[0];
+        let expected = 1.0 / (1.0 + (f / fc).powi(2)).sqrt();
+        prop_assert!((mag - expected).abs() < 1e-3, "|H({f:.3e})| = {mag} vs {expected}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Pearson correlation.
+
+/// Pearson correlation coefficient of two paired samples.
+///
+/// Returns 0 when either sample is constant.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or are shorter than 2.
+///
+/// ```
+/// let r = stats::correlation::pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    assert!(xs.len() >= 2, "pearson: need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::pearson;
+
+    #[test]
+    fn perfect_anticorrelation() {
+        let r = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]);
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_samples_near_zero() {
+        use crate::Sampler;
+        let mut s = Sampler::from_seed(8);
+        let xs: Vec<f64> = (0..10_000).map(|_| s.standard_normal()).collect();
+        let ys: Vec<f64> = (0..10_000).map(|_| s.standard_normal()).collect();
+        assert!(pearson(&xs, &ys).abs() < 0.05);
+    }
+
+    #[test]
+    fn constant_sample_returns_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn invariant_under_affine_maps() {
+        let xs = [0.3, -1.0, 2.5, 0.7, 1.1];
+        let ys = [1.0, 0.2, 3.0, 1.5, 2.0];
+        let r0 = pearson(&xs, &ys);
+        let xs2: Vec<f64> = xs.iter().map(|x| 3.0 * x - 7.0).collect();
+        let ys2: Vec<f64> = ys.iter().map(|y| 0.5 * y + 2.0).collect();
+        assert!((pearson(&xs2, &ys2) - r0).abs() < 1e-12);
+    }
+}

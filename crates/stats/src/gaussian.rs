@@ -1,0 +1,176 @@
+//! Standard normal distribution functions.
+//!
+//! The inverse cdf (Acklam's rational approximation, refined by one Halley
+//! step) drives QQ-plot theoretical quantiles; the cdf (via `erfc`-style
+//! rational approximation) drives the KS normality test.
+
+/// 1/sqrt(2*pi).
+const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+
+/// Standard normal probability density.
+///
+/// ```
+/// assert!((stats::gaussian::pdf(0.0) - 0.39894228).abs() < 1e-7);
+/// ```
+pub fn pdf(x: f64) -> f64 {
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Standard normal cumulative distribution function.
+///
+/// Uses the Abramowitz-Stegun 7.1.26-style rational approximation of `erf`
+/// with |error| < 1.5e-7, adequate for all statistical tests in this crate.
+pub fn cdf(x: f64) -> f64 {
+    // cdf(x) = 0.5 * erfc(-x / sqrt(2))
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (rational approximation, |rel err| ~ 1e-7).
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    // Numerical Recipes erfc approximation, Horner form.
+    const COEFFS: [f64; 10] = [
+        0.17087277,
+        -0.82215223,
+        1.48851587,
+        -1.13520398,
+        0.27886807,
+        -0.18628806,
+        0.09678418,
+        0.37409196,
+        1.00002368,
+        -1.26551223,
+    ];
+    let mut poly = 0.0;
+    for &c in &COEFFS {
+        poly = poly * t + c;
+    }
+    let ans = t * (-z * z + poly).exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Inverse of the standard normal cdf (the "probit" function).
+///
+/// Acklam's rational approximation followed by one Halley refinement step;
+/// effective accuracy is near machine precision over `(0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside the open interval `(0, 1)`.
+///
+/// ```
+/// let z = stats::gaussian::inv_cdf(0.975);
+/// assert!((z - 1.959964).abs() < 1e-5);
+/// ```
+pub fn inv_cdf(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "inv_cdf: p must be in (0, 1), got {p}");
+
+    // Coefficients for Acklam's approximation.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step.
+    let e = cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + 0.5 * x * u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pdf_is_symmetric_and_peaks_at_zero() {
+        assert!((pdf(1.3) - pdf(-1.3)).abs() < 1e-15);
+        assert!(pdf(0.0) > pdf(0.1));
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        assert!((cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((cdf(1.0) - 0.841344746).abs() < 2e-7);
+        assert!((cdf(-1.96) - 0.024997895).abs() < 2e-7);
+        assert!((cdf(3.0) - 0.998650102).abs() < 2e-7);
+    }
+
+    #[test]
+    fn cdf_tails() {
+        assert!(cdf(-10.0) < 1e-20);
+        assert!(cdf(10.0) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn inv_cdf_roundtrips_cdf() {
+        for &p in &[0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999] {
+            let z = inv_cdf(p);
+            assert!((cdf(z) - p).abs() < 1e-7, "p={p}: cdf(inv)={}", cdf(z));
+        }
+    }
+
+    #[test]
+    fn inv_cdf_symmetry() {
+        assert!((inv_cdf(0.5)).abs() < 1e-6);
+        assert!((inv_cdf(0.3) + inv_cdf(0.7)).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inv_cdf_rejects_zero() {
+        inv_cdf(0.0);
+    }
+
+    #[test]
+    fn erfc_complement_identity() {
+        for &x in &[-2.0, -0.5, 0.0, 0.7, 1.5] {
+            assert!((erfc(x) + erfc(-x) - 2.0).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Fixed-bin histograms.
+
+/// A histogram over a fixed range with equal-width bins.
+///
+/// # Example
+///
+/// ```
+/// use stats::histogram::Histogram;
+///
+/// let h = Histogram::from_data(&[0.1, 0.2, 0.6, 0.9], 2);
+/// assert_eq!(h.counts(), &[2, 2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over `[lo, hi]` with `bins` bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo < hi, "histogram range is empty");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram spanning the data range (slightly padded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or `bins == 0`.
+    pub fn from_data(xs: &[f64], bins: usize) -> Self {
+        assert!(!xs.is_empty(), "histogram of empty sample");
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in xs {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        if lo == hi {
+            // Degenerate constant sample: widen artificially.
+            let pad = lo.abs().max(1.0) * 1e-9;
+            lo -= pad;
+            hi += pad;
+        }
+        let mut h = Histogram::new(lo, hi, bins);
+        for &x in xs {
+            h.add(x);
+        }
+        h
+    }
+
+    /// Adds one observation. Values outside the range clamp into the edge
+    /// bins so that `total` always counts every observation.
+    pub fn add(&mut self, x: f64) {
+        let n = self.counts.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = ((t * n as f64).floor() as isize).clamp(0, n as isize - 1) as usize;
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of bounds");
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Probability density estimate per bin (integrates to ~1).
+    pub fn density(&self) -> Vec<f64> {
+        let norm = self.total.max(1) as f64 * self.bin_width();
+        self.counts.iter().map(|&c| c as f64 / norm).collect()
+    }
+
+    /// Iterator over `(bin_center, density)` pairs — ready for plotting.
+    pub fn density_points(&self) -> Vec<(f64, f64)> {
+        self.density()
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| (self.bin_center(i), d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_range() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        assert_eq!(h.counts(), &[2, 2, 2, 2, 2]);
+        assert_eq!(h.total(), 10);
+        assert_eq!(h.bin_width(), 2.0);
+        assert_eq!(h.bin_center(0), 1.0);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64) / 100.0).collect();
+        let h = Histogram::from_data(&xs, 20);
+        let integral: f64 = h.density().iter().map(|d| d * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_data_does_not_panic() {
+        let h = Histogram::from_data(&[2.0; 5], 3);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn density_points_align_with_bins() {
+        let h = Histogram::from_data(&[0.0, 1.0], 2);
+        let pts = h.density_points();
+        assert_eq!(pts.len(), 2);
+        assert!(pts[0].0 < pts[1].0);
+    }
+}

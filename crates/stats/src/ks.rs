@@ -1,0 +1,93 @@
+//! Kolmogorov-Smirnov normality check.
+//!
+//! Used by the extraction flow to verify the paper's modeling assumption
+//! that the chosen electrical metrics (`Idsat`, `log10 Ioff`, `Cgg`) are
+//! approximately Gaussian, and by the bench harness to quantify the
+//! *non*-Gaussianity of low-Vdd delay distributions (Fig. 7).
+
+use crate::descriptive::Summary;
+use crate::gaussian;
+
+/// Result of a one-sample KS test against a normal distribution fitted to
+/// the sample itself (Lilliefors-style statistic).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// KS statistic: max |F_empirical - F_normal|.
+    pub statistic: f64,
+    /// `statistic * sqrt(n)` — compare against ~1.0 (larger = less normal).
+    /// The Lilliefors 5% critical value is roughly `0.886 / sqrt(n)` for the
+    /// statistic itself, i.e. ~0.886 for the scaled form.
+    pub scaled: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl KsResult {
+    /// Rough 5% significance decision using the Lilliefors critical value.
+    pub fn looks_gaussian(&self) -> bool {
+        self.scaled < 0.886
+    }
+}
+
+/// One-sample KS statistic of `xs` against `N(mean(xs), std(xs))`.
+///
+/// # Panics
+///
+/// Panics if the sample has fewer than 4 points or zero spread.
+pub fn ks_normal(xs: &[f64]) -> KsResult {
+    assert!(xs.len() >= 4, "KS test needs at least 4 points");
+    let s = Summary::from_slice(xs);
+    assert!(s.std > 0.0, "KS test of a constant sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+    let n = sorted.len();
+    let nf = n as f64;
+    let mut d = 0.0_f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let z = (x - s.mean) / s.std;
+        let f = gaussian::cdf(z);
+        let lo = i as f64 / nf;
+        let hi = (i as f64 + 1.0) / nf;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    KsResult {
+        statistic: d,
+        scaled: d * nf.sqrt(),
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sampler;
+
+    #[test]
+    fn gaussian_sample_passes() {
+        let mut s = Sampler::from_seed(41);
+        let xs: Vec<f64> = (0..2000).map(|_| s.normal(1.0, 0.2)).collect();
+        let ks = ks_normal(&xs);
+        assert!(ks.statistic < 0.03, "D = {}", ks.statistic);
+    }
+
+    #[test]
+    fn uniform_sample_fails() {
+        let mut s = Sampler::from_seed(42);
+        let xs: Vec<f64> = (0..2000).map(|_| s.uniform()).collect();
+        let ks = ks_normal(&xs);
+        assert!(!ks.looks_gaussian(), "scaled = {}", ks.scaled);
+    }
+
+    #[test]
+    fn lognormal_sample_fails() {
+        let mut s = Sampler::from_seed(43);
+        let xs: Vec<f64> = (0..2000).map(|_| s.normal(0.0, 1.0).exp()).collect();
+        assert!(!ks_normal(&xs).looks_gaussian());
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_sample_panics() {
+        ks_normal(&[1.0, 2.0, 3.0]);
+    }
+}

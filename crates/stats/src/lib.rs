@@ -1,0 +1,45 @@
+//! Statistics toolkit for Monte Carlo device and circuit analysis.
+//!
+//! Everything the paper's validation section needs to *characterize*
+//! distributions lives here:
+//!
+//! * [`sampler`] — seeded RNG plumbing and in-house Gaussian sampling
+//!   (Box-Muller, so no extra distribution crates are required).
+//! * [`descriptive`] — mean / variance / skewness / kurtosis / quantiles.
+//! * [`gaussian`] — the standard normal pdf / cdf / inverse cdf.
+//! * [`histogram`] — fixed-bin histograms with density normalization.
+//! * [`kde`] — Gaussian kernel density estimates (the smooth PDF curves in
+//!   paper Figs. 5, 7, 8, 9).
+//! * [`qq`] — quantile-quantile data against the standard normal (Figs. 7/9),
+//!   with a linearity metric to quantify non-Gaussianity.
+//! * [`ellipse`] — bivariate mean/covariance and 1/2/3-sigma confidence
+//!   ellipses (Fig. 4).
+//! * [`correlation`] — Pearson correlation.
+//! * [`ks`] — a Kolmogorov-Smirnov normality check.
+//!
+//! # Example
+//!
+//! ```
+//! use stats::sampler::Sampler;
+//! use stats::descriptive::Summary;
+//!
+//! let mut s = Sampler::from_seed(7);
+//! let xs: Vec<f64> = (0..4000).map(|_| s.normal(10.0, 2.0)).collect();
+//! let sum = Summary::from_slice(&xs);
+//! assert!((sum.mean - 10.0).abs() < 0.2);
+//! assert!((sum.std - 2.0).abs() < 0.2);
+//! ```
+
+pub mod corners;
+pub mod correlation;
+pub mod descriptive;
+pub mod ellipse;
+pub mod gaussian;
+pub mod histogram;
+pub mod kde;
+pub mod ks;
+pub mod qq;
+pub mod sampler;
+
+pub use descriptive::Summary;
+pub use sampler::Sampler;

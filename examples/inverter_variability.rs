@@ -1,0 +1,65 @@
+//! Circuit-level Monte Carlo: delay variability of a fanout-of-3 inverter.
+//!
+//! Builds the paper's Fig. 5 workload at a reduced sample count and prints
+//! the delay distribution from both the statistical VS model and the golden
+//! kit, plus a textual histogram.
+//!
+//! Run with `cargo run --release --example inverter_variability`.
+
+use statvs::circuits::cells::InverterSizing;
+use statvs::circuits::delay::{DelayBench, GateKind};
+use statvs::stats::histogram::Histogram;
+use statvs::stats::Summary;
+use statvs::vscore::pipeline::{extract_statistical_vs_model, ExtractionConfig};
+
+const N_SAMPLES: usize = 150;
+const VDD: f64 = 0.9;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ExtractionConfig::default();
+    config.mc_samples = 600;
+    let report = extract_statistical_vs_model(&config)?;
+    let sz = InverterSizing::from_nm(600.0, 300.0, 40.0);
+
+    for family in ["vs (statistical)", "bsim (golden kit)"] {
+        let mut delays = Vec::with_capacity(N_SAMPLES);
+        for trial in 0..N_SAMPLES {
+            // One independent mismatch draw per transistor per trial.
+            let mut factory = if family.starts_with("vs") {
+                statvs::vscore::mc::McFactory::vs(
+                    report.nmos.fit.params,
+                    report.pmos.fit.params,
+                    report.nmos.extracted,
+                    report.pmos.extracted,
+                    statvs::stats::Sampler::from_seed(100 + trial as u64),
+                )
+            } else {
+                statvs::vscore::mc::McFactory::bsim(
+                    report.kit.nmos.params,
+                    report.kit.pmos.params,
+                    report.nmos.truth,
+                    report.pmos.truth,
+                    statvs::stats::Sampler::from_seed(100 + trial as u64),
+                )
+            };
+            let bench = DelayBench::fo3(GateKind::Inverter, sz, VDD, &mut factory);
+            delays.push(bench.measure_delay(bench.default_dt())?);
+        }
+        let s = Summary::from_slice(&delays);
+        println!(
+            "\n{family}: mean {:.2} ps, σ {:.3} ps ({:.1}% of mean), skew {:+.2}",
+            s.mean * 1e12,
+            s.std * 1e12,
+            100.0 * s.std / s.mean,
+            s.skewness
+        );
+        // ASCII histogram.
+        let h = Histogram::from_data(&delays, 12);
+        let max_count = *h.counts().iter().max().unwrap_or(&1) as f64;
+        for (i, &c) in h.counts().iter().enumerate() {
+            let bar = "#".repeat((40.0 * c as f64 / max_count).round() as usize);
+            println!("  {:6.2} ps | {bar}", h.bin_center(i) * 1e12);
+        }
+    }
+    Ok(())
+}

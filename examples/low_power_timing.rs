@@ -1,0 +1,62 @@
+//! Non-Gaussian timing at low supply voltage (paper Fig. 7).
+//!
+//! Sweeps a NAND2 fanout-of-3 bench across Vdd = 0.9 / 0.7 / 0.55 V and
+//! shows how the delay distribution, generated from *purely Gaussian* VS
+//! parameters, develops skew and a bending QQ plot as the supply drops —
+//! the effect that makes low-power statistical timing hard.
+//!
+//! Run with `cargo run --release --example low_power_timing`.
+
+use statvs::circuits::cells::InverterSizing;
+use statvs::circuits::delay::{DelayBench, GateKind};
+use statvs::stats::qq::QqPlot;
+use statvs::stats::Summary;
+use statvs::vscore::pipeline::{extract_statistical_vs_model, ExtractionConfig};
+
+const N_SAMPLES: usize = 200;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut config = ExtractionConfig::default();
+    config.mc_samples = 600;
+    let report = extract_statistical_vs_model(&config)?;
+    let sz = InverterSizing::from_nm(300.0, 300.0, 40.0);
+
+    println!("NAND2 FO3 delay vs supply voltage ({N_SAMPLES} Monte Carlo samples each):\n");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>8}  {:>9}  {:>12}",
+        "Vdd", "mean", "sigma", "sigma/mu", "skewness", "QQ linearity"
+    );
+    for vdd in [0.9, 0.7, 0.55] {
+        let mut delays = Vec::with_capacity(N_SAMPLES);
+        for trial in 0..N_SAMPLES {
+            let mut factory = statvs::vscore::mc::McFactory::vs(
+                report.nmos.fit.params,
+                report.pmos.fit.params,
+                report.nmos.extracted,
+                report.pmos.extracted,
+                statvs::stats::Sampler::from_seed(9000 + trial as u64),
+            );
+            let bench = DelayBench::fo3(GateKind::Nand2, sz, vdd, &mut factory);
+            if let Ok(d) = bench.measure_delay(2e-12) {
+                delays.push(d);
+            }
+        }
+        let s = Summary::from_slice(&delays);
+        let qq = QqPlot::from_sample(&delays);
+        println!(
+            "{:>5}V  {:>8.2}ps  {:>8.3}ps  {:>7.1}%  {:>+9.3}  {:>12.5}",
+            vdd,
+            s.mean * 1e12,
+            s.std * 1e12,
+            100.0 * s.std / s.mean,
+            s.skewness,
+            qq.linearity_r
+        );
+    }
+    println!(
+        "\nAs Vdd approaches threshold, σ/µ grows and the distribution skews right\n\
+         (QQ linearity falls below 1) even though every input parameter is Gaussian —\n\
+         reproducing the paper's Fig. 7 observation for dynamic-voltage-scaled designs."
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the complete statistical VS modeling flow in one page.
+//!
+//! 1. Fit the nominal Virtual Source model to the golden kit's I-V curves.
+//! 2. Extract the Pelgrom mismatch coefficients with backward propagation
+//!    of variance (BPV).
+//! 3. Validate: Monte Carlo the statistical VS model against the kit.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use statvs::mosfet::Geometry;
+use statvs::stats::Sampler;
+use statvs::vscore::bpv::predict_variances;
+use statvs::vscore::mc::{device_metric_samples, variances};
+use statvs::vscore::pipeline::{extract_statistical_vs_model, ExtractionConfig};
+use statvs::vscore::sensitivity::VsBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- steps 1 + 2: the pipeline runs fit, kit Monte Carlo, and BPV ---
+    let mut config = ExtractionConfig::default();
+    config.mc_samples = 800; // keep the example quick
+    let report = extract_statistical_vs_model(&config)?;
+
+    println!("fitted NMOS VS parameters:");
+    let p = report.nmos.fit.params;
+    println!("  VT0  = {:.3} V", p.vt0);
+    println!("  δ0   = {:.3} V/V (DIBL)", p.delta0);
+    println!("  n0   = {:.2}", p.n0);
+    println!("  vxo  = {:.2e} cm/s", p.vxo * 1e2);
+    println!("  µ    = {:.0} cm²/(V·s)", p.mu * 1e4);
+    println!("  fit ln-RMS = {:.3}", report.nmos.fit.rms_log_error);
+
+    let alphas = report.nmos.extracted.to_paper_units();
+    println!("\nextracted mismatch coefficients (paper Table II units):");
+    println!("  α1 = {:.2} V·nm   (VT0, RDF)", alphas[0]);
+    println!("  α2 = α3 = {:.2} nm (Leff/Weff, LER)", alphas[1]);
+    println!("  α4 = {:.0} nm·cm²/(V·s) (µ, stress)", alphas[3]);
+    println!("  α5 = {:.2} nm·µF/cm² (Cinv, oxide — measured directly)", alphas[4]);
+
+    // --- step 3: validate σ(Idsat) at a geometry the extraction never saw ---
+    let geom = Geometry::from_nm(450.0, 40.0);
+    let builder = VsBuilder {
+        params: report.nmos.fit.params,
+        polarity: statvs::mosfet::Polarity::Nmos,
+        geom,
+    };
+    let mut sampler = Sampler::from_seed(7);
+    let samples = device_metric_samples(
+        &builder,
+        &report.nmos.extracted,
+        report.config.vdd,
+        2000,
+        &mut sampler,
+    );
+    let mc = variances(&samples);
+    let analytic = predict_variances(&builder, &report.nmos.extracted, report.config.vdd);
+    println!("\nvalidation at unseen geometry {geom}:");
+    println!(
+        "  σ(Idsat):     MC {:.2} µA vs linear propagation {:.2} µA",
+        mc[0].sqrt() * 1e6,
+        analytic[0].sqrt() * 1e6
+    );
+    println!(
+        "  σ(log10Ioff): MC {:.3} vs linear propagation {:.3}",
+        mc[1].sqrt(),
+        analytic[1].sqrt()
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! SRAM static noise margin under within-die variation (paper Fig. 9).
+//!
+//! Traces a nominal butterfly plot as ASCII art, then runs a small Monte
+//! Carlo on READ and HOLD static noise margins with the statistical VS
+//! model.
+//!
+//! Run with `cargo run --release --example sram_snm`.
+
+use statvs::circuits::cells::NominalVsFactory;
+use statvs::circuits::sram::{butterfly, measure_snm, SnmMode, SramDevices, SramSizing};
+use statvs::stats::Summary;
+use statvs::vscore::pipeline::{extract_statistical_vs_model, ExtractionConfig};
+
+const VDD: f64 = 0.9;
+const N_SAMPLES: usize = 200;
+
+fn ascii_butterfly(c1: &[(f64, f64)], c2: &[(f64, f64)]) {
+    const W: usize = 56;
+    const H: usize = 26;
+    let mut grid = vec![vec![' '; W]; H];
+    let plot = |grid: &mut Vec<Vec<char>>, pts: &[(f64, f64)], ch: char| {
+        for &(x, y) in pts {
+            let col = ((x / VDD) * (W - 1) as f64).round() as usize;
+            let row = H - 1 - ((y / VDD) * (H - 1) as f64).round() as usize;
+            if row < H && col < W {
+                grid[row][col] = ch;
+            }
+        }
+    };
+    plot(&mut grid, c1, '*');
+    plot(&mut grid, c2, 'o');
+    println!("  V_R ^   (* = half-cell 1, o = half-cell 2)");
+    for row in grid {
+        println!("      |{}", row.into_iter().collect::<String>());
+    }
+    println!("      +{}> V_L", "-".repeat(W));
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sz = SramSizing::default();
+
+    // Nominal butterfly (READ mode — the stress case).
+    let mut nominal = NominalVsFactory;
+    let devices = SramDevices::draw(sz, &mut nominal);
+    let (c1, c2) = butterfly(&devices, VDD, SnmMode::Read, 61)?;
+    println!("nominal READ butterfly:");
+    ascii_butterfly(&c1, &c2);
+
+    // Monte Carlo SNM with the extracted statistical model.
+    let mut config = ExtractionConfig::default();
+    config.mc_samples = 600;
+    let report = extract_statistical_vs_model(&config)?;
+    for (mode, label) in [(SnmMode::Read, "READ"), (SnmMode::Hold, "HOLD")] {
+        let mut snms = Vec::with_capacity(N_SAMPLES);
+        for trial in 0..N_SAMPLES {
+            let mut factory = statvs::vscore::mc::McFactory::vs(
+                report.nmos.fit.params,
+                report.pmos.fit.params,
+                report.nmos.extracted,
+                report.pmos.extracted,
+                statvs::stats::Sampler::from_seed(3000 + trial as u64),
+            );
+            snms.push(measure_snm(sz, VDD, mode, 61, &mut factory)?);
+        }
+        let s = Summary::from_slice(&snms);
+        println!(
+            "\n{label} SNM over {N_SAMPLES} samples: mean {:.1} mV, σ {:.2} mV, min {:.1} mV, skew {:+.2}",
+            s.mean * 1e3,
+            s.std * 1e3,
+            s.min * 1e3,
+            s.skewness
+        );
+    }
+    println!("\n(READ margins sit well below HOLD margins — the paper's most variation-sensitive benchmark.)");
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! # statvs — Statistical Virtual Source MOSFET modeling
+//!
+//! A full reproduction of *"Statistical Modeling with the Virtual Source
+//! MOSFET Model"* (Yu et al., DATE 2013) as a Rust workspace. This facade
+//! crate re-exports the individual subsystem crates:
+//!
+//! * [`numerics`] — dense/complex linear algebra, NNLS, root finding,
+//!   Levenberg-Marquardt with Marquardt scaling.
+//! * [`stats`] — sampling, estimators, KDE, QQ, confidence ellipses, KS
+//!   tests, SSTA corner analysis.
+//! * [`mosfet`] — the Virtual Source compact model and the BSIM4-like
+//!   golden baseline, with per-instance mismatch and temperature derating.
+//! * [`spice`] — an MNA circuit simulator (nonlinear DC, sweeps, transient,
+//!   AC small-signal, SPICE-netlist parsing, CSV export).
+//! * [`circuits`] — benchmark cells: INV/NAND2 FO3, D flip-flop
+//!   (setup/hold), 6T SRAM (butterfly, SNM, AC read disturb).
+//! * [`vscore`] — the statistical modeling flow itself: Pelgrom scaling,
+//!   backward propagation of variance (BPV, independent and correlated),
+//!   staged nominal fitting with CV correction, Monte Carlo, Verilog-A
+//!   export.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for the end-to-end flow: calibrate a golden
+//! kit, fit the nominal VS model, extract mismatch coefficients with BPV,
+//! and validate with Monte Carlo.
+
+pub use circuits;
+pub use mosfet;
+pub use numerics;
+pub use spice;
+pub use stats;
+pub use vscore;

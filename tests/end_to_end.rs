@@ -1,0 +1,120 @@
+//! Cross-crate integration tests: the full statistical modeling flow
+//! through the facade crate, at reduced sample counts.
+
+use statvs::circuits::cells::InverterSizing;
+use statvs::circuits::delay::{DelayBench, GateKind};
+use statvs::mosfet::Geometry;
+use statvs::stats::{Sampler, Summary};
+use statvs::vscore::mc::{device_metric_samples, variances, McFactory};
+use statvs::vscore::pipeline::{extract_statistical_vs_model, ExtractionConfig};
+use statvs::vscore::sensitivity::{BsimBuilder, VsBuilder};
+
+fn quick_config() -> ExtractionConfig {
+    ExtractionConfig {
+        mc_samples: 500,
+        ..ExtractionConfig::default()
+    }
+}
+
+#[test]
+fn extraction_to_device_validation() {
+    let report = extract_statistical_vs_model(&quick_config()).expect("pipeline");
+    // Statistical VS model reproduces the kit's device-level σ at a
+    // geometry in the extraction set.
+    let geom = Geometry::from_nm(600.0, 40.0);
+    let vdd = report.config.vdd;
+    let mut sampler = Sampler::from_seed(99);
+    let n = 1200;
+
+    let vs_builder = VsBuilder {
+        params: report.nmos.fit.params,
+        polarity: statvs::mosfet::Polarity::Nmos,
+        geom,
+    };
+    let kit_builder = BsimBuilder {
+        params: report.kit.nmos.params,
+        polarity: statvs::mosfet::Polarity::Nmos,
+        geom,
+    };
+    let v_vs = variances(&device_metric_samples(
+        &vs_builder,
+        &report.nmos.extracted,
+        vdd,
+        n,
+        &mut sampler,
+    ));
+    let v_kit = variances(&device_metric_samples(
+        &kit_builder,
+        &report.nmos.truth,
+        vdd,
+        n,
+        &mut sampler,
+    ));
+    for i in 0..2 {
+        let ratio = (v_vs[i] / v_kit[i]).sqrt();
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "metric {i}: σ ratio = {ratio}"
+        );
+    }
+}
+
+#[test]
+fn circuit_level_sigma_agreement() {
+    // The headline claim (paper Fig. 5): circuit delay distributions from
+    // the statistical VS model match the golden kit.
+    let report = extract_statistical_vs_model(&quick_config()).expect("pipeline");
+    let sz = InverterSizing::from_nm(600.0, 300.0, 40.0);
+    let n = 60;
+    let collect = |family: &str| -> Vec<f64> {
+        (0..n)
+            .filter_map(|trial| {
+                let mut f = match family {
+                    "vs" => McFactory::vs(
+                        report.nmos.fit.params,
+                        report.pmos.fit.params,
+                        report.nmos.extracted,
+                        report.pmos.extracted,
+                        Sampler::from_seed(500 + trial),
+                    ),
+                    _ => McFactory::bsim(
+                        report.kit.nmos.params,
+                        report.kit.pmos.params,
+                        report.nmos.truth,
+                        report.pmos.truth,
+                        Sampler::from_seed(500 + trial),
+                    ),
+                };
+                DelayBench::fo3(GateKind::Inverter, sz, 0.9, &mut f)
+                    .measure_delay(2e-12)
+                    .ok()
+            })
+            .collect()
+    };
+    let d_vs = Summary::from_slice(&collect("vs"));
+    let d_kit = Summary::from_slice(&collect("bsim"));
+    // Means within 25%, sigmas within a factor 2 at these tiny counts.
+    assert!(
+        (d_vs.mean / d_kit.mean - 1.0).abs() < 0.25,
+        "mean delay: vs {} vs kit {}",
+        d_vs.mean,
+        d_kit.mean
+    );
+    let sigma_ratio = d_vs.std / d_kit.std;
+    assert!(
+        (0.5..2.0).contains(&sigma_ratio),
+        "sigma ratio = {sigma_ratio}"
+    );
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Compile-time check that the facade exposes every subsystem.
+    let _ = statvs::numerics::Matrix::identity(2);
+    let _ = statvs::stats::Sampler::from_seed(1);
+    let _ = statvs::mosfet::Geometry::from_nm(100.0, 40.0);
+    let mut c = statvs::spice::Circuit::new();
+    let n = c.node("x");
+    c.resistor("R1", n, statvs::spice::Circuit::GROUND, 1.0);
+    let _ = statvs::circuits::cells::NominalVsFactory;
+}

@@ -1,0 +1,75 @@
+//! Determinism guarantees: every Monte Carlo path must be reproducible from
+//! its seed — a hard requirement for regenerating the paper's tables.
+
+use statvs::mosfet::Geometry;
+use statvs::stats::Sampler;
+use statvs::vscore::mc::{device_metric_samples, McFactory};
+use statvs::vscore::pipeline::{extract_statistical_vs_model, ExtractionConfig};
+use statvs::vscore::sensitivity::VsBuilder;
+
+fn quick_config() -> ExtractionConfig {
+    ExtractionConfig {
+        mc_samples: 300,
+        geometries: vec![
+            Geometry::from_nm(120.0, 40.0),
+            Geometry::from_nm(600.0, 40.0),
+            Geometry::from_nm(1500.0, 40.0),
+        ],
+        ..ExtractionConfig::default()
+    }
+}
+
+#[test]
+fn extraction_is_deterministic() {
+    let a = extract_statistical_vs_model(&quick_config()).expect("pipeline");
+    let b = extract_statistical_vs_model(&quick_config()).expect("pipeline");
+    assert_eq!(
+        a.nmos.extracted.to_paper_units(),
+        b.nmos.extracted.to_paper_units()
+    );
+    assert_eq!(a.nmos.fit.params.vt0, b.nmos.fit.params.vt0);
+    assert_eq!(a.pmos.fit.params.vxo, b.pmos.fit.params.vxo);
+}
+
+#[test]
+fn device_mc_is_deterministic_per_seed() {
+    let builder = VsBuilder {
+        params: statvs::mosfet::vs::VsParams::nmos_40nm(),
+        polarity: statvs::mosfet::Polarity::Nmos,
+        geom: Geometry::from_nm(300.0, 40.0),
+    };
+    let spec = statvs::mosfet::MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+    let run = |seed| {
+        let mut s = Sampler::from_seed(seed);
+        device_metric_samples(&builder, &spec, 0.9, 50, &mut s)
+            .iter()
+            .map(|m| m.idsat)
+            .collect::<Vec<f64>>()
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8));
+}
+
+#[test]
+fn circuit_factories_reproduce_netlists() {
+    let spec = statvs::mosfet::MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+    let geom = Geometry::from_nm(300.0, 40.0);
+    let bias = statvs::mosfet::Bias {
+        vgs: 0.9,
+        vds: 0.9,
+        vbs: 0.0,
+    };
+    let draw = |seed| {
+        use statvs::circuits::cells::DeviceFactory;
+        let mut f = McFactory::vs(
+            statvs::mosfet::vs::VsParams::nmos_40nm(),
+            statvs::mosfet::vs::VsParams::pmos_40nm(),
+            spec,
+            spec,
+            Sampler::from_seed(seed),
+        );
+        (f.nmos(geom).ids(bias), f.pmos(geom).ids(bias))
+    };
+    assert_eq!(draw(42), draw(42));
+    assert_ne!(draw(42), draw(43));
+}
