@@ -2,9 +2,9 @@
 //! (paper Eq. (10)), and the NNLS-vs-clamped-LS ablation the design calls
 //! out (negative variances must not escape).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mosfet::{vs::VsParams, Geometry, MismatchSpec, Polarity};
 use numerics::{nnls::nnls, qr, Matrix};
+use vsbench::microbench::{maybe_write_json, measure};
 use vscore::bpv::{predict_variances, solve_bpv, BpvConfig, MeasuredVariance};
 use vscore::sensitivity::{VariedModel, VsBuilder};
 
@@ -19,7 +19,7 @@ fn builders() -> Vec<VsBuilder> {
         .collect()
 }
 
-fn bench_bpv(c: &mut Criterion) {
+fn main() {
     let bs = builders();
     let truth = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
     let measured: Vec<MeasuredVariance> = bs
@@ -34,12 +34,11 @@ fn bench_bpv(c: &mut Criterion) {
         a_cinv: truth.a_cinv,
     };
 
-    c.bench_function("bpv_full_extraction", |b| {
-        b.iter(|| {
-            let refs: Vec<&dyn VariedModel> = bs.iter().map(|x| x as &dyn VariedModel).collect();
-            solve_bpv(&refs, &measured, &cfg).expect("consistent data solves")
-        })
-    });
+    let mut results = Vec::new();
+    results.push(measure("bpv_full_extraction", || {
+        let refs: Vec<&dyn VariedModel> = bs.iter().map(|x| x as &dyn VariedModel).collect();
+        solve_bpv(&refs, &measured, &cfg).expect("consistent data solves");
+    }));
 
     // Ablation: raw NNLS vs clamped least squares on a representative
     // ill-scaled system.
@@ -53,20 +52,13 @@ fn bench_bpv(c: &mut Criterion) {
     let b_vec: Vec<f64> = (0..4)
         .map(|i| (0..3).map(|j| a[(i, j)] * x_true[j]).sum())
         .collect();
-    let mut group = c.benchmark_group("alpha_squared_solvers");
-    group.bench_function("nnls", |bch| bch.iter(|| nnls(&a, &b_vec).expect("solvable")));
-    group.bench_function("clamped_lstsq", |bch| {
-        bch.iter(|| {
-            let x = qr::lstsq(&a, &b_vec).expect("solvable");
-            x.into_iter().map(|v| v.max(0.0)).collect::<Vec<f64>>()
-        })
-    });
-    group.finish();
-}
+    results.push(measure("alpha_squared_solvers/nnls", || {
+        nnls(&a, &b_vec).expect("solvable");
+    }));
+    results.push(measure("alpha_squared_solvers/clamped_lstsq", || {
+        let x = qr::lstsq(&a, &b_vec).expect("solvable");
+        let _: Vec<f64> = x.into_iter().map(|v| v.max(0.0)).collect();
+    }));
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30);
-    targets = bench_bpv
+    maybe_write_json(&results);
 }
-criterion_main!(benches);

@@ -1,45 +1,145 @@
-//! Device-level Monte Carlo throughput (Table III's workload): samples of
-//! `{Idsat, log10 Ioff, Cgg}` under Pelgrom mismatch, both model families.
+//! Monte Carlo throughput.
+//!
+//! Two levels:
+//!
+//! * **Device level** (Table III's workload): samples of
+//!   `{Idsat, log10 Ioff, Cgg}` under Pelgrom mismatch, both model
+//!   families.
+//! * **Circuit level** (Figs. 5–9's workload): repeated solves of one SRAM
+//!   topology with resampled devices, comparing the legacy shape (rebuild +
+//!   re-elaborate every sample) against the session shape
+//!   (`Session::swap_devices` + warm-started re-solve).
+//!
+//! Run `cargo bench --bench mc_throughput -- --json BENCH_mc_throughput.json`
+//! to refresh the perf-trajectory baseline at the repo root.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use mosfet::{bsim::BsimParams, vs::VsParams, Geometry, Polarity};
+use circuits::sram::{SnmBench, SnmMode, SramDevices, SramSizing};
+use mosfet::{vs::VsParams, Geometry, MismatchSpec, Polarity};
+use spice::Session;
 use stats::Sampler;
-use vscore::mc::device_metric_samples;
+use vsbench::microbench::{maybe_write_json, measure};
+use vscore::mc::{device_metric_samples, McFactory};
 use vscore::sensitivity::{BsimBuilder, VsBuilder};
 
-fn bench_mc(c: &mut Criterion) {
+fn mc_factory(seed: u64) -> McFactory {
+    let spec = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+    McFactory::vs(
+        VsParams::nmos_40nm(),
+        VsParams::pmos_40nm(),
+        spec,
+        spec,
+        Sampler::from_seed(seed),
+    )
+}
+
+fn main() {
+    let mut results = Vec::new();
+
+    // ---- device level ---------------------------------------------------
     let geom = Geometry::from_nm(600.0, 40.0);
-    let spec = mosfet::MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+    let spec = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
     let vs = VsBuilder {
         params: VsParams::nmos_40nm(),
         polarity: Polarity::Nmos,
         geom,
     };
     let kit = BsimBuilder {
-        params: BsimParams::nmos_40nm(),
+        params: mosfet::bsim::BsimParams::nmos_40nm(),
         polarity: Polarity::Nmos,
         geom,
     };
+    results.push(measure("device_mc_100_samples/vs", || {
+        let mut s = Sampler::from_seed(1);
+        device_metric_samples(&vs, &spec, 0.9, 100, &mut s);
+    }));
+    results.push(measure("device_mc_100_samples/bsim", || {
+        let mut s = Sampler::from_seed(1);
+        device_metric_samples(&kit, &spec, 0.9, 100, &mut s);
+    }));
 
-    let mut group = c.benchmark_group("device_mc_100_samples");
-    group.bench_function("vs", |b| {
-        b.iter(|| {
-            let mut s = Sampler::from_seed(1);
-            device_metric_samples(&vs, &spec, 0.9, 100, &mut s)
-        })
-    });
-    group.bench_function("bsim", |b| {
-        b.iter(|| {
-            let mut s = Sampler::from_seed(1);
-            device_metric_samples(&kit, &spec, 0.9, 100, &mut s)
-        })
-    });
-    group.finish();
-}
+    // ---- circuit level: full-cell DC operating point --------------------
+    // The inner solve of every SRAM Monte Carlo sample. "rebuild" is the
+    // pre-session architecture: construct the netlist and elaborate a fresh
+    // workspace per sample. "session" swaps the six devices into one live
+    // elaboration and warm-starts Newton from the previous sample's
+    // operating point.
+    let sz = SramSizing::default();
+    {
+        let mut seed = 0u64;
+        results.push(measure("sram_dc_sample/rebuild", || {
+            seed += 1;
+            let mut f = mc_factory(seed);
+            let devices = SramDevices::draw(sz, &mut f);
+            let (c, l, r) = circuits::sram::full_cell(&devices, 0.9);
+            let mut s = Session::elaborate(c).expect("well-formed");
+            // Extreme mismatch draws may settle in either stable state or
+            // fail to converge; both are part of the measured workload.
+            if let Ok(op) = s.dc_owned_with_guess(&[(l, 0.0), (r, 0.9)]) {
+                assert!(op.voltage(r).is_finite());
+            }
+        }));
+    }
+    {
+        let mut seed = 0u64;
+        let mut f0 = mc_factory(0);
+        let devices = SramDevices::draw(sz, &mut f0);
+        let (c, l, r) = circuits::sram::full_cell(&devices, 0.9);
+        let mut session = Session::elaborate(c).expect("well-formed");
+        // Select the basin once; subsequent samples warm-start from the
+        // previous sample's operating point instead of re-running the
+        // guessed continuation.
+        let _ = session
+            .dc_owned_with_guess(&[(l, 0.0), (r, 0.9)])
+            .expect("solves");
+        let _ = l;
+        results.push(measure("sram_dc_sample/session_swap", || {
+            seed += 1;
+            let mut f = mc_factory(seed);
+            let SramDevices { pd, pu, pg } = SramDevices::draw(sz, &mut f);
+            let [pd0, pd1] = pd;
+            let [pu0, pu1] = pu;
+            let [pg0, pg1] = pg;
+            session
+                .swap_devices([
+                    ("PD1", pd0),
+                    ("PD2", pd1),
+                    ("PU1", pu0),
+                    ("PU2", pu1),
+                    ("PG1", pg0),
+                    ("PG2", pg1),
+                ])
+                .expect("known instances");
+            if let Ok(op) = session.dc_owned() {
+                assert!(op.voltage(r).is_finite());
+            }
+        }));
+    }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_mc
+    // ---- circuit level: READ SNM (butterfly sweeps) ---------------------
+    {
+        let mut seed = 0u64;
+        results.push(measure("sram_read_snm_sample/rebuild", || {
+            seed += 1;
+            let mut f = mc_factory(seed);
+            let mut bench = SnmBench::new(sz, 0.9, SnmMode::Read, 31, &mut f).expect("well-formed");
+            if let Ok(s) = bench.snm() {
+                assert!(s.is_finite());
+            }
+        }));
+    }
+    {
+        let mut seed = 0u64;
+        let mut f0 = mc_factory(0);
+        let mut bench = SnmBench::new(sz, 0.9, SnmMode::Read, 31, &mut f0).expect("well-formed");
+        results.push(measure("sram_read_snm_sample/session_swap", || {
+            seed += 1;
+            let mut f = mc_factory(seed);
+            bench.resample(sz, &mut f).expect("known instances");
+            if let Ok(s) = bench.snm() {
+                assert!(s.is_finite());
+            }
+        }));
+    }
+
+    maybe_write_json(&results);
 }
-criterion_main!(benches);

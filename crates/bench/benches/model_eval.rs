@@ -4,10 +4,10 @@
 //! model needs fewer operations per (I, Q) evaluation than a full-featured
 //! BSIM4-class model.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use mosfet::{bsim::BsimModel, vs::VsModel, Bias, Geometry, MosfetModel};
+use vsbench::microbench::{maybe_write_json, measure};
 
-fn bench_models(c: &mut Criterion) {
+fn main() {
     let geom = Geometry::from_nm(600.0, 40.0);
     let vs = VsModel::nominal_nmos_40nm(geom);
     let kit = BsimModel::nominal_nmos_40nm(geom);
@@ -19,52 +19,30 @@ fn bench_models(c: &mut Criterion) {
         })
         .collect();
 
-    let mut group = c.benchmark_group("ids_eval");
-    group.bench_function("vs", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for &bias in &biases {
-                acc += vs.ids(black_box(bias));
-            }
-            acc
-        })
-    });
-    group.bench_function("bsim", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for &bias in &biases {
-                acc += kit.ids(black_box(bias));
-            }
-            acc
-        })
-    });
-    group.finish();
+    let mut results = Vec::new();
+    let mut sink = 0.0_f64;
+    results.push(measure("ids_eval_64pts/vs", || {
+        for &bias in &biases {
+            sink += vs.ids(bias);
+        }
+    }));
+    results.push(measure("ids_eval_64pts/bsim", || {
+        for &bias in &biases {
+            sink += kit.ids(bias);
+        }
+    }));
+    results.push(measure("charge_eval_64pts/vs", || {
+        for &bias in &biases {
+            sink += vs.charges(bias).qg;
+        }
+    }));
+    results.push(measure("charge_eval_64pts/bsim", || {
+        for &bias in &biases {
+            sink += kit.charges(bias).qg;
+        }
+    }));
+    // Keep the accumulator observable so the model calls are not dead code.
+    assert!(sink.is_finite());
 
-    let mut group = c.benchmark_group("charge_eval");
-    group.bench_function("vs", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for &bias in &biases {
-                acc += vs.charges(black_box(bias)).qg;
-            }
-            acc
-        })
-    });
-    group.bench_function("bsim", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for &bias in &biases {
-                acc += kit.charges(black_box(bias)).qg;
-            }
-            acc
-        })
-    });
-    group.finish();
+    maybe_write_json(&results);
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(40);
-    targets = bench_models
-}
-criterion_main!(benches);

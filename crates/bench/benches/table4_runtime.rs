@@ -1,5 +1,6 @@
 //! Table IV microbenchmark: one Monte Carlo sample of each paper workload
-//! (NAND2 transient, DFF transient, SRAM static) per model family.
+//! (NAND2 transient, DFF transient, SRAM static) per model family, all
+//! through persistent sessions with in-place device resampling.
 //!
 //! The `repro table4` experiment measures the full-scale wall-clock totals;
 //! this bench gives statistically robust per-sample numbers.
@@ -7,10 +8,10 @@
 use circuits::cells::InverterSizing;
 use circuits::delay::{DelayBench, GateKind};
 use circuits::dff::{DffBench, DffSizing};
-use circuits::sram::{read_disturb_ac, SramDevices, SramSizing};
-use criterion::{criterion_group, criterion_main, Criterion};
+use circuits::sram::{ReadDisturbBench, SramSizing};
 use mosfet::{bsim::BsimParams, vs::VsParams, MismatchSpec};
 use stats::Sampler;
+use vsbench::microbench::{maybe_write_json, measure};
 use vscore::mc::McFactory;
 
 fn factory(family: &str, seed: u64) -> McFactory {
@@ -33,49 +34,56 @@ fn factory(family: &str, seed: u64) -> McFactory {
     }
 }
 
-fn bench_table4(c: &mut Criterion) {
+fn main() {
+    let mut results = Vec::new();
     for family in ["vs", "bsim"] {
-        let mut group = c.benchmark_group(format!("table4_{family}"));
-        group.sample_size(12);
-        group.bench_function("nand2_tran_sample", |b| {
+        {
+            let mut f0 = factory(family, 0);
+            let mut bench = DelayBench::fo3(
+                GateKind::Nand2,
+                InverterSizing::from_nm(300.0, 300.0, 40.0),
+                0.9,
+                &mut f0,
+            );
             let mut seed = 0;
-            b.iter(|| {
+            results.push(measure(
+                &format!("table4_{family}/nand2_tran_sample"),
+                || {
+                    seed += 1;
+                    let mut f = factory(family, seed);
+                    bench.resample(&mut f);
+                    // Extreme mismatch draws may fail functionally; that
+                    // is part of the measured workload, not a bench error.
+                    let _ = bench.measure_delay(2e-12);
+                },
+            ));
+        }
+        {
+            let mut f0 = factory(family, 0);
+            let mut bench = DffBench::new(DffSizing::default(), 0.9, 150e-12, &mut f0);
+            let mut seed = 0;
+            results.push(measure(&format!("table4_{family}/dff_tran_sample"), || {
                 seed += 1;
                 let mut f = factory(family, seed);
-                DelayBench::fo3(
-                    GateKind::Nand2,
-                    InverterSizing::from_nm(300.0, 300.0, 40.0),
-                    0.9,
-                    &mut f,
-                )
-                .measure_delay(2e-12)
-            })
-        });
-        group.bench_function("dff_tran_sample", |b| {
-            let mut seed = 0;
-            b.iter(|| {
-                seed += 1;
-                let mut f = factory(family, seed);
-                DffBench::new(DffSizing::default(), 0.9, 150e-12, &mut f).captures(4e-12)
-            })
-        });
-        group.bench_function("sram_ac_sample", |b| {
+                bench.resample(&mut f);
+                let _ = bench.captures(4e-12);
+            }));
+        }
+        {
             let freqs = spice::ac::log_sweep(1e6, 1e11, 5);
+            let mut f0 = factory(family, 0);
+            let mut bench =
+                ReadDisturbBench::new(SramSizing::default(), 0.9, &mut f0).expect("well-formed");
             let mut seed = 0;
-            b.iter(|| {
+            results.push(measure(&format!("table4_{family}/sram_ac_sample"), || {
                 seed += 1;
                 let mut f = factory(family, seed);
-                let devices = SramDevices::draw(SramSizing::default(), &mut f);
-                read_disturb_ac(&devices, 0.9, &freqs)
-            })
-        });
-        group.finish();
+                bench
+                    .resample(SramSizing::default(), &mut f)
+                    .expect("known instances");
+                let _ = bench.run(&freqs);
+            }));
+        }
     }
+    maybe_write_json(&results);
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default();
-    targets = bench_table4
-}
-criterion_main!(benches);

@@ -1,33 +1,49 @@
-//! Circuit transient cost: one FO3 inverter delay run per model family
-//! (the inner loop of the paper's Figs. 5-7 Monte Carlo).
+//! Circuit transient cost: FO3 inverter delay runs per model family (the
+//! inner loop of the paper's Figs. 5-7 Monte Carlo), comparing per-run
+//! netlist rebuilds against one persistent session.
 
 use circuits::cells::{InverterSizing, NominalBsimFactory, NominalVsFactory};
 use circuits::delay::{DelayBench, GateKind};
-use criterion::{criterion_group, criterion_main, Criterion};
+use vsbench::microbench::{maybe_write_json, measure};
 
-fn bench_transient(c: &mut Criterion) {
+fn main() {
     let sz = InverterSizing::from_nm(600.0, 300.0, 40.0);
-    let mut group = c.benchmark_group("inv_fo3_delay");
-    group.bench_function("vs", |b| {
-        b.iter(|| {
-            let mut f = NominalVsFactory;
-            let bench = DelayBench::fo3(GateKind::Inverter, sz, 0.9, &mut f);
-            bench.measure_delay(1.5e-12).expect("nominal delay converges")
-        })
-    });
-    group.bench_function("bsim", |b| {
-        b.iter(|| {
-            let mut f = NominalBsimFactory;
-            let bench = DelayBench::fo3(GateKind::Inverter, sz, 0.9, &mut f);
-            bench.measure_delay(1.5e-12).expect("nominal delay converges")
-        })
-    });
-    group.finish();
-}
+    let mut results = Vec::new();
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_transient
+    results.push(measure("inv_fo3_delay/vs_rebuild", || {
+        let mut f = NominalVsFactory;
+        let mut bench = DelayBench::fo3(GateKind::Inverter, sz, 0.9, &mut f);
+        bench
+            .measure_delay(1.5e-12)
+            .expect("nominal delay converges");
+    }));
+    {
+        let mut f = NominalVsFactory;
+        let mut bench = DelayBench::fo3(GateKind::Inverter, sz, 0.9, &mut f);
+        results.push(measure("inv_fo3_delay/vs_session", || {
+            bench.resample(&mut NominalVsFactory);
+            bench
+                .measure_delay(1.5e-12)
+                .expect("nominal delay converges");
+        }));
+    }
+    results.push(measure("inv_fo3_delay/bsim_rebuild", || {
+        let mut f = NominalBsimFactory;
+        let mut bench = DelayBench::fo3(GateKind::Inverter, sz, 0.9, &mut f);
+        bench
+            .measure_delay(1.5e-12)
+            .expect("nominal delay converges");
+    }));
+    {
+        let mut f = NominalBsimFactory;
+        let mut bench = DelayBench::fo3(GateKind::Inverter, sz, 0.9, &mut f);
+        results.push(measure("inv_fo3_delay/bsim_session", || {
+            bench.resample(&mut NominalBsimFactory);
+            bench
+                .measure_delay(1.5e-12)
+                .expect("nominal delay converges");
+        }));
+    }
+
+    maybe_write_json(&results);
 }
-criterion_main!(benches);

@@ -96,7 +96,10 @@ fn main() -> ExitCode {
         let t = Instant::now();
         match experiments::run(name, &ctx) {
             Ok(report) => {
-                println!("================ {name} ({:.1?}) ================", t.elapsed());
+                println!(
+                    "================ {name} ({:.1?}) ================",
+                    t.elapsed()
+                );
                 println!("{report}");
                 // Persist the text report next to the CSVs.
                 let path = ctx.out_dir.join(format!("{name}.txt"));

@@ -2,7 +2,9 @@
 //! directory.
 
 use std::path::PathBuf;
-use vscore::pipeline::{extract_statistical_vs_model, CoreError, ExtractionConfig, ExtractionReport};
+use vscore::pipeline::{
+    extract_statistical_vs_model, CoreError, ExtractionConfig, ExtractionReport,
+};
 
 /// Everything an experiment needs.
 #[derive(Debug)]

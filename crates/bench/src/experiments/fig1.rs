@@ -10,17 +10,22 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
     let kit = &ctx.extraction.kit;
     let geom = Geometry::from_nm(300.0, 40.0); // paper: W = 300 nm
     let mut table = TextTable::new(&[
-        "polarity", "rms ln error", "Idsat kit", "Idsat VS", "Ioff kit", "Ioff VS",
+        "polarity",
+        "rms ln error",
+        "Idsat kit",
+        "Idsat VS",
+        "Ioff kit",
+        "Ioff VS",
     ]);
-    let mut report = String::from("Fig. 1 — nominal VS fit to the golden kit (W=300nm, L=40nm)\n\n");
+    let mut report =
+        String::from("Fig. 1 — nominal VS fit to the golden kit (W=300nm, L=40nm)\n\n");
 
     for (polarity, rep) in [
         (Polarity::Nmos, &ctx.extraction.nmos),
         (Polarity::Pmos, &ctx.extraction.pmos),
     ] {
         let vs = VsModel::new(rep.fit.params, polarity, geom);
-        let kit_dev =
-            mosfet::bsim::BsimModel::new(kit.corner(polarity).params, polarity, geom);
+        let kit_dev = mosfet::bsim::BsimModel::new(kit.corner(polarity).params, polarity, geom);
         let s = polarity.sign();
         let iv = kit.nominal_iv(polarity, geom);
         let rows: Vec<Vec<f64>> = iv
@@ -38,7 +43,12 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
             })
             .collect();
         let name = format!("fig1_iv_{}.csv", polarity.to_string().to_lowercase());
-        write_csv(&ctx.out_dir, &name, &["vgs", "vds", "id_kit", "id_vs"], rows)?;
+        write_csv(
+            &ctx.out_dir,
+            &name,
+            &["vgs", "vds", "id_kit", "id_vs"],
+            rows,
+        )?;
 
         let vdd = ctx.vdd();
         let idsat_kit = kit_dev

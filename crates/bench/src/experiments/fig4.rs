@@ -29,8 +29,7 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
         geom,
     };
     let kit_samples = device_metric_samples(&kit_builder, &rep.truth, ctx.vdd(), n, &mut sampler);
-    let vs_samples =
-        device_metric_samples(&vs_builder, &rep.extracted, ctx.vdd(), n, &mut sampler);
+    let vs_samples = device_metric_samples(&vs_builder, &rep.extracted, ctx.vdd(), n, &mut sampler);
 
     // Scatter CSV (kit points — the "1000 Monte Carlo Data" of the figure).
     write_csv(
@@ -46,7 +45,14 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
         vs_samples.iter().map(|s| vec![s.idsat, s.log10_ioff]),
     )?;
 
-    let mut table = TextTable::new(&["model", "µ(Ion) uA", "σ(Ion) uA", "µ(logIoff)", "σ(logIoff)", "corr"]);
+    let mut table = TextTable::new(&[
+        "model",
+        "µ(Ion) uA",
+        "σ(Ion) uA",
+        "µ(logIoff)",
+        "σ(logIoff)",
+        "corr",
+    ]);
     let mut biv = Vec::new();
     for (label, samples) in [("kit", &kit_samples), ("vs", &vs_samples)] {
         let xs: Vec<f64> = samples.iter().map(|s| s.idsat).collect();
@@ -72,9 +78,8 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
         ]);
         biv.push(b);
     }
-    let mut report = format!(
-        "Fig. 4 — Ion/log10(Ioff) bivariate comparison (NMOS 600/40, {n} MC samples)\n\n"
-    );
+    let mut report =
+        format!("Fig. 4 — Ion/log10(Ioff) bivariate comparison (NMOS 600/40, {n} MC samples)\n\n");
     report.push_str(&table.render());
     report.push_str(&format!(
         "\nellipse agreement: σ(Ion) ratio {:.3}, σ(logIoff) ratio {:.3}, corr kit {:.3} vs VS {:.3}\nCSV: fig4_scatter_*.csv, fig4_ellipse_*_{{1,2,3}}sigma.csv\n",

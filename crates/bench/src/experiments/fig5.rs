@@ -11,6 +11,10 @@ use stats::Summary;
 
 /// Collects Monte Carlo delay samples for one gate/size/model combination.
 ///
+/// The testbench is elaborated into one persistent session; every trial
+/// swaps freshly drawn devices in place ([`DelayBench::resample`]) and
+/// re-runs warm-started — no per-sample netlist rebuild.
+///
 /// Functional failures (missing output edges under extreme mismatch) are
 /// skipped, matching standard Monte Carlo practice; the skip count is
 /// returned so reports can surface it.
@@ -25,6 +29,7 @@ pub fn delay_samples(
 ) -> (Vec<f64>, usize) {
     let mut out = Vec::with_capacity(n);
     let mut failures = 0;
+    let mut bench: Option<DelayBench> = None;
     for trial in 0..n {
         let seed = ctx
             .seed
@@ -35,8 +40,17 @@ pub fn delay_samples(
             "vs" => ctx.vs_factory(seed),
             _ => ctx.kit_factory(seed),
         };
-        let bench = DelayBench::fo3(kind, sz, vdd, &mut f);
-        match bench.measure_delay(bench.default_dt()) {
+        // First trial builds (and draws through the factory); later trials
+        // swap devices into the same elaboration.
+        let b = match bench.as_mut() {
+            Some(b) => {
+                b.resample(&mut f);
+                b
+            }
+            None => bench.insert(DelayBench::fo3(kind, sz, vdd, &mut f)),
+        };
+        let dt = b.default_dt();
+        match b.measure_delay(dt) {
             Ok(d) => out.push(d),
             Err(_) => failures += 1,
         }
@@ -57,14 +71,22 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
         "sigma/mean (%)",
         "fails",
     ]);
-    let mut report = format!("Fig. 5 — INV FO3 delay PDFs, {n} MC samples per size/model, Vdd=0.9V\n\n");
+    let mut report =
+        format!("Fig. 5 — INV FO3 delay PDFs, {n} MC samples per size/model, Vdd=0.9V\n\n");
     let mut worst_sigma_ratio = 1.0_f64;
 
     for (si, (&sz, label)) in sizes.iter().zip(size_labels).enumerate() {
         let mut sigmas = [0.0; 2];
         for (mi, family) in ["bsim", "vs"].into_iter().enumerate() {
-            let (samples, failures) =
-                delay_samples(ctx, GateKind::Inverter, sz, ctx.vdd(), n, family, si as u64 * 100);
+            let (samples, failures) = delay_samples(
+                ctx,
+                GateKind::Inverter,
+                sz,
+                ctx.vdd(),
+                n,
+                family,
+                si as u64 * 100,
+            );
             let s = Summary::from_slice(&samples);
             sigmas[mi] = s.std;
             // KDE curve for the PDF plot.

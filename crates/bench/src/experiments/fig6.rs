@@ -5,7 +5,8 @@ use super::ExpResult;
 use crate::report::{eng, write_csv, TextTable};
 use crate::ExperimentContext;
 use circuits::cells::InverterSizing;
-use circuits::leakage::measure_leakage_frequency;
+use circuits::delay::{DelayBench, GateKind};
+use circuits::leakage::leakage_frequency_of;
 use stats::Summary;
 
 /// Regenerates the leakage/frequency scatter.
@@ -29,13 +30,22 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
         let mut leaks = Vec::with_capacity(n);
         let mut freqs = Vec::with_capacity(n);
         let mut failures = 0;
+        // One elaborated bench per family; trials swap devices in place.
+        let mut bench: Option<DelayBench> = None;
         for trial in 0..n {
             let seed = ctx.seed.wrapping_add(0xf16_6000).wrapping_add(trial as u64);
             let mut f = match family {
                 "vs" => ctx.vs_factory(seed),
                 _ => ctx.kit_factory(seed),
             };
-            match measure_leakage_frequency(sz, ctx.vdd(), &mut f) {
+            let b = match bench.as_mut() {
+                Some(b) => {
+                    b.resample(&mut f);
+                    b
+                }
+                None => bench.insert(DelayBench::fo3(GateKind::Inverter, sz, ctx.vdd(), &mut f)),
+            };
+            match leakage_frequency_of(b) {
                 Ok(lf) => {
                     leaks.push(lf.leakage);
                     freqs.push(lf.frequency);

@@ -28,14 +28,22 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
         "3σ corner err (%)",
         "fails",
     ]);
-    let mut report = format!("Fig. 7 — NAND2 FO3 delay distributions, {n} MC samples per point\n\n");
+    let mut report =
+        format!("Fig. 7 — NAND2 FO3 delay distributions, {n} MC samples per point\n\n");
     let mut vs_skews = Vec::new();
     let mut kit_skews = Vec::new();
 
     for (vi, &vdd) in supplies.iter().enumerate() {
         for family in ["bsim", "vs"] {
-            let (samples, failures) =
-                delay_samples(ctx, GateKind::Nand2, sz, vdd, n, family, 7000 + vi as u64 * 10);
+            let (samples, failures) = delay_samples(
+                ctx,
+                GateKind::Nand2,
+                sz,
+                vdd,
+                n,
+                family,
+                7000 + vi as u64 * 10,
+            );
             let s = Summary::from_slice(&samples);
             let qq = QqPlot::from_sample(&samples);
             let kde = Kde::from_sample(&samples);

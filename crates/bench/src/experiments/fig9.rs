@@ -5,7 +5,7 @@
 use super::ExpResult;
 use crate::report::{write_csv, TextTable};
 use crate::ExperimentContext;
-use circuits::sram::{butterfly, SnmMode, SramDevices, SramSizing};
+use circuits::sram::{SnmBench, SnmMode, SramSizing};
 use stats::kde::Kde;
 use stats::qq::QqPlot;
 use stats::Summary;
@@ -15,17 +15,28 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
     let n = ctx.samples(2500);
     let sz = SramSizing::default();
     let mut table = TextTable::new(&[
-        "mode", "model", "mean SNM (mV)", "sigma (mV)", "skewness", "QQ r", "fails",
+        "mode",
+        "model",
+        "mean SNM (mV)",
+        "sigma (mV)",
+        "skewness",
+        "QQ r",
+        "fails",
     ]);
-    let mut report = format!("Fig. 9 — 6T SRAM butterfly and SNM, {n} MC samples per mode/model\n\n");
+    let mut report =
+        format!("Fig. 9 — 6T SRAM butterfly and SNM, {n} MC samples per mode/model\n\n");
 
     // Nominal butterfly curves (the characteristic pattern of Fig. 9a/d)
     // plus a handful of Monte Carlo traces from the VS model.
     for (mode, tag) in [(SnmMode::Read, "read"), (SnmMode::Hold, "hold")] {
         let mut f = ctx.vs_factory(ctx.seed ^ 0x5afe);
+        // Half-cell sessions elaborate once; each trace swaps fresh devices.
+        let mut bench = SnmBench::new(sz, ctx.vdd(), mode, 61, &mut f)?;
         for trace in 0..6 {
-            let devices = SramDevices::draw(sz, &mut f);
-            let (c1, c2) = butterfly(&devices, ctx.vdd(), mode, 61)?;
+            if trace > 0 {
+                bench.resample(sz, &mut f)?;
+            }
+            let (c1, c2) = bench.curves()?;
             write_csv(
                 &ctx.out_dir,
                 &format!("fig9_butterfly_{tag}_vs_trace{trace}.csv"),
@@ -41,13 +52,21 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
         for family in ["bsim", "vs"] {
             let mut samples = Vec::with_capacity(n);
             let mut failures = 0;
+            let mut bench: Option<SnmBench> = None;
             for trial in 0..n {
                 let seed = ctx.seed.wrapping_add(0x54a8).wrapping_add(trial as u64);
                 let mut f = match family {
                     "vs" => ctx.vs_factory(seed),
                     _ => ctx.kit_factory(seed),
                 };
-                match circuits::sram::measure_snm(sz, ctx.vdd(), mode, 61, &mut f) {
+                let result = match bench.as_mut() {
+                    Some(b) => b.resample(sz, &mut f).and_then(|()| b.snm()),
+                    None => match SnmBench::new(sz, ctx.vdd(), mode, 61, &mut f) {
+                        Ok(b) => bench.insert(b).snm(),
+                        Err(e) => Err(e),
+                    },
+                };
+                match result {
                     Ok(s) => samples.push(s),
                     Err(_) => failures += 1,
                 }

@@ -16,18 +16,19 @@ use crate::ExperimentContext;
 use circuits::cells::InverterSizing;
 use circuits::delay::{DelayBench, GateKind};
 use circuits::dff::{DffBench, DffSizing};
-use circuits::sram::{read_disturb_ac, SramDevices, SramSizing};
+use circuits::sram::{ReadDisturbBench, SramSizing};
 use std::time::Instant;
 
-/// Runs one family's workload; returns (elapsed seconds, completed runs).
-fn run_workload(
-    ctx: &ExperimentContext,
-    family: &str,
-    cell: &str,
-    n: usize,
-) -> (f64, usize) {
+/// Runs one family's workload through a single persistent session
+/// (elaborate once, swap devices per trial); returns (elapsed seconds,
+/// completed runs).
+fn run_workload(ctx: &ExperimentContext, family: &str, cell: &str, n: usize) -> (f64, usize) {
     let t0 = Instant::now();
     let mut done = 0;
+    let mut delay_bench: Option<DelayBench> = None;
+    let mut dff_bench: Option<DffBench> = None;
+    let mut sram_bench: Option<ReadDisturbBench> = None;
+    let sram_freqs = spice::ac::log_sweep(1e6, 1e11, 5);
     for trial in 0..n {
         let seed = ctx.seed.wrapping_add(0x7ab4).wrapping_add(trial as u64);
         let mut f = match family {
@@ -35,23 +36,48 @@ fn run_workload(
             _ => ctx.kit_factory(seed),
         };
         let ok = match cell {
-            "nand2" => DelayBench::fo3(
-                GateKind::Nand2,
-                InverterSizing::from_nm(300.0, 300.0, 40.0),
-                ctx.vdd(),
-                &mut f,
-            )
-            .measure_delay(2e-12)
-            .is_ok(),
-            "dff" => DffBench::new(DffSizing::default(), ctx.vdd(), 150e-12, &mut f)
-                .captures(4e-12)
-                .is_ok(),
+            "nand2" => {
+                let b = match delay_bench.as_mut() {
+                    Some(b) => {
+                        b.resample(&mut f);
+                        b
+                    }
+                    None => delay_bench.insert(DelayBench::fo3(
+                        GateKind::Nand2,
+                        InverterSizing::from_nm(300.0, 300.0, 40.0),
+                        ctx.vdd(),
+                        &mut f,
+                    )),
+                };
+                b.measure_delay(2e-12).is_ok()
+            }
+            "dff" => {
+                let b = match dff_bench.as_mut() {
+                    Some(b) => {
+                        b.resample(&mut f);
+                        b
+                    }
+                    None => dff_bench.insert(DffBench::new(
+                        DffSizing::default(),
+                        ctx.vdd(),
+                        150e-12,
+                        &mut f,
+                    )),
+                };
+                b.captures(4e-12).is_ok()
+            }
             _ => {
                 // The paper's "SRAM AC": small-signal sweep of the read-
                 // disturb transfer, 25 log-spaced points per sample.
-                let devices = SramDevices::draw(SramSizing::default(), &mut f);
-                let freqs = spice::ac::log_sweep(1e6, 1e11, 5);
-                read_disturb_ac(&devices, ctx.vdd(), &freqs).is_ok()
+                let sz = SramSizing::default();
+                let result = match sram_bench.as_mut() {
+                    Some(b) => b.resample(sz, &mut f).and_then(|()| b.run(&sram_freqs)),
+                    None => match ReadDisturbBench::new(sz, ctx.vdd(), &mut f) {
+                        Ok(b) => sram_bench.insert(b).run(&sram_freqs),
+                        Err(e) => Err(e),
+                    },
+                };
+                result.is_ok()
             }
         };
         if ok {
@@ -69,9 +95,15 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
         ("SRAM", "sram", "AC", ctx.samples(2000)),
     ];
     let mut table = TextTable::new(&[
-        "cell", "analysis", "samples", "VS runtime", "kit runtime", "speedup",
+        "cell",
+        "analysis",
+        "samples",
+        "VS runtime",
+        "kit runtime",
+        "speedup",
     ]);
-    let mut report = String::from("Table IV — Monte Carlo runtime comparison (same simulator, both models)\n\n");
+    let mut report =
+        String::from("Table IV — Monte Carlo runtime comparison (same simulator, both models)\n\n");
     let mut speedups = Vec::new();
     for (label, cell, analysis, n) in workloads {
         let (t_vs, _) = run_workload(ctx, "vs", cell, n);

@@ -59,9 +59,7 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
             for _ in 0..n {
                 let model: Box<dyn MosfetModel> = match family {
                     "vs" => {
-                        let delta = rep
-                            .extracted
-                            .sample(geom, || sampler.standard_normal());
+                        let delta = rep.extracted.sample(geom, || sampler.standard_normal());
                         Box::new(mosfet::vs::VsModel::with_variation(
                             rep.fit.params,
                             Polarity::Nmos,
@@ -93,10 +91,16 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
         let s_vs_off = Summary::from_slice(&vs_off).std;
         let r_on = s_vs_on / s_kit_on;
         let r_off = s_vs_off / s_kit_off;
-        worst = worst
-            .max(r_on.max(1.0 / r_on))
-            .max(r_off.max(1.0 / r_off));
-        rows.push(vec![vdd, s_kit_on * 1e6, s_vs_on * 1e6, r_on, s_kit_off, s_vs_off, r_off]);
+        worst = worst.max(r_on.max(1.0 / r_on)).max(r_off.max(1.0 / r_off));
+        rows.push(vec![
+            vdd,
+            s_kit_on * 1e6,
+            s_vs_on * 1e6,
+            r_on,
+            s_kit_off,
+            s_vs_off,
+            r_off,
+        ]);
         table.row(vec![
             format!("{vdd}"),
             format!("{:.2}", s_kit_on * 1e6),

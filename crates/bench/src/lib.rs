@@ -6,8 +6,8 @@
 //! `repro` binary dispatches to them:
 //!
 //! ```text
-//! cargo run --release -p vs-bench --bin repro -- all
-//! cargo run --release -p vs-bench --bin repro -- fig5 --fast
+//! cargo run --release -p vsbench --bin repro -- all
+//! cargo run --release -p vsbench --bin repro -- fig5 --fast
 //! ```
 //!
 //! | command  | paper artifact | content |
@@ -27,6 +27,7 @@
 
 pub mod context;
 pub mod experiments;
+pub mod microbench;
 pub mod report;
 
 pub use context::ExperimentContext;

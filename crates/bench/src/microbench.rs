@@ -1,0 +1,157 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace is dependency-free, so the bench targets cannot use
+//! criterion; this module provides the small slice of it they need:
+//! warmup, batched timing until a time budget is met, and median-of-batches
+//! reporting. Bench binaries are `harness = false` and call [`measure`]
+//! directly from `main`.
+//!
+//! The per-case time budget defaults to 0.5 s and can be overridden with
+//! the `STATVS_BENCH_SECONDS` environment variable (e.g. `0.05` for smoke
+//! runs, `2` for stable numbers).
+
+use std::time::Instant;
+
+/// One benchmark case's result.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Case label (e.g. "device_mc_100_samples/vs").
+    pub label: String,
+    /// Median seconds per iteration across batches.
+    pub secs_per_iter: f64,
+    /// Total iterations executed.
+    pub iters: u64,
+}
+
+impl Measurement {
+    /// Iterations per second (1 / secs_per_iter).
+    pub fn per_sec(&self) -> f64 {
+        1.0 / self.secs_per_iter
+    }
+}
+
+/// The per-case wall-clock budget, s.
+fn budget_secs() -> f64 {
+    std::env::var("STATVS_BENCH_SECONDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5)
+}
+
+/// Times `f` in batches until the budget elapses (at least 3 batches) and
+/// prints + returns the median batch rate.
+pub fn measure<F: FnMut()>(label: &str, mut f: F) -> Measurement {
+    // Warmup + batch sizing: grow the batch until it costs ~1/10 budget.
+    let budget = budget_secs();
+    let mut batch = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= budget / 10.0 || batch >= 1 << 20 {
+            break;
+        }
+        // Aim the next probe at ~1/8 of the budget.
+        let scale = if dt > 0.0 {
+            ((budget / 8.0 / dt).ceil() as u64).clamp(2, 64)
+        } else {
+            16
+        };
+        batch = batch.saturating_mul(scale);
+    }
+
+    let mut per_iter: Vec<f64> = Vec::new();
+    let mut iters = 0u64;
+    let t_all = Instant::now();
+    while per_iter.len() < 3 || t_all.elapsed().as_secs_f64() < budget {
+        let t0 = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        per_iter.push(t0.elapsed().as_secs_f64() / batch as f64);
+        iters += batch;
+        if per_iter.len() >= 64 {
+            break;
+        }
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = per_iter[per_iter.len() / 2];
+    let m = Measurement {
+        label: label.to_string(),
+        secs_per_iter: median,
+        iters,
+    };
+    println!(
+        "{:<44} {:>12}/iter   ({:.2} iters/s, {} iters)",
+        m.label,
+        fmt_secs(median),
+        m.per_sec(),
+        m.iters
+    );
+    m
+}
+
+/// Pretty-prints a duration in engineering units.
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Serializes measurements as a flat JSON object
+/// `{ "<label>": {"secs_per_iter": ..., "per_sec": ...}, ... }` — the
+/// format of the repo's `BENCH_*.json` perf-trajectory baselines.
+pub fn to_json(measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "  \"{}\": {{ \"secs_per_iter\": {:.6e}, \"per_sec\": {:.3} }}{}\n",
+            m.label,
+            m.secs_per_iter,
+            m.per_sec(),
+            if i + 1 == measurements.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Writes the JSON report when the bench was invoked with `--json <path>`.
+pub fn maybe_write_json(measurements: &[Measurement]) {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            let path = args.next().expect("--json needs a path");
+            std::fs::write(&path, to_json(measurements)).expect("writable json path");
+            eprintln!("wrote {path}");
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_serializes() {
+        std::env::set_var("STATVS_BENCH_SECONDS", "0.01");
+        let mut x = 0u64;
+        let m = measure("smoke", || {
+            x = x.wrapping_add(1);
+        });
+        assert!(m.secs_per_iter > 0.0);
+        assert!(m.iters > 0);
+        let json = to_json(&[m]);
+        assert!(json.contains("\"smoke\""));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -1,7 +1,7 @@
 //! Standard-cell primitives and the device factory abstraction.
 
-use mosfet::{bsim::BsimModel, vs::VsModel, Geometry, MosfetModel};
-use spice::{Circuit, NodeId};
+use mosfet::{bsim::BsimModel, vs::VsModel, Geometry, MosfetModel, Polarity};
+use spice::{Circuit, NodeId, Session};
 
 /// Supplies MOSFET model instances while a netlist is being built.
 ///
@@ -92,6 +92,18 @@ impl InverterSizing {
             l: self.l,
         }
     }
+}
+
+/// Resamples every MOSFET of an elaborated session from a device factory,
+/// preserving each instance's polarity and geometry — the Monte Carlo inner
+/// loop: one elaboration, thousands of in-place device swaps.
+///
+/// Returns the number of devices swapped.
+pub fn resample_devices(session: &mut Session, f: &mut dyn DeviceFactory) -> usize {
+    session.swap_all_mosfets(|_, old| match old.polarity() {
+        Polarity::Nmos => f.nmos(old.geometry()),
+        Polarity::Pmos => f.pmos(old.geometry()),
+    })
 }
 
 /// Adds a CMOS inverter. Bulk terminals tie to the rails.
@@ -206,11 +218,20 @@ mod tests {
         let out = c.node("out");
         c.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(VDD));
         c.vsource("VIN", vin, Circuit::GROUND, Waveform::dc(0.0));
-        add_inverter(&mut c, "X1", vin, out, vdd, InverterSizing::from_nm(600.0, 300.0, 40.0), &mut f);
-        let lo = c.dc_op().unwrap().voltage(out);
+        add_inverter(
+            &mut c,
+            "X1",
+            vin,
+            out,
+            vdd,
+            InverterSizing::from_nm(600.0, 300.0, 40.0),
+            &mut f,
+        );
+        let mut s = Session::elaborate(c).unwrap();
+        let lo = s.dc_owned().unwrap().voltage(out);
         assert!(lo > 0.95 * VDD);
-        c.set_vsource("VIN", Waveform::dc(VDD)).unwrap();
-        let hi = c.dc_op().unwrap().voltage(out);
+        s.set_source("VIN", Waveform::dc(VDD)).unwrap();
+        let hi = s.dc_owned().unwrap().voltage(out);
         assert!(hi < 0.05 * VDD);
     }
 
@@ -225,16 +246,26 @@ mod tests {
         c.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(VDD));
         c.vsource("VA", a, Circuit::GROUND, Waveform::dc(0.0));
         c.vsource("VB", b, Circuit::GROUND, Waveform::dc(0.0));
-        add_nand2(&mut c, "X1", a, b, out, vdd, InverterSizing::from_nm(300.0, 300.0, 40.0), &mut f);
+        add_nand2(
+            &mut c,
+            "X1",
+            a,
+            b,
+            out,
+            vdd,
+            InverterSizing::from_nm(300.0, 300.0, 40.0),
+            &mut f,
+        );
+        let mut s = Session::elaborate(c).unwrap();
         for (va, vb, expect_high) in [
             (0.0, 0.0, true),
             (VDD, 0.0, true),
             (0.0, VDD, true),
             (VDD, VDD, false),
         ] {
-            c.set_vsource("VA", Waveform::dc(va)).unwrap();
-            c.set_vsource("VB", Waveform::dc(vb)).unwrap();
-            let v = c.dc_op().unwrap().voltage(out);
+            s.set_source("VA", Waveform::dc(va)).unwrap();
+            s.set_source("VB", Waveform::dc(vb)).unwrap();
+            let v = s.dc_owned().unwrap().voltage(out);
             if expect_high {
                 assert!(v > 0.9 * VDD, "a={va}, b={vb}: out = {v}");
             } else {
@@ -254,12 +285,53 @@ mod tests {
         let src = c.node("src");
         let dst = c.node("dst");
         c.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(VDD));
-        c.vsource("VS", src, Circuit::GROUND, Waveform::step(0.0, VDD, 0.05e-9, 10e-12));
+        c.vsource(
+            "VS",
+            src,
+            Circuit::GROUND,
+            Waveform::step(0.0, VDD, 0.05e-9, 10e-12),
+        );
         add_pass_nmos(&mut c, "MP1", src, dst, vdd, 300e-9, 40e-9, &mut f);
         c.capacitor("CL", dst, Circuit::GROUND, 5e-15);
-        let res = c.tran(&spice::TranOptions::new(2e-9, 4e-12)).unwrap();
-        let v = *res.voltage(dst).last().unwrap();
+        let res = Session::elaborate(c)
+            .unwrap()
+            .tran_owned(&spice::TranOptions::new(2e-9, 4e-12))
+            .unwrap();
+        let v = *res.voltages(dst).last().unwrap();
         assert!(v > 0.25 && v < VDD - 0.15, "degraded high = {v}");
+    }
+
+    #[test]
+    fn resample_preserves_polarity_and_geometry() {
+        let mut f = NominalVsFactory;
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(VDD));
+        c.vsource("VIN", vin, Circuit::GROUND, Waveform::dc(0.0));
+        add_inverter(
+            &mut c,
+            "X1",
+            vin,
+            out,
+            vdd,
+            InverterSizing::from_nm(600.0, 300.0, 40.0),
+            &mut f,
+        );
+        let mut s = Session::elaborate(c).unwrap();
+        // Resample into the other model family: polarity/geometry carry over.
+        let n = resample_devices(&mut s, &mut NominalBsimFactory);
+        assert_eq!(n, 2);
+        for e in s.circuit().elements() {
+            if let spice::elements::Element::Mosfet { model, .. } = e {
+                assert_eq!(model.name(), "bsim");
+                assert!(model.geometry().l_nm() > 39.0);
+            }
+        }
+        // The swapped netlist still inverts.
+        let lo = s.dc_owned().unwrap().voltage(out);
+        assert!(lo > 0.95 * VDD);
     }
 
     #[test]

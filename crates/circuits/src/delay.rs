@@ -4,10 +4,15 @@
 //! with three copies of itself (true gate loading, not a lumped capacitor),
 //! then measures the average of the rising- and falling-edge propagation
 //! delays at the 50% level.
+//!
+//! A bench owns one elaborated [`Session`]: Monte Carlo loops call
+//! [`DelayBench::resample`] + [`DelayBench::measure_delay`] per sample —
+//! the netlist is never rebuilt and each solve warm-starts from the
+//! previous sample's operating point.
 
-use crate::cells::{add_inverter, add_nand2, DeviceFactory, InverterSizing};
+use crate::cells::{add_inverter, add_nand2, resample_devices, DeviceFactory, InverterSizing};
 use spice::measure::{cross_time, Edge};
-use spice::{Circuit, NodeId, SpiceError, TranOptions, Waveform};
+use spice::{Circuit, NodeId, Session, SpiceError, TranOptions, Waveform};
 
 /// Which gate the bench instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,9 +24,9 @@ pub enum GateKind {
 }
 
 /// A constructed delay testbench.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DelayBench {
-    circuit: Circuit,
+    session: Session,
     input: NodeId,
     output: NodeId,
     vdd_value: f64,
@@ -33,12 +38,18 @@ const T_EDGE: f64 = 15e-12;
 const T_WIDTH: f64 = 400e-12;
 
 impl DelayBench {
-    /// Builds a fanout-of-3 bench for the given gate, sizing, and supply.
+    /// Builds a fanout-of-3 bench for the given gate, sizing, and supply,
+    /// and elaborates it into a persistent session.
     ///
     /// The DUT output drives three identical gates; each load gate's output
     /// carries a small wire capacitance so its devices see realistic
     /// waveforms.
-    pub fn fo3(kind: GateKind, sz: InverterSizing, vdd_value: f64, f: &mut dyn DeviceFactory) -> Self {
+    pub fn fo3(
+        kind: GateKind,
+        sz: InverterSizing,
+        vdd_value: f64,
+        f: &mut dyn DeviceFactory,
+    ) -> Self {
         let mut c = Circuit::new();
         let vdd = c.node("vdd");
         let input = c.node("in");
@@ -58,12 +69,13 @@ impl DelayBench {
                 period: 0.0,
             },
         );
-        let add_gate = |c: &mut Circuit, name: &str, a: NodeId, out: NodeId, f: &mut dyn DeviceFactory| {
-            match kind {
-                GateKind::Inverter => add_inverter(c, name, a, out, vdd, sz, f),
-                GateKind::Nand2 => add_nand2(c, name, a, vdd, out, vdd, sz, f),
-            }
-        };
+        let add_gate =
+            |c: &mut Circuit, name: &str, a: NodeId, out: NodeId, f: &mut dyn DeviceFactory| {
+                match kind {
+                    GateKind::Inverter => add_inverter(c, name, a, out, vdd, sz, f),
+                    GateKind::Nand2 => add_nand2(c, name, a, vdd, out, vdd, sz, f),
+                }
+            };
         add_gate(&mut c, "DUT", input, output, f);
         for k in 0..3 {
             let lo = c.node(&format!("load{k}"));
@@ -72,16 +84,21 @@ impl DelayBench {
             c.capacitor(&format!("CW{k}"), lo, Circuit::GROUND, 0.2e-15);
         }
         DelayBench {
-            circuit: c,
+            session: Session::elaborate(c).expect("bench netlist is well-formed"),
             input,
             output,
             vdd_value,
         }
     }
 
-    /// Access to the underlying circuit (for leakage analysis etc.).
+    /// Read access to the underlying circuit.
     pub fn circuit(&self) -> &Circuit {
-        &self.circuit
+        self.session.circuit()
+    }
+
+    /// The underlying session (leakage analysis, custom stimuli).
+    pub fn session_mut(&mut self) -> &mut Session {
+        &mut self.session
     }
 
     /// Input node.
@@ -94,6 +111,17 @@ impl DelayBench {
         self.output
     }
 
+    /// Supply voltage the bench was built for.
+    pub fn vdd(&self) -> f64 {
+        self.vdd_value
+    }
+
+    /// Redraws every MOSFET of the bench from the factory in place (no
+    /// re-elaboration); returns the number of devices swapped.
+    pub fn resample(&mut self, f: &mut dyn DeviceFactory) -> usize {
+        resample_devices(&mut self.session, f)
+    }
+
     /// Runs the transient and returns the average of the rising- and
     /// falling-edge propagation delays (50% crossings), in seconds.
     ///
@@ -102,25 +130,27 @@ impl DelayBench {
     /// Propagates simulator failures; returns
     /// [`SpiceError::NoConvergence`]-style errors when an edge is missing
     /// (functional failure under extreme mismatch).
-    pub fn measure_delay(&self, dt: f64) -> Result<f64, SpiceError> {
+    pub fn measure_delay(&mut self, dt: f64) -> Result<f64, SpiceError> {
         let tstop = T_DELAY + 2.0 * T_EDGE + 2.0 * T_WIDTH;
-        let res = self.circuit.tran(&TranOptions::new(tstop, dt))?;
+        let res = self.session.tran_owned(&TranOptions::new(tstop, dt))?;
         let t = res.times();
-        let vin = res.voltage(self.input);
-        let vout = res.voltage(self.output);
+        let vin = res.voltages(self.input);
+        let vout = res.voltages(self.output);
         let half = self.vdd_value / 2.0;
         let miss = |which: &str| SpiceError::NoConvergence {
             analysis: "delay measurement",
             detail: format!("missing {which} crossing"),
         };
         // Input rising edge -> output falling.
-        let t_in_r = cross_time(t, &vin, half, Edge::Rising, 0.0).ok_or_else(|| miss("input rising"))?;
-        let t_out_f =
-            cross_time(t, &vout, half, Edge::Falling, t_in_r).ok_or_else(|| miss("output falling"))?;
+        let t_in_r =
+            cross_time(t, &vin, half, Edge::Rising, 0.0).ok_or_else(|| miss("input rising"))?;
+        let t_out_f = cross_time(t, &vout, half, Edge::Falling, t_in_r)
+            .ok_or_else(|| miss("output falling"))?;
         // Input falling edge -> output rising.
-        let t_in_f = cross_time(t, &vin, half, Edge::Falling, t_in_r).ok_or_else(|| miss("input falling"))?;
-        let t_out_r =
-            cross_time(t, &vout, half, Edge::Rising, t_in_f).ok_or_else(|| miss("output rising"))?;
+        let t_in_f = cross_time(t, &vin, half, Edge::Falling, t_in_r)
+            .ok_or_else(|| miss("input falling"))?;
+        let t_out_r = cross_time(t, &vout, half, Edge::Rising, t_in_f)
+            .ok_or_else(|| miss("output rising"))?;
         let tphl = t_out_f - t_in_r;
         let tplh = t_out_r - t_in_f;
         Ok(0.5 * (tphl + tplh))
@@ -140,13 +170,14 @@ mod tests {
     #[test]
     fn inverter_fo3_delay_in_ps_range() {
         let mut f = NominalVsFactory;
-        let bench = DelayBench::fo3(
+        let mut bench = DelayBench::fo3(
             GateKind::Inverter,
             InverterSizing::from_nm(600.0, 300.0, 40.0),
             0.9,
             &mut f,
         );
-        let d = bench.measure_delay(bench.default_dt()).unwrap();
+        let dt = bench.default_dt();
+        let d = bench.measure_delay(dt).unwrap();
         assert!(d > 0.5e-12 && d < 50e-12, "delay = {d:.3e}");
     }
 
@@ -178,7 +209,7 @@ mod tests {
     fn nand2_fo3_delay_measurable_at_low_vdd() {
         let mut f = NominalBsimFactory;
         for vdd in [0.9, 0.7, 0.55] {
-            let bench = DelayBench::fo3(
+            let mut bench = DelayBench::fo3(
                 GateKind::Nand2,
                 InverterSizing::from_nm(300.0, 300.0, 40.0),
                 vdd,
@@ -200,5 +231,25 @@ mod tests {
             .measure_delay(2e-12)
             .unwrap();
         assert!(d055 > 1.4 * d09, "0.9V: {d09:.3e}, 0.55V: {d055:.3e}");
+    }
+
+    #[test]
+    fn resampled_bench_reuses_elaboration() {
+        let mut f = NominalVsFactory;
+        let mut bench = DelayBench::fo3(
+            GateKind::Inverter,
+            InverterSizing::from_nm(600.0, 300.0, 40.0),
+            0.9,
+            &mut f,
+        );
+        let d1 = bench.measure_delay(2e-12).unwrap();
+        // Nominal factory: resampling swaps in identical devices, so the
+        // measured delay reproduces exactly on the same session.
+        let n = bench.resample(&mut f);
+        assert_eq!(n, 8, "DUT + 3 loads, 2 devices each");
+        // (Tolerance covers the warm-started second solve converging to the
+        // same point along a different Newton path.)
+        let d2 = bench.measure_delay(2e-12).unwrap();
+        assert!((d1 - d2).abs() < 1e-14, "{d1:.3e} vs {d2:.3e}");
     }
 }

@@ -20,12 +20,15 @@
 //!
 //! The setup time is measured exactly as the paper describes: repeated
 //! transient simulations varying the data-to-clock delay, binary-searching
-//! the pass/fail boundary — the reason the paper needs ~20x more SPICE runs
-//! per sample than a combinational cell, and thus where the ultra-compact
-//! VS model pays off most.
+//! the pass/fail boundary — ~20x more SPICE runs per sample than a
+//! combinational cell. The bench owns one elaborated [`Session`]: every
+//! search candidate re-targets the data waveform in place
+//! ([`DffBench::set_setup`] / [`DffBench::set_hold`]) instead of rebuilding
+//! and re-elaborating the netlist, and Monte Carlo samples swap device
+//! models in place through [`DffBench::resample`].
 
-use crate::cells::{add_inverter, add_pass_nmos, DeviceFactory, InverterSizing};
-use spice::{Circuit, NodeId, SpiceError, TranOptions, Waveform};
+use crate::cells::{add_inverter, add_pass_nmos, resample_devices, DeviceFactory, InverterSizing};
+use spice::{Circuit, NodeId, Session, SpiceError, TranOptions, Waveform};
 
 /// Device sizing of the flip-flop.
 #[derive(Debug, Clone, Copy)]
@@ -51,10 +54,11 @@ impl Default for DffSizing {
     }
 }
 
-/// A constructed D flip-flop bench with ideal complementary clocks.
-#[derive(Debug, Clone)]
+/// A constructed D flip-flop bench with ideal complementary clocks, owning
+/// a persistent simulation session.
+#[derive(Debug)]
 pub struct DffBench {
-    circuit: Circuit,
+    session: Session,
     q: NodeId,
     vdd_value: f64,
     t_clk_edge: f64,
@@ -67,6 +71,23 @@ const T_EDGE: f64 = 15e-12;
 /// Time after the clock edge at which Q is checked.
 const T_CHECK: f64 = 350e-12;
 
+/// The data waveform of a setup measurement: a rising edge `t_setup`
+/// before the clock edge.
+fn setup_wave(vdd: f64, t_setup: f64) -> Waveform {
+    Waveform::step(0.0, vdd, T_CLK - t_setup, T_EDGE)
+}
+
+/// The data waveform of a hold measurement (paper Eq. (11)): a solid '1'
+/// capture whose data falls back at `t_hold` after the clock edge.
+fn hold_wave(vdd: f64, t_hold: f64) -> Waveform {
+    Waveform::Pwl(vec![
+        (T_CLK - 250e-12, 0.0),
+        (T_CLK - 250e-12 + T_EDGE, vdd),
+        (T_CLK + t_hold, vdd),
+        (T_CLK + t_hold + T_EDGE, 0.0),
+    ])
+}
+
 impl DffBench {
     /// Builds the flip-flop capturing a rising data edge that occurs
     /// `t_setup` before the clock rising edge.
@@ -74,17 +95,7 @@ impl DffBench {
     /// The FF initializes with `d = 0` flowing through the transparent
     /// master (clk low), so a successful capture flips `q` from 0 to 1.
     pub fn new(sz: DffSizing, vdd_value: f64, t_setup: f64, f: &mut dyn DeviceFactory) -> Self {
-        let mut c = Circuit::new();
-        let vdd = c.node("vdd");
-        let d = c.node("d");
-        c.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(vdd_value));
-        c.vsource(
-            "VD",
-            d,
-            Circuit::GROUND,
-            Waveform::step(0.0, vdd_value, T_CLK - t_setup, T_EDGE),
-        );
-        Self::assemble(c, vdd_value, sz, f)
+        Self::assemble(vdd_value, setup_wave(vdd_value, t_setup), sz, f)
     }
 
     /// Builds the flip-flop for a **hold** measurement (paper Eq. (11)):
@@ -92,34 +103,21 @@ impl DffBench {
     /// falls back at `t_hold` after the edge. Too small a hold time lets the
     /// falling data corrupt the master before it latches.
     pub fn new_hold(sz: DffSizing, vdd_value: f64, t_hold: f64, f: &mut dyn DeviceFactory) -> Self {
+        Self::assemble(vdd_value, hold_wave(vdd_value, t_hold), sz, f)
+    }
+
+    /// Shared construction: data source, clocks, latches, output buffer.
+    fn assemble(
+        vdd_value: f64,
+        data_wave: Waveform,
+        sz: DffSizing,
+        f: &mut dyn DeviceFactory,
+    ) -> Self {
         let mut c = Circuit::new();
         let vdd = c.node("vdd");
         let d = c.node("d");
         c.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(vdd_value));
-        c.vsource(
-            "VD",
-            d,
-            Circuit::GROUND,
-            Waveform::Pwl(vec![
-                (T_CLK - 250e-12, 0.0),
-                (T_CLK - 250e-12 + T_EDGE, vdd_value),
-                (T_CLK + t_hold, vdd_value),
-                (T_CLK + t_hold + T_EDGE, 0.0),
-            ]),
-        );
-        Self::assemble(c, vdd_value, sz, f)
-    }
-
-    /// Shared construction: clocks, latches, output buffer. The circuit must
-    /// already contain `VDD` and the data source driving node `d`.
-    fn assemble(
-        mut c: Circuit,
-        vdd_value: f64,
-        sz: DffSizing,
-        f: &mut dyn DeviceFactory,
-    ) -> Self {
-        let vdd = c.node("vdd");
-        let d = c.node("d");
+        c.vsource("VD", d, Circuit::GROUND, data_wave);
         let clk = c.node("clk");
         let clkb = c.node("clkb");
         let n1 = c.node("n1");
@@ -158,7 +156,7 @@ impl DffBench {
         add_inverter(&mut c, "BUF", q_int, q, vdd, sz.buffer_inv, f);
 
         DffBench {
-            circuit: c,
+            session: Session::elaborate(c).expect("bench netlist is well-formed"),
             q,
             vdd_value,
             t_clk_edge: T_CLK,
@@ -167,7 +165,28 @@ impl DffBench {
 
     /// The underlying circuit.
     pub fn circuit(&self) -> &Circuit {
-        &self.circuit
+        self.session.circuit()
+    }
+
+    /// Re-targets the data edge to `t_setup` before the clock edge —
+    /// in-place, no re-elaboration. Used by the setup-time binary search.
+    pub fn set_setup(&mut self, t_setup: f64) {
+        self.session
+            .set_source("VD", setup_wave(self.vdd_value, t_setup))
+            .expect("bench always creates VD");
+    }
+
+    /// Re-targets the data fall to `t_hold` after the clock edge.
+    pub fn set_hold(&mut self, t_hold: f64) {
+        self.session
+            .set_source("VD", hold_wave(self.vdd_value, t_hold))
+            .expect("bench always creates VD");
+    }
+
+    /// Redraws every MOSFET from the factory in place; returns the number
+    /// of devices swapped.
+    pub fn resample(&mut self, f: &mut dyn DeviceFactory) -> usize {
+        resample_devices(&mut self.session, f)
     }
 
     /// Runs the transient and reports whether Q captured the '1'.
@@ -175,7 +194,7 @@ impl DffBench {
     /// # Errors
     ///
     /// Propagates simulator failures.
-    pub fn captures(&self, dt: f64) -> Result<bool, SpiceError> {
+    pub fn captures(&mut self, dt: f64) -> Result<bool, SpiceError> {
         // Initial state: d=0 through the transparent master -> n2 high,
         // n4 high (held by the slave feedback), q_int low, q high?? No:
         // n4 high -> q_int low -> q high. A captured '1' drives n4 low ->
@@ -184,7 +203,8 @@ impl DffBench {
         //
         // To keep the natural "Q follows D" convention we read q_int.
         let q_int = self
-            .circuit
+            .session
+            .circuit()
             .find_node("q_int")
             .expect("bench always creates q_int");
         // Fully specify the initial state (d=0, clk low, Q=0): a complete,
@@ -192,20 +212,24 @@ impl DffBench {
         // of the bistable latches, which otherwise defeats continuation for
         // a few percent of mismatch samples.
         let vdd = self.vdd_value;
-        let node = |n: &str| self.circuit.find_node(n).expect("bench creates all nodes");
+        let node = |n: &str| {
+            self.session
+                .circuit()
+                .find_node(n)
+                .expect("bench creates all nodes")
+        };
         // NMOS passes only reach ~Vdd - VT, so the internal "high" guesses
         // use the degraded level.
-        let res = self.circuit.tran(
-            &TranOptions::new(self.t_clk_edge + T_CHECK, dt)
-                .with_ic(node("n1"), 0.0)
-                .with_ic(node("n2"), vdd)
-                .with_ic(node("n3"), 0.0)
-                .with_ic(node("n4"), 0.5 * vdd)
-                .with_ic(q_int, 0.0)
-                .with_ic(node("n5"), 0.5 * vdd)
-                .with_ic(node("q"), vdd),
-        )?;
-        let v_q_int = res.voltage(q_int);
+        let opts = TranOptions::new(self.t_clk_edge + T_CHECK, dt)
+            .with_ic(node("n1"), 0.0)
+            .with_ic(node("n2"), vdd)
+            .with_ic(node("n3"), 0.0)
+            .with_ic(node("n4"), 0.5 * vdd)
+            .with_ic(q_int, 0.0)
+            .with_ic(node("n5"), 0.5 * vdd)
+            .with_ic(node("q"), vdd);
+        let res = self.session.tran_owned(&opts)?;
+        let v_q_int = res.voltages(q_int);
         let v_final = *v_q_int.last().expect("non-empty transient");
         Ok(v_final > 0.5 * self.vdd_value)
     }
@@ -216,23 +240,25 @@ impl DffBench {
     }
 }
 
-/// Binary-searches the minimum setup time for correct capture.
-///
-/// `build` must construct a fresh bench for a given setup-time candidate
-/// using the *same* device mismatch every call (rebuild with the same
-/// factory state) — the closure owns that policy.
+/// Binary-searches the minimum setup time for correct capture, re-using the
+/// bench's single elaboration for every candidate (the device mismatch is
+/// whatever the bench currently holds — resample before calling for Monte
+/// Carlo).
 ///
 /// # Errors
 ///
 /// Returns an error when even the maximum candidate fails (non-functional
 /// sample) or the simulator fails.
-pub fn setup_time<F>(mut build: F, t_max: f64, resolution: f64, dt: f64) -> Result<f64, SpiceError>
-where
-    F: FnMut(f64) -> DffBench,
-{
+pub fn setup_time(
+    bench: &mut DffBench,
+    t_max: f64,
+    resolution: f64,
+    dt: f64,
+) -> Result<f64, SpiceError> {
     // Pass/fail boundary: fails at 0 (data arrives with the clock), passes
     // at t_max.
-    if !build(t_max).captures(dt)? {
+    bench.set_setup(t_max);
+    if !bench.captures(dt)? {
         return Err(SpiceError::NoConvergence {
             analysis: "setup time",
             detail: format!("capture fails even with {t_max:.3e} s of setup"),
@@ -242,7 +268,8 @@ where
     let mut hi = t_max;
     while hi - lo > resolution {
         let mid = 0.5 * (lo + hi);
-        if build(mid).captures(dt)? {
+        bench.set_setup(mid);
+        if bench.captures(dt)? {
             hi = mid;
         } else {
             lo = mid;
@@ -259,23 +286,22 @@ where
 /// # Errors
 ///
 /// Returns an error when even `t_max` of hold fails, or the simulator fails.
-pub fn hold_time<F>(
-    mut build: F,
+pub fn hold_time(
+    bench: &mut DffBench,
     t_min: f64,
     t_max: f64,
     resolution: f64,
     dt: f64,
-) -> Result<f64, SpiceError>
-where
-    F: FnMut(f64) -> DffBench,
-{
-    if !build(t_max).captures(dt)? {
+) -> Result<f64, SpiceError> {
+    bench.set_hold(t_max);
+    if !bench.captures(dt)? {
         return Err(SpiceError::NoConvergence {
             analysis: "hold time",
             detail: format!("capture fails even with {t_max:.3e} s of hold"),
         });
     }
-    if build(t_min).captures(dt)? {
+    bench.set_hold(t_min);
+    if bench.captures(dt)? {
         // Data can fall arbitrarily early (within the window) without
         // corrupting the latch: the hold constraint is at (or below) t_min.
         return Ok(t_min);
@@ -284,7 +310,8 @@ where
     let mut hi = t_max;
     while hi - lo > resolution {
         let mid = 0.5 * (lo + hi);
-        if build(mid).captures(dt)? {
+        bench.set_hold(mid);
+        if bench.captures(dt)? {
             hi = mid;
         } else {
             lo = mid;
@@ -303,7 +330,7 @@ mod tests {
     #[test]
     fn captures_with_generous_setup() {
         let mut f = NominalVsFactory;
-        let bench = DffBench::new(DffSizing::default(), 0.9, 250e-12, &mut f);
+        let mut bench = DffBench::new(DffSizing::default(), 0.9, 250e-12, &mut f);
         assert!(bench.captures(DT).unwrap(), "generous setup must capture");
     }
 
@@ -311,38 +338,33 @@ mod tests {
     fn fails_with_no_setup() {
         let mut f = NominalVsFactory;
         // Data arriving 50 ps AFTER the clock edge cannot be captured.
-        let bench = DffBench::new(DffSizing::default(), 0.9, -50e-12, &mut f);
+        let mut bench = DffBench::new(DffSizing::default(), 0.9, -50e-12, &mut f);
         assert!(!bench.captures(DT).unwrap(), "late data must not capture");
     }
 
     #[test]
     fn hold_bench_captures_with_generous_hold() {
         let mut f = NominalVsFactory;
-        let bench = DffBench::new_hold(DffSizing::default(), 0.9, 200e-12, &mut f);
-        assert!(bench.captures(DT).unwrap(), "long hold must keep the capture");
+        let mut bench = DffBench::new_hold(DffSizing::default(), 0.9, 200e-12, &mut f);
+        assert!(
+            bench.captures(DT).unwrap(),
+            "long hold must keep the capture"
+        );
     }
 
     #[test]
     fn hold_bench_fails_when_data_falls_before_edge() {
         let mut f = NominalVsFactory;
         // Data drops 150 ps BEFORE the edge: the master tracks it back to 0.
-        let bench = DffBench::new_hold(DffSizing::default(), 0.9, -150e-12, &mut f);
+        let mut bench = DffBench::new_hold(DffSizing::default(), 0.9, -150e-12, &mut f);
         assert!(!bench.captures(DT).unwrap());
     }
 
     #[test]
     fn hold_time_is_bounded() {
-        let th = hold_time(
-            |t| {
-                let mut f = NominalVsFactory;
-                DffBench::new_hold(DffSizing::default(), 0.9, t, &mut f)
-            },
-            -150e-12,
-            150e-12,
-            2e-12,
-            DT,
-        )
-        .unwrap();
+        let mut f = NominalVsFactory;
+        let mut bench = DffBench::new_hold(DffSizing::default(), 0.9, 150e-12, &mut f);
+        let th = hold_time(&mut bench, -150e-12, 150e-12, 2e-12, DT).unwrap();
         assert!(
             (-150e-12..100e-12).contains(&th),
             "hold time = {th:.3e} out of expected range"
@@ -351,19 +373,24 @@ mod tests {
 
     #[test]
     fn setup_time_is_finite_and_positive() {
-        let ts = setup_time(
-            |t_su| {
-                let mut f = NominalVsFactory;
-                DffBench::new(DffSizing::default(), 0.9, t_su, &mut f)
-            },
-            250e-12,
-            2e-12,
-            DT,
-        )
-        .unwrap();
+        let mut f = NominalVsFactory;
+        let mut bench = DffBench::new(DffSizing::default(), 0.9, 250e-12, &mut f);
+        let ts = setup_time(&mut bench, 250e-12, 2e-12, DT).unwrap();
         assert!(
             ts > 1e-12 && ts < 200e-12,
             "setup time = {ts:.3e} out of expected range"
         );
+    }
+
+    #[test]
+    fn one_bench_serves_setup_and_hold_searches() {
+        // The session-based bench swaps its data waveform freely: a setup
+        // search followed by a hold search on the same elaboration.
+        let mut f = NominalVsFactory;
+        let mut bench = DffBench::new(DffSizing::default(), 0.9, 250e-12, &mut f);
+        let ts = setup_time(&mut bench, 250e-12, 4e-12, DT).unwrap();
+        let th = hold_time(&mut bench, -150e-12, 150e-12, 4e-12, DT).unwrap();
+        assert!(ts > 0.0);
+        assert!(th < ts, "hold {th:.3e} should sit below setup {ts:.3e}");
     }
 }

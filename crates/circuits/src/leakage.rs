@@ -21,7 +21,45 @@ pub struct LeakageFrequency {
 }
 
 /// Measures leakage (both static input states) and frequency (1/FO3-delay)
-/// for an inverter bench built by the given factory.
+/// on an existing bench — the Monte Carlo path: resample the bench, then
+/// call this per sample. The bench's pulse stimulus is restored afterwards.
+///
+/// # Errors
+///
+/// Propagates DC/transient failures from the simulator.
+pub fn leakage_frequency_of(bench: &mut DelayBench) -> Result<LeakageFrequency, SpiceError> {
+    let dt = bench.default_dt();
+    let vdd = bench.vdd();
+    let delay = bench.measure_delay(dt)?;
+
+    // Static leakage at both input states, on the same elaboration. The
+    // pulse stimulus must be restored even when a solve fails — the bench
+    // is reused across Monte Carlo trials, and one extreme sample must not
+    // corrupt every later measurement.
+    let session = bench.session_mut();
+    let vdd_idx = session.circuit().vsource_index("VDD")?;
+    let pulse = session.circuit().vsource_waveform("VIN")?.clone();
+    let static_currents = (|| {
+        session.set_source("VIN", Waveform::dc(0.0))?;
+        let i_low = session.dc_owned()?.vsource_current(vdd_idx).abs();
+        session.set_source("VIN", Waveform::dc(vdd))?;
+        let i_high = session.dc_owned()?.vsource_current(vdd_idx).abs();
+        Ok::<_, SpiceError>((i_low, i_high))
+    })();
+    session
+        .set_source("VIN", pulse)
+        .expect("bench always creates VIN");
+    let (i_low, i_high) = static_currents?;
+
+    Ok(LeakageFrequency {
+        leakage: 0.5 * (i_low + i_high),
+        frequency: 1.0 / delay,
+        delay,
+    })
+}
+
+/// One-shot convenience: builds an inverter FO3 bench from the factory and
+/// measures it once.
 ///
 /// # Errors
 ///
@@ -31,22 +69,8 @@ pub fn measure_leakage_frequency(
     vdd: f64,
     f: &mut dyn DeviceFactory,
 ) -> Result<LeakageFrequency, SpiceError> {
-    let bench = DelayBench::fo3(GateKind::Inverter, sz, vdd, f);
-    let delay = bench.measure_delay(bench.default_dt())?;
-
-    // Static leakage at both input states.
-    let mut c = bench.circuit().clone();
-    let vdd_idx = c.vsource_index("VDD")?;
-    c.set_vsource("VIN", Waveform::dc(0.0))?;
-    let i_low = c.dc_op()?.vsource_current(vdd_idx).abs();
-    c.set_vsource("VIN", Waveform::dc(vdd))?;
-    let i_high = c.dc_op()?.vsource_current(vdd_idx).abs();
-
-    Ok(LeakageFrequency {
-        leakage: 0.5 * (i_low + i_high),
-        frequency: 1.0 / delay,
-        delay,
-    })
+    let mut bench = DelayBench::fo3(GateKind::Inverter, sz, vdd, f);
+    leakage_frequency_of(&mut bench)
 }
 
 #[cfg(test)]
@@ -57,14 +81,15 @@ mod tests {
     #[test]
     fn nominal_leakage_and_frequency_are_physical() {
         let mut f = NominalVsFactory;
-        let lf = measure_leakage_frequency(
-            InverterSizing::from_nm(600.0, 300.0, 40.0),
-            0.9,
-            &mut f,
-        )
-        .unwrap();
+        let lf =
+            measure_leakage_frequency(InverterSizing::from_nm(600.0, 300.0, 40.0), 0.9, &mut f)
+                .unwrap();
         // Leakage: nA..µA scale for these widths; frequency: tens of GHz.
-        assert!(lf.leakage > 1e-12 && lf.leakage < 1e-5, "leak = {:.3e}", lf.leakage);
+        assert!(
+            lf.leakage > 1e-12 && lf.leakage < 1e-5,
+            "leak = {:.3e}",
+            lf.leakage
+        );
         assert!(
             lf.frequency > 1e9 && lf.frequency < 2e12,
             "freq = {:.3e}",
@@ -84,5 +109,23 @@ mod tests {
         // later; nominal defaults are just close).
         let ratio = a.frequency / b.frequency;
         assert!((0.2..5.0).contains(&ratio), "freq ratio = {ratio}");
+    }
+
+    #[test]
+    fn repeated_measurement_on_one_bench_is_stable() {
+        let mut f = NominalVsFactory;
+        let mut bench = DelayBench::fo3(
+            GateKind::Inverter,
+            InverterSizing::from_nm(600.0, 300.0, 40.0),
+            0.9,
+            &mut f,
+        );
+        let a = leakage_frequency_of(&mut bench).unwrap();
+        // The stimulus was restored, so a second pass reproduces.
+        let b = leakage_frequency_of(&mut bench).unwrap();
+        assert!((a.delay - b.delay).abs() < 1e-14);
+        // Warm-started re-solves agree to Newton tolerance; subthreshold
+        // currents amplify voltage differences by ~1/(n·phi_t).
+        assert!((a.leakage - b.leakage).abs() < 1e-3 * a.leakage);
     }
 }

@@ -15,6 +15,12 @@
 //! * [`sram`] — the 6T SRAM cell: butterfly curves and static noise margin
 //!   for READ and HOLD modes via the rotated-axes maximal-square method
 //!   (paper Fig. 9).
+//!
+//! Every bench owns a persistent [`spice::Session`]: build once, then
+//! Monte Carlo loops resample device models *in place*
+//! ([`cells::resample_devices`], `DelayBench::resample`,
+//! `DffBench::resample`, `SnmBench::resample`) instead of rebuilding and
+//! re-elaborating netlists per sample.
 
 pub mod cells;
 pub mod delay;
@@ -22,4 +28,6 @@ pub mod dff;
 pub mod leakage;
 pub mod sram;
 
-pub use cells::{DeviceFactory, InverterSizing, NominalBsimFactory, NominalVsFactory};
+pub use cells::{
+    resample_devices, DeviceFactory, InverterSizing, NominalBsimFactory, NominalVsFactory,
+};

@@ -12,7 +12,7 @@
 
 use crate::cells::DeviceFactory;
 use mosfet::Geometry;
-use spice::{Circuit, SpiceError, Waveform};
+use spice::{Circuit, Session, SpiceError, Waveform};
 
 /// Transistor sizing of the 6T cell.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +37,9 @@ impl Default for SramSizing {
         }
     }
 }
+
+/// One butterfly curve: `(v_l, v_r)` samples in the storage-node plane.
+pub type ButterflyCurve = Vec<(f64, f64)>;
 
 /// Static analysis mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +92,19 @@ pub fn half_cell_vtc(
     mode: SnmMode,
     n_points: usize,
 ) -> Result<Vec<(f64, f64)>, SpiceError> {
+    let (c, out) = half_cell_circuit(pd, pu, pg, vdd_value, mode);
+    let mut session = Session::elaborate(c)?;
+    half_cell_vtc_on(&mut session, out, vdd_value, n_points)
+}
+
+/// Builds one half-cell circuit; returns it plus the output node.
+fn half_cell_circuit(
+    pd: &dyn mosfet::MosfetModel,
+    pu: &dyn mosfet::MosfetModel,
+    pg: &dyn mosfet::MosfetModel,
+    vdd_value: f64,
+    mode: SnmMode,
+) -> (Circuit, spice::NodeId) {
     let mut c = Circuit::new();
     let vdd = c.node("vdd");
     let vin = c.node("vin");
@@ -96,7 +112,14 @@ pub fn half_cell_vtc(
     c.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(vdd_value));
     c.vsource("VIN", vin, Circuit::GROUND, Waveform::dc(0.0));
     c.mosfet("PU", out, vin, vdd, vdd, pu.clone_box());
-    c.mosfet("PD", out, vin, Circuit::GROUND, Circuit::GROUND, pd.clone_box());
+    c.mosfet(
+        "PD",
+        out,
+        vin,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        pd.clone_box(),
+    );
     if mode == SnmMode::Read {
         let bl = c.node("bl");
         let wl = c.node("wl");
@@ -104,10 +127,21 @@ pub fn half_cell_vtc(
         c.vsource("VWL", wl, Circuit::GROUND, Waveform::dc(vdd_value));
         c.mosfet("PG", bl, wl, out, Circuit::GROUND, pg.clone_box());
     }
+    (c, out)
+}
+
+/// Sweeps an elaborated half-cell session and returns its `(v_in, v_out)`
+/// transfer curve.
+fn half_cell_vtc_on(
+    session: &mut Session,
+    out: spice::NodeId,
+    vdd_value: f64,
+    n_points: usize,
+) -> Result<Vec<(f64, f64)>, SpiceError> {
     let values: Vec<f64> = (0..n_points)
         .map(|i| vdd_value * i as f64 / (n_points - 1) as f64)
         .collect();
-    let sweep = c.dc_sweep("VIN", &values)?;
+    let sweep = session.dc_sweep_owned("VIN", &values)?;
     Ok(values
         .iter()
         .zip(sweep.voltages(out))
@@ -130,7 +164,7 @@ pub fn butterfly(
     vdd: f64,
     mode: SnmMode,
     n_points: usize,
-) -> Result<(Vec<(f64, f64)>, Vec<(f64, f64)>), SpiceError> {
+) -> Result<(ButterflyCurve, ButterflyCurve), SpiceError> {
     // Right half drives v_r from v_l.
     let curve2 = half_cell_vtc(
         devices.pd[1].as_ref(),
@@ -248,12 +282,33 @@ pub fn full_cell(devices: &SramDevices, vdd_value: f64) -> (Circuit, spice::Node
     c.vsource("VWL", wl, Circuit::GROUND, Waveform::dc(vdd_value));
     // Left half-cell: inverter input r, output l.
     c.mosfet("PU1", l, r, vdd, vdd, devices.pu[0].clone_box());
-    c.mosfet("PD1", l, r, Circuit::GROUND, Circuit::GROUND, devices.pd[0].clone_box());
+    c.mosfet(
+        "PD1",
+        l,
+        r,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        devices.pd[0].clone_box(),
+    );
     c.mosfet("PG1", bl, wl, l, Circuit::GROUND, devices.pg[0].clone_box());
     // Right half-cell: inverter input l, output r.
     c.mosfet("PU2", r, l, vdd, vdd, devices.pu[1].clone_box());
-    c.mosfet("PD2", r, l, Circuit::GROUND, Circuit::GROUND, devices.pd[1].clone_box());
-    c.mosfet("PG2", blb, wl, r, Circuit::GROUND, devices.pg[1].clone_box());
+    c.mosfet(
+        "PD2",
+        r,
+        l,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        devices.pd[1].clone_box(),
+    );
+    c.mosfet(
+        "PG2",
+        blb,
+        wl,
+        r,
+        Circuit::GROUND,
+        devices.pg[1].clone_box(),
+    );
     (c, l, r)
 }
 
@@ -271,10 +326,10 @@ pub fn read_disturb_ac(
     freqs: &[f64],
 ) -> Result<Vec<f64>, SpiceError> {
     let (c, l, r) = full_cell(devices, vdd);
+    let mut session = Session::elaborate(c)?;
     // Bias into the "l low" stable state; the AC sweep linearizes there.
-    let op = c.dc_op_with_guess(&[(l, 0.0), (r, vdd)])?;
-    let ac = c.ac_sweep_from_op("VBL", freqs, &op)?;
-    Ok(ac.magnitude(l))
+    let ac = session.ac_owned("VBL", freqs, &[(l, 0.0), (r, vdd)])?;
+    Ok(ac.magnitudes(l))
 }
 
 /// Convenience: draw devices, trace the butterfly, and return the SNM.
@@ -292,6 +347,168 @@ pub fn measure_snm(
     let devices = SramDevices::draw(sz, f);
     let (c1, c2) = butterfly(&devices, vdd, mode, n_points)?;
     Ok(snm(&c1, &c2, vdd))
+}
+
+/// A persistent SNM Monte Carlo bench: both half-cell sessions elaborated
+/// once; every sample swaps six fresh devices in place and re-sweeps with
+/// warm starts.
+#[derive(Debug)]
+pub struct SnmBench {
+    halves: [Session; 2],
+    outs: [spice::NodeId; 2],
+    vdd: f64,
+    mode: SnmMode,
+    n_points: usize,
+}
+
+impl SnmBench {
+    /// Builds the two half-cell sessions with devices drawn from `f`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration failures.
+    pub fn new(
+        sz: SramSizing,
+        vdd: f64,
+        mode: SnmMode,
+        n_points: usize,
+        f: &mut dyn DeviceFactory,
+    ) -> Result<Self, SpiceError> {
+        let devices = SramDevices::draw(sz, f);
+        let (c0, out0) = half_cell_circuit(
+            devices.pd[0].as_ref(),
+            devices.pu[0].as_ref(),
+            devices.pg[0].as_ref(),
+            vdd,
+            mode,
+        );
+        let (c1, out1) = half_cell_circuit(
+            devices.pd[1].as_ref(),
+            devices.pu[1].as_ref(),
+            devices.pg[1].as_ref(),
+            vdd,
+            mode,
+        );
+        Ok(SnmBench {
+            halves: [Session::elaborate(c0)?, Session::elaborate(c1)?],
+            outs: [out0, out1],
+            vdd,
+            mode,
+            n_points,
+        })
+    }
+
+    /// Swaps six freshly drawn devices into the elaborated half-cells.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for benches built by [`SnmBench::new`]; propagates
+    /// unknown-instance errors otherwise.
+    pub fn resample(
+        &mut self,
+        sz: SramSizing,
+        f: &mut dyn DeviceFactory,
+    ) -> Result<(), SpiceError> {
+        let devices = SramDevices::draw(sz, f);
+        let SramDevices { pd, pu, pg } = devices;
+        for (i, ((pd_i, pu_i), pg_i)) in pd.into_iter().zip(pu).zip(pg).enumerate() {
+            let s = &mut self.halves[i];
+            s.swap_device("PD", pd_i)?;
+            s.swap_device("PU", pu_i)?;
+            if self.mode == SnmMode::Read {
+                s.swap_device("PG", pg_i)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Traces both butterfly curves on the current devices (both in the
+    /// `(v_l, v_r)` plane, as for [`butterfly`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates sweep failures.
+    pub fn curves(&mut self) -> Result<(ButterflyCurve, ButterflyCurve), SpiceError> {
+        let curve2 = half_cell_vtc_on(&mut self.halves[1], self.outs[1], self.vdd, self.n_points)?;
+        let vtc1 = half_cell_vtc_on(&mut self.halves[0], self.outs[0], self.vdd, self.n_points)?;
+        let curve1: Vec<(f64, f64)> = vtc1.into_iter().map(|(v_r, v_l)| (v_l, v_r)).collect();
+        Ok((curve1, curve2))
+    }
+
+    /// Static noise margin of the current sample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sweep failures.
+    pub fn snm(&mut self) -> Result<f64, SpiceError> {
+        let (c1, c2) = self.curves()?;
+        Ok(snm(&c1, &c2, self.vdd))
+    }
+}
+
+/// A persistent read-disturb AC bench on the full 6T cell: elaborated once,
+/// resampled in place per Monte Carlo trial.
+#[derive(Debug)]
+pub struct ReadDisturbBench {
+    session: Session,
+    l: spice::NodeId,
+    r: spice::NodeId,
+    vdd: f64,
+}
+
+impl ReadDisturbBench {
+    /// Builds the full cell with devices drawn from `f`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates elaboration failures.
+    pub fn new(sz: SramSizing, vdd: f64, f: &mut dyn DeviceFactory) -> Result<Self, SpiceError> {
+        let devices = SramDevices::draw(sz, f);
+        let (c, l, r) = full_cell(&devices, vdd);
+        Ok(ReadDisturbBench {
+            session: Session::elaborate(c)?,
+            l,
+            r,
+            vdd,
+        })
+    }
+
+    /// Swaps six freshly drawn devices into the cell.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for benches built by [`ReadDisturbBench::new`].
+    pub fn resample(
+        &mut self,
+        sz: SramSizing,
+        f: &mut dyn DeviceFactory,
+    ) -> Result<(), SpiceError> {
+        let SramDevices { pd, pu, pg } = SramDevices::draw(sz, f);
+        let [pd0, pd1] = pd;
+        let [pu0, pu1] = pu;
+        let [pg0, pg1] = pg;
+        self.session.swap_devices([
+            ("PD1", pd0),
+            ("PD2", pd1),
+            ("PU1", pu0),
+            ("PU2", pu1),
+            ("PG1", pg0),
+            ("PG2", pg1),
+        ])?;
+        Ok(())
+    }
+
+    /// Per-frequency transfer magnitudes from the bit line into the low
+    /// storage node (see [`read_disturb_ac`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates operating-point and AC-solve failures.
+    pub fn run(&mut self, freqs: &[f64]) -> Result<Vec<f64>, SpiceError> {
+        let guess = [(self.l, 0.0), (self.r, self.vdd)];
+        let ac = self.session.ac_owned("VBL", freqs, &guess)?;
+        Ok(ac.magnitudes(self.l))
+    }
 }
 
 #[cfg(test)]
@@ -362,12 +579,46 @@ mod tests {
         let mut f = NominalVsFactory;
         let devices = SramDevices::draw(SramSizing::default(), &mut f);
         let (c, l, r) = full_cell(&devices, VDD);
-        let op0 = c.dc_op_with_guess(&[(l, 0.0), (r, VDD)]).unwrap();
+        let mut s = Session::elaborate(c).unwrap();
+        let op0 = s.dc_owned_with_guess(&[(l, 0.0), (r, VDD)]).unwrap();
         assert!(op0.voltage(l) < 0.35 * VDD, "l = {}", op0.voltage(l));
         assert!(op0.voltage(r) > 0.75 * VDD);
-        let op1 = c.dc_op_with_guess(&[(l, VDD), (r, 0.0)]).unwrap();
+        let op1 = s.dc_owned_with_guess(&[(l, VDD), (r, 0.0)]).unwrap();
         assert!(op1.voltage(l) > 0.75 * VDD);
         assert!(op1.voltage(r) < 0.35 * VDD);
+    }
+
+    #[test]
+    fn snm_bench_matches_one_shot_measurement() {
+        let sz = SramSizing::default();
+        let mut f = NominalVsFactory;
+        let one_shot = measure_snm(sz, VDD, SnmMode::Read, 41, &mut f).unwrap();
+        let mut bench = SnmBench::new(sz, VDD, SnmMode::Read, 41, &mut f).unwrap();
+        let s1 = bench.snm().unwrap();
+        assert!((s1 - one_shot).abs() < 1e-6, "{s1} vs {one_shot}");
+        // Nominal resample: same devices, same SNM, no re-elaboration.
+        bench.resample(sz, &mut f).unwrap();
+        let s2 = bench.snm().unwrap();
+        assert!((s1 - s2).abs() < 1e-6, "{s1} vs {s2}");
+    }
+
+    #[test]
+    fn read_disturb_bench_matches_one_shot() {
+        let sz = SramSizing::default();
+        let mut f = NominalVsFactory;
+        let devices = SramDevices::draw(sz, &mut f);
+        let freqs = [1e6, 1e9];
+        let one_shot = read_disturb_ac(&devices, VDD, &freqs).unwrap();
+        let mut bench = ReadDisturbBench::new(sz, VDD, &mut f).unwrap();
+        let a = bench.run(&freqs).unwrap();
+        for (x, y) in a.iter().zip(&one_shot) {
+            assert!((x - y).abs() < 1e-6 * y.abs().max(1e-12), "{x} vs {y}");
+        }
+        bench.resample(sz, &mut f).unwrap();
+        let b = bench.run(&freqs).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4 * y.abs().max(1e-12));
+        }
     }
 
     #[test]
@@ -378,7 +629,11 @@ mod tests {
         // Finite low-frequency coupling from the bit line into the cell,
         // rolling off at very high frequency... through the access device
         // the node is resistively divided, so the transfer must stay below 1.
-        assert!(mags[0] > 1e-4 && mags[0] < 1.0, "low-f transfer = {}", mags[0]);
+        assert!(
+            mags[0] > 1e-4 && mags[0] < 1.0,
+            "low-f transfer = {}",
+            mags[0]
+        );
         assert!(
             mags[2] < 1.05 * mags[0],
             "transfer should not grow unboundedly: {mags:?}"

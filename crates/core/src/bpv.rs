@@ -73,7 +73,8 @@ fn geometry_rows(
     for i in 0..3 {
         lhs[i] = measured.var[i] - (s[(i, 4)] * sigma_cinv).powi(2);
         coeffs[(i, 0)] = s[(i, 0)].powi(2) / area;
-        coeffs[(i, 1)] = s[(i, 1)].powi(2) * (geom.l / geom.w) + s[(i, 2)].powi(2) * (geom.w / geom.l);
+        coeffs[(i, 1)] =
+            s[(i, 1)].powi(2) * (geom.l / geom.w) + s[(i, 2)].powi(2) * (geom.w / geom.l);
         coeffs[(i, 2)] = s[(i, 3)].powi(2) / area;
     }
     (coeffs, lhs)
@@ -177,11 +178,8 @@ pub fn decompose_idsat(
 ) -> (f64, [f64; 5]) {
     let s = sensitivity_matrix(builder, vdd);
     let geom = builder.geometry();
-    let nominal = DeviceMetrics::evaluate(
-        builder.build(mosfet::VariationDelta::zero()).as_ref(),
-        vdd,
-    )
-    .idsat;
+    let nominal =
+        DeviceMetrics::evaluate(builder.build(mosfet::VariationDelta::zero()).as_ref(), vdd).idsat;
     let mut contrib = [0.0; 5];
     let mut total_var = 0.0;
     for (j, p) in StatParam::ALL.into_iter().enumerate() {
@@ -308,7 +306,15 @@ mod tests {
     fn misaligned_inputs_rejected() {
         let bs = builders();
         let refs: Vec<&dyn VariedModel> = bs.iter().map(|b| b as &dyn VariedModel).collect();
-        assert!(solve_bpv(&refs, &[], &BpvConfig { vdd: VDD, a_cinv: 0.0 }).is_err());
+        assert!(solve_bpv(
+            &refs,
+            &[],
+            &BpvConfig {
+                vdd: VDD,
+                a_cinv: 0.0
+            }
+        )
+        .is_err());
     }
 
     #[test]

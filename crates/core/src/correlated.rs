@@ -241,13 +241,11 @@ mod tests {
         // r = 1 between two parameters is singular (not PD).
         let corr = ParamCorrelation::independent().with(StatParam::Leff, StatParam::Weff, 1.0);
         let mut sampler = Sampler::from_seed(1);
-        assert!(sample_correlated(
-            &spec(),
-            &corr,
-            Geometry::from_nm(600.0, 40.0),
-            || sampler.standard_normal()
-        )
-        .is_err());
+        assert!(
+            sample_correlated(&spec(), &corr, Geometry::from_nm(600.0, 40.0), || sampler
+                .standard_normal())
+            .is_err()
+        );
     }
 
     #[test]

@@ -256,12 +256,7 @@ pub fn fit_vs_to_kit(
     }
     // RMS over the plain curve residuals (exclude the weighted anchors).
     let n_curve = iv.points.len().max(1);
-    let rms = (res.residuals[..n_curve]
-        .iter()
-        .map(|r| r * r)
-        .sum::<f64>()
-        / n_curve as f64)
-        .sqrt();
+    let rms = (res.residuals[..n_curve].iter().map(|r| r * r).sum::<f64>() / n_curve as f64).sqrt();
     Ok(FittedVs {
         params: unpack(&template, &res.x),
         rms_log_error: rms,
@@ -326,6 +321,9 @@ mod tests {
         let c = measure_cinv(&kit, Polarity::Nmos, Geometry::from_nm(600.0, 40.0));
         // Kit Cox is 1.5 µF/cm² = 0.015 F/m²; Vgsteff smoothing shaves a
         // little off.
-        assert!((0.6..1.1).contains(&(c / kit.nmos.params.cox)), "cinv = {c}");
+        assert!(
+            (0.6..1.1).contains(&(c / kit.nmos.params.cox)),
+            "cinv = {c}"
+        );
     }
 }

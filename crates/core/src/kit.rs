@@ -86,9 +86,7 @@ impl GoldenKit {
     /// gate overdrives, in the canonical (NMOS-like) frame.
     pub fn nominal_iv(&self, polarity: Polarity, geom: Geometry) -> IvData {
         let s = polarity.sign();
-        let model = self
-            .builder(polarity, geom)
-            .params;
+        let model = self.builder(polarity, geom).params;
         let dev = mosfet::bsim::BsimModel::new(model, polarity, geom);
         use mosfet::MosfetModel;
         let mut points = Vec::new();
@@ -164,13 +162,12 @@ mod tests {
         // 2 Vg sweeps x 19 points + 3 Vd sweeps x 18 points.
         assert!(iv.points.len() > 50);
         // All currents positive and finite.
-        assert!(iv.points.iter().all(|&(_, _, id)| id > 0.0 && id.is_finite()));
-        // Saturation current at (vdd, vdd) is the largest.
-        let max = iv
+        assert!(iv
             .points
             .iter()
-            .map(|p| p.2)
-            .fold(0.0_f64, f64::max);
+            .all(|&(_, _, id)| id > 0.0 && id.is_finite()));
+        // Saturation current at (vdd, vdd) is the largest.
+        let max = iv.points.iter().map(|p| p.2).fold(0.0_f64, f64::max);
         let at_full = iv
             .points
             .iter()

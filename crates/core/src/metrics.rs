@@ -70,7 +70,11 @@ mod tests {
         let m = VsModel::nominal_nmos_40nm(Geometry::from_nm(600.0, 40.0));
         let e = DeviceMetrics::evaluate(&m, VDD);
         assert!(e.idsat > 1e-5 && e.idsat < 1e-2, "idsat = {}", e.idsat);
-        assert!(e.log10_ioff < -5.0 && e.log10_ioff > -13.0, "ioff = {}", e.log10_ioff);
+        assert!(
+            e.log10_ioff < -5.0 && e.log10_ioff > -13.0,
+            "ioff = {}",
+            e.log10_ioff
+        );
         assert!(e.cgg > 1e-17 && e.cgg < 1e-13, "cgg = {}", e.cgg);
     }
 

@@ -164,9 +164,7 @@ fn extract_polarity(
 /// # Errors
 ///
 /// Returns [`CoreError`] when fitting or BPV fails.
-pub fn extract_statistical_vs_model(
-    cfg: &ExtractionConfig,
-) -> Result<ExtractionReport, CoreError> {
+pub fn extract_statistical_vs_model(cfg: &ExtractionConfig) -> Result<ExtractionReport, CoreError> {
     let kit = GoldenKit::default_40nm();
     let mut sampler = Sampler::from_seed(cfg.seed);
     let nmos = extract_polarity(&kit, Polarity::Nmos, cfg, &mut sampler)?;
@@ -202,8 +200,18 @@ mod tests {
             // All coefficients positive and in the paper's order of
             // magnitude (Table II: α1 ~ 2-3 V·nm, α2 ~ 3-4 nm, α4 ~
             // hundreds-to-thousands nm·cm²/Vs).
-            assert!(alphas[0] > 0.5 && alphas[0] < 8.0, "{:?} α1 = {}", rep.polarity, alphas[0]);
-            assert!(alphas[1] > 0.5 && alphas[1] < 12.0, "{:?} α2 = {}", rep.polarity, alphas[1]);
+            assert!(
+                alphas[0] > 0.5 && alphas[0] < 8.0,
+                "{:?} α1 = {}",
+                rep.polarity,
+                alphas[0]
+            );
+            assert!(
+                alphas[1] > 0.5 && alphas[1] < 12.0,
+                "{:?} α2 = {}",
+                rep.polarity,
+                alphas[1]
+            );
             assert_eq!(alphas[1], alphas[2], "α2 = α3 by construction");
         }
     }

@@ -294,12 +294,11 @@ impl BsimModel {
         // Body effect with a clamp that keeps the sqrt real under forward bias.
         let phib = (p.phi_s - vbs).max(0.1 * p.phi_s);
         // Short-channel Vth roll-off (BSIM DVT0/DVT1 form).
-        let sce = p.dvt0_sce
-            * ((-e.leff / (2.0 * p.lt_sce)).exp() + 2.0 * (-e.leff / p.lt_sce).exp());
+        let sce =
+            p.dvt0_sce * ((-e.leff / (2.0 * p.lt_sce)).exp() + 2.0 * (-e.leff / p.lt_sce).exp());
         // Drain-induced threshold shift (DITS, long-range drain coupling).
         let dits = p.dits * (1.0 - (-vds / (2.0 * PHI_T)).exp());
-        let vth =
-            e.vth0 - sce + p.gamma * (phib.sqrt() - p.phi_s.sqrt()) - e.dibl * vds - dits;
+        let vth = e.vth0 - sce + p.gamma * (phib.sqrt() - p.phi_s.sqrt()) - e.dibl * vds - dits;
         let nphit = p.nfac * PHI_T;
         let vgsteff_raw = nphit * softplus((vgs - vth) / nphit);
         // Poly-gate depletion reduces the effective gate drive at high bias.
@@ -312,8 +311,8 @@ impl BsimModel {
         let t = vdsat - vds - DELTA_SMOOTH;
         let vdseff = vdsat - 0.5 * (t + (t * t + 4.0 * DELTA_SMOOTH * vdsat).sqrt());
         let bulk = 1.0 - vdseff / (2.0 * vg2);
-        let ids_ch = ueff * e.cox * (e.weff / e.leff) * vgsteff * bulk * vdseff
-            / (1.0 + vdseff / esat_l);
+        let ids_ch =
+            ueff * e.cox * (e.weff / e.leff) * vgsteff * bulk * vdseff / (1.0 + vdseff / esat_l);
         // Source/drain series resistance folded in (BSIM RDSMOD=0 style).
         let gch = if vdseff > 1e-12 { ids_ch / vdseff } else { 0.0 };
         let ids0 = ids_ch / (1.0 + gch * p.rdsw / e.weff);
@@ -330,7 +329,12 @@ impl BsimModel {
         }
         // Gate tunneling (direct tunneling shape, folded into d-s).
         if vgs > 0.0 {
-            ids += p.jg_gate * e.weff * e.leff * vgs * vgs * (-p.vg_gate / (0.05 + vgs * 0.1)).exp()
+            ids += p.jg_gate
+                * e.weff
+                * e.leff
+                * vgs
+                * vgs
+                * (-p.vg_gate / (0.05 + vgs * 0.1)).exp()
                 * (vgs / p.vg_gate).tanh()
                 * 1e-3;
         }
@@ -524,7 +528,14 @@ mod tests {
             vbs: 0.0,
         });
         assert!(id < 0.0);
-        assert!(id.abs() < nmos().ids(Bias { vgs: 0.9, vds: 0.9, vbs: 0.0 }));
+        assert!(
+            id.abs()
+                < nmos().ids(Bias {
+                    vgs: 0.9,
+                    vds: 0.9,
+                    vbs: 0.0
+                })
+        );
     }
 
     #[test]
@@ -588,7 +599,10 @@ mod tests {
         // Deep triode: vdseff ~ vds; deep saturation: vdseff ~ vdsat.
         let m = nmos();
         let (_, _, vdseff_lin, _) = m.core(0.9, 0.02, 0.0);
-        assert!((vdseff_lin - 0.02).abs() < 0.01, "vdseff_lin = {vdseff_lin}");
+        assert!(
+            (vdseff_lin - 0.02).abs() < 0.01,
+            "vdseff_lin = {vdseff_lin}"
+        );
         let (_, _, vdseff_sat, vdsat) = m.core(0.9, 0.9, 0.0);
         assert!((vdseff_sat - vdsat).abs() < 0.02 * vdsat);
     }

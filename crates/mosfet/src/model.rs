@@ -133,7 +133,11 @@ impl Folded {
 
     /// Maps canonical-frame charges back to the physical frame.
     pub fn unfold_charges(&self, q: Charges) -> Charges {
-        let (qd, qs) = if self.swapped { (q.qs, q.qd) } else { (q.qd, q.qs) };
+        let (qd, qs) = if self.swapped {
+            (q.qs, q.qd)
+        } else {
+            (q.qd, q.qs)
+        };
         Charges {
             qg: self.sign * q.qg,
             qd: self.sign * qd,

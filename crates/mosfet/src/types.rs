@@ -62,7 +62,10 @@ impl Geometry {
     ///
     /// Panics if either dimension is not strictly positive.
     pub fn new(w: f64, l: f64) -> Self {
-        assert!(w > 0.0 && l > 0.0, "geometry must be positive, got W={w}, L={l}");
+        assert!(
+            w > 0.0 && l > 0.0,
+            "geometry must be positive, got W={w}, L={l}"
+        );
         Geometry { w, l }
     }
 

@@ -225,8 +225,8 @@ impl VsModel {
         let dibl_nom = params.dibl(geom.l);
         let dibl_new = params.dibl(leff);
         // Paper Eq. (5).
-        let mu_factor =
-            params.sens_alpha + (1.0 - params.ballistic_b) * (1.0 - params.sens_alpha + params.sens_gamma);
+        let mu_factor = params.sens_alpha
+            + (1.0 - params.ballistic_b) * (1.0 - params.sens_alpha + params.sens_gamma);
         let dvxo_rel =
             mu_factor * (delta.dmu / params.mu) + params.dvxo_ddelta * (dibl_new - dibl_nom);
         let vxo = params.vxo * (1.0 + dvxo_rel);
@@ -415,7 +415,10 @@ mod tests {
             vds: -0.4,
             vbs: -0.4,
         });
-        assert!((fwd + rev).abs() < 1e-9 * fwd.abs().max(1e-12), "fwd={fwd}, rev={rev}");
+        assert!(
+            (fwd + rev).abs() < 1e-9 * fwd.abs().max(1e-12),
+            "fwd={fwd}, rev={rev}"
+        );
     }
 
     #[test]
@@ -505,7 +508,10 @@ mod tests {
             vds: 0.9,
             vbs: 0.0,
         });
-        assert!(off_high > 3.0 * off_low, "DIBL should lift Ioff substantially");
+        assert!(
+            off_high > 3.0 * off_low,
+            "DIBL should lift Ioff substantially"
+        );
     }
 
     #[test]
@@ -547,7 +553,10 @@ mod tests {
             vbs: 0.0,
         });
         let c_ox = m.params().cinv * g.area() + 2.0 * m.params().cov * g.w;
-        assert!(cgg > 0.3 * c_ox && cgg < 1.5 * c_ox, "cgg={cgg}, c_ox={c_ox}");
+        assert!(
+            cgg > 0.3 * c_ox && cgg < 1.5 * c_ox,
+            "cgg={cgg}, c_ox={c_ox}"
+        );
     }
 
     #[test]
@@ -568,7 +577,10 @@ mod tests {
         let ratio = base.ids(bias) / shifted.ids(bias);
         // +30 mV VT0 cuts Ioff by exp(30m / (n φt)) ≈ 2.2.
         let expected = (0.030 / (VsParams::nmos_40nm().n0 * PHI_T)).exp();
-        assert!((ratio / expected - 1.0).abs() < 0.05, "ratio={ratio}, expected={expected}");
+        assert!(
+            (ratio / expected - 1.0).abs() < 0.05,
+            "ratio={ratio}, expected={expected}"
+        );
     }
 
     #[test]

@@ -1,17 +1,34 @@
-//! Property-based tests shared by both compact models.
+//! Property-style tests shared by both compact models, on randomized bias
+//! points and geometries from a small in-file PRNG (deterministic, seeded).
 //!
 //! These check the *contract* of [`mosfet::MosfetModel`]: smoothness,
-//! source/drain symmetry, monotonicity, charge conservation — for arbitrary
-//! bias points and geometries, on both the VS model and the BSIM-like kit.
+//! source/drain symmetry, monotonicity, charge conservation — on both the
+//! VS model and the BSIM-like kit.
 
 use mosfet::{
-    bsim::BsimModel, vs::VsModel, Bias, Geometry, MosfetModel, Polarity, StatParam,
-    VariationDelta,
+    bsim::BsimModel, vs::VsModel, Bias, Geometry, MosfetModel, Polarity, StatParam, VariationDelta,
 };
-use proptest::prelude::*;
 
-fn geometries() -> impl Strategy<Value = Geometry> {
-    (80.0..2000.0f64, 30.0..120.0f64).prop_map(|(w, l)| Geometry::from_nm(w, l))
+/// SplitMix64: a tiny deterministic generator for test-case sampling.
+struct TestRng(u64);
+
+impl TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+
+    fn geometry(&mut self) -> Geometry {
+        Geometry::from_nm(self.range(80.0, 2000.0), self.range(30.0, 120.0))
+    }
 }
 
 fn models(geom: Geometry) -> Vec<Box<dyn MosfetModel>> {
@@ -23,18 +40,20 @@ fn models(geom: Geometry) -> Vec<Box<dyn MosfetModel>> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn source_drain_symmetry_everywhere(
-        geom in geometries(),
-        vgs in -1.0..1.0f64,
-        vds in 0.01..1.0f64,
-    ) {
+#[test]
+fn source_drain_symmetry_everywhere() {
+    let mut rng = TestRng(0x20);
+    for _ in 0..64 {
+        let geom = rng.geometry();
+        let vgs = rng.range(-1.0, 1.0);
+        let vds = rng.range(0.01, 1.0);
         for m in models(geom) {
             let s = m.polarity().sign();
-            let fwd = m.ids(Bias { vgs: s * vgs, vds: s * vds, vbs: 0.0 });
+            let fwd = m.ids(Bias {
+                vgs: s * vgs,
+                vds: s * vds,
+                vbs: 0.0,
+            });
             // Swap source and drain: new vgs is vgd, new vds is -vds, the
             // bulk follows the new source.
             let rev = m.ids(Bias {
@@ -43,117 +62,168 @@ proptest! {
                 vbs: -s * vds,
             });
             let scale = fwd.abs().max(1e-15);
-            prop_assert!(
+            assert!(
                 (fwd + rev).abs() < 1e-8 * scale,
-                "{}: fwd={fwd}, rev={rev}", m.name()
+                "{}: fwd={fwd}, rev={rev}",
+                m.name()
             );
         }
     }
+}
 
-    #[test]
-    fn current_sign_follows_vds(
-        geom in geometries(),
-        vgs in 0.0..1.0f64,
-        vds in 0.01..1.0f64,
-    ) {
+#[test]
+fn current_sign_follows_vds() {
+    let mut rng = TestRng(0x21);
+    for _ in 0..64 {
+        let geom = rng.geometry();
+        let vgs = rng.range(0.0, 1.0);
+        let vds = rng.range(0.01, 1.0);
         for m in models(geom) {
             let s = m.polarity().sign();
-            let id = m.ids(Bias { vgs: s * vgs, vds: s * vds, vbs: 0.0 });
-            prop_assert!(s * id >= 0.0, "{}: wrong current sign", m.name());
+            let id = m.ids(Bias {
+                vgs: s * vgs,
+                vds: s * vds,
+                vbs: 0.0,
+            });
+            assert!(s * id >= 0.0, "{}: wrong current sign", m.name());
         }
     }
+}
 
-    #[test]
-    fn charge_conservation_everywhere(
-        geom in geometries(),
-        vgs in -1.0..1.0f64,
-        vds in -1.0..1.0f64,
-        vbs in -0.3..0.05f64,
-    ) {
+#[test]
+fn charge_conservation_everywhere() {
+    let mut rng = TestRng(0x22);
+    for _ in 0..64 {
+        let geom = rng.geometry();
+        let vgs = rng.range(-1.0, 1.0);
+        let vds = rng.range(-1.0, 1.0);
+        let vbs = rng.range(-0.3, 0.05);
         for m in models(geom) {
             let q = m.charges(Bias { vgs, vds, vbs });
             let total = q.qg + q.qd + q.qs + q.qb;
             let scale = q.qg.abs().max(1e-20);
-            prop_assert!(total.abs() < 1e-10 * scale, "{}: sum = {total}", m.name());
+            assert!(total.abs() < 1e-10 * scale, "{}: sum = {total}", m.name());
         }
     }
+}
 
-    #[test]
-    fn monotone_in_gate_drive(
-        geom in geometries(),
+#[test]
+fn monotone_in_gate_drive() {
+    let mut rng = TestRng(0x23);
+    for _ in 0..64 {
+        let geom = rng.geometry();
         // Start above the GIDL regime: with gate-induced drain leakage in
         // the kit model, Id(vgs) is genuinely non-monotone right at vgs ~ 0
         // under high vds (the classic GIDL hump), so monotonicity is a
         // channel-conduction property.
-        vgs in 0.1..0.85f64,
-        dv in 0.01..0.1f64,
-        vds in 0.05..1.0f64,
-    ) {
+        let vgs = rng.range(0.1, 0.85);
+        let dv = rng.range(0.01, 0.1);
+        let vds = rng.range(0.05, 1.0);
         for m in models(geom) {
             let s = m.polarity().sign();
-            let i1 = s * m.ids(Bias { vgs: s * vgs, vds: s * vds, vbs: 0.0 });
-            let i2 = s * m.ids(Bias { vgs: s * (vgs + dv), vds: s * vds, vbs: 0.0 });
-            prop_assert!(i2 > i1, "{}: not monotone in vgs", m.name());
+            let i1 = s * m.ids(Bias {
+                vgs: s * vgs,
+                vds: s * vds,
+                vbs: 0.0,
+            });
+            let i2 = s * m.ids(Bias {
+                vgs: s * (vgs + dv),
+                vds: s * vds,
+                vbs: 0.0,
+            });
+            assert!(i2 > i1, "{}: not monotone in vgs", m.name());
         }
     }
+}
 
-    #[test]
-    fn gummel_smoothness_no_conductance_jumps(
-        geom in geometries(),
-        vgs in 0.2..1.0f64,
-    ) {
+#[test]
+fn gummel_smoothness_no_conductance_jumps() {
+    let mut rng = TestRng(0x24);
+    for _ in 0..16 {
+        let geom = rng.geometry();
+        let vgs = rng.range(0.2, 1.0);
         // The output conductance g = dI/dVds must vary gradually: a kink in
         // I(Vds) would show as a step in g between adjacent fine-grid cells.
         for m in models(geom) {
             let s = m.polarity().sign();
             let n = 400;
             let h = 1.0 / n as f64;
-            let id = |k: usize| s * m.ids(Bias { vgs: s * vgs, vds: s * (k as f64 * h), vbs: 0.0 });
+            let id = |k: usize| {
+                s * m.ids(Bias {
+                    vgs: s * vgs,
+                    vds: s * (k as f64 * h),
+                    vbs: 0.0,
+                })
+            };
             let g: Vec<f64> = (0..n).map(|k| (id(k + 1) - id(k)) / h).collect();
             let g_max = g.iter().fold(0.0_f64, |a, &b| a.max(b.abs())).max(1e-18);
             for k in 1..n {
                 let jump = (g[k] - g[k - 1]).abs();
-                prop_assert!(
+                assert!(
                     jump < 0.35 * g_max,
                     "{}: conductance jump at vds={} ({} of g_max)",
-                    m.name(), k as f64 * h, jump / g_max
+                    m.name(),
+                    k as f64 * h,
+                    jump / g_max
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn vt_variation_moves_both_models_in_same_direction(
-        geom in geometries(),
-        dvt in -0.05..0.05f64,
-    ) {
-        prop_assume!(dvt.abs() > 1e-4);
+#[test]
+fn vt_variation_moves_both_models_in_same_direction() {
+    let mut rng = TestRng(0x25);
+    for _ in 0..64 {
+        let geom = rng.geometry();
+        let dvt = rng.range(-0.05, 0.05);
+        if dvt.abs() <= 1e-4 {
+            continue;
+        }
         let delta = VariationDelta::single(StatParam::Vt0, dvt);
-        let bias = Bias { vgs: 0.9, vds: 0.9, vbs: 0.0 };
+        let bias = Bias {
+            vgs: 0.9,
+            vds: 0.9,
+            vbs: 0.0,
+        };
         let vs_base = VsModel::nominal_nmos_40nm(geom).ids(bias);
         let vs_var = VsModel::with_variation(
-            mosfet::vs::VsParams::nmos_40nm(), Polarity::Nmos, geom, delta,
-        ).ids(bias);
+            mosfet::vs::VsParams::nmos_40nm(),
+            Polarity::Nmos,
+            geom,
+            delta,
+        )
+        .ids(bias);
         let kit_base = BsimModel::nominal_nmos_40nm(geom).ids(bias);
         let kit_var = BsimModel::with_variation(
-            mosfet::bsim::BsimParams::nmos_40nm(), Polarity::Nmos, geom, delta,
-        ).ids(bias);
+            mosfet::bsim::BsimParams::nmos_40nm(),
+            Polarity::Nmos,
+            geom,
+            delta,
+        )
+        .ids(bias);
         // Higher VT -> lower current, in both models.
-        prop_assert_eq!(vs_var < vs_base, dvt > 0.0);
-        prop_assert_eq!(kit_var < kit_base, dvt > 0.0);
+        assert_eq!(vs_var < vs_base, dvt > 0.0);
+        assert_eq!(kit_var < kit_base, dvt > 0.0);
     }
+}
 
-    #[test]
-    fn cgg_is_positive_and_grows_with_area(
-        wl in (200.0..1000.0f64, 40.0..80.0f64),
-    ) {
-        let (w, l) = wl;
+#[test]
+fn cgg_is_positive_and_grows_with_area() {
+    let mut rng = TestRng(0x26);
+    for _ in 0..64 {
+        let w = rng.range(200.0, 1000.0);
+        let l = rng.range(40.0, 80.0);
         let small = VsModel::nominal_nmos_40nm(Geometry::from_nm(w, l));
         let big = VsModel::nominal_nmos_40nm(Geometry::from_nm(2.0 * w, l));
-        let bias = Bias { vgs: 0.9, vds: 0.0, vbs: 0.0 };
+        let bias = Bias {
+            vgs: 0.9,
+            vds: 0.0,
+            vbs: 0.0,
+        };
         let c_small = small.cgg(bias);
         let c_big = big.cgg(bias);
-        prop_assert!(c_small > 0.0);
-        prop_assert!(c_big > 1.5 * c_small);
+        assert!(c_small > 0.0);
+        assert!(c_big > 1.5 * c_small);
     }
 }

@@ -93,7 +93,9 @@ mod tests {
                 residual: 1.0,
             },
             NumericsError::InvalidBracket { fa: 1.0, fb: 2.0 },
-            NumericsError::InvalidArgument { context: "empty".into() },
+            NumericsError::InvalidArgument {
+                context: "empty".into(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

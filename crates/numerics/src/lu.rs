@@ -37,6 +37,52 @@ pub struct Lu {
 /// Relative pivot threshold below which the matrix is declared singular.
 const PIVOT_TOL: f64 = 1e-300;
 
+/// The elimination kernel shared by [`Lu::factor`] and [`Lu::refactor`]:
+/// factors `lu` in place, filling `perm` and returning the permutation sign.
+fn eliminate(lu: &mut Matrix, perm: &mut [usize]) -> Result<f64, NumericsError> {
+    let n = lu.rows();
+    for (i, p) in perm.iter_mut().enumerate() {
+        *p = i;
+    }
+    let mut sign = 1.0;
+    for k in 0..n {
+        // Find pivot row.
+        let mut p = k;
+        let mut pmax = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > pmax {
+                pmax = v;
+                p = i;
+            }
+        }
+        if !(pmax > PIVOT_TOL) || !pmax.is_finite() {
+            return Err(NumericsError::SingularMatrix { pivot: k });
+        }
+        if p != k {
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(p, j)];
+                lu[(p, j)] = tmp;
+            }
+            perm.swap(k, p);
+            sign = -sign;
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let m = lu[(i, k)] / pivot;
+            lu[(i, k)] = m;
+            if m != 0.0 {
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= m * ukj;
+                }
+            }
+        }
+    }
+    Ok(sign)
+}
+
 impl Lu {
     /// Factors a square matrix.
     ///
@@ -53,44 +99,39 @@ impl Lu {
         let n = a.rows();
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
-
-        for k in 0..n {
-            // Find pivot row.
-            let mut p = k;
-            let mut pmax = lu[(k, k)].abs();
-            for i in (k + 1)..n {
-                let v = lu[(i, k)].abs();
-                if v > pmax {
-                    pmax = v;
-                    p = i;
-                }
-            }
-            if !(pmax > PIVOT_TOL) || !pmax.is_finite() {
-                return Err(NumericsError::SingularMatrix { pivot: k });
-            }
-            if p != k {
-                for j in 0..n {
-                    let tmp = lu[(k, j)];
-                    lu[(k, j)] = lu[(p, j)];
-                    lu[(p, j)] = tmp;
-                }
-                perm.swap(k, p);
-                sign = -sign;
-            }
-            let pivot = lu[(k, k)];
-            for i in (k + 1)..n {
-                let m = lu[(i, k)] / pivot;
-                lu[(i, k)] = m;
-                if m != 0.0 {
-                    for j in (k + 1)..n {
-                        let ukj = lu[(k, j)];
-                        lu[(i, j)] -= m * ukj;
-                    }
-                }
-            }
-        }
+        let sign = eliminate(&mut lu, &mut perm)?;
         Ok(Lu { lu, perm, sign })
+    }
+
+    /// Re-factors a same-order matrix into this object's existing storage —
+    /// no allocation. This is the hot path of repeated Newton solves (the
+    /// circuit simulator refactors the Jacobian every iteration at a fixed
+    /// sparsity/order), where `factor`'s per-call clone dominates.
+    ///
+    /// On error the factorization is left in an unusable state; call
+    /// `refactor` again with a valid matrix before solving.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Lu::factor`], plus [`NumericsError::DimensionMismatch`]
+    /// when `a`'s order differs from the stored one.
+    pub fn refactor(&mut self, a: &Matrix) -> Result<(), NumericsError> {
+        let n = self.lu.rows();
+        if a.rows() != n || a.cols() != n {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!(
+                    "refactor of {}x{} matrix into order-{} LU",
+                    a.rows(),
+                    a.cols(),
+                    n
+                ),
+            });
+        }
+        for i in 0..n {
+            self.lu.row_mut(i).copy_from_slice(a.row(i));
+        }
+        self.sign = eliminate(&mut self.lu, &mut self.perm)?;
+        Ok(())
     }
 
     /// Solves `A x = b` using the stored factorization.
@@ -100,14 +141,34 @@ impl Lu {
     /// Returns [`NumericsError::DimensionMismatch`] if `b.len()` does not
     /// match the matrix order.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, NumericsError> {
+        let mut x = vec![0.0; self.lu.rows()];
+        self.solve_into(b, &mut x)?;
+        Ok(x)
+    }
+
+    /// [`Lu::solve`] into caller-provided storage — no allocation. `x` must
+    /// have the factorization's order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] if `b` or `x` does not
+    /// match the matrix order.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) -> Result<(), NumericsError> {
         let n = self.lu.rows();
-        if b.len() != n {
+        if b.len() != n || x.len() != n {
             return Err(NumericsError::DimensionMismatch {
-                context: format!("rhs length {} for order-{} LU", b.len(), n),
+                context: format!(
+                    "rhs length {} / out length {} for order-{} LU",
+                    b.len(),
+                    x.len(),
+                    n
+                ),
             });
         }
         // Apply permutation: y = P b.
-        let mut x: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
         // Forward substitution with unit-lower L.
         for i in 1..n {
             let mut s = x[i];
@@ -124,7 +185,7 @@ impl Lu {
             }
             x[i] = s / self.lu[(i, i)];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Determinant of the factored matrix.
@@ -232,6 +293,38 @@ mod tests {
         let a = Matrix::identity(2);
         let f = Lu::factor(&a).unwrap();
         assert!(f.solve(&[1.0]).is_err());
+        let mut out = vec![0.0; 3];
+        assert!(f.solve_into(&[1.0, 2.0], &mut out).is_err());
+    }
+
+    #[test]
+    fn refactor_reuses_storage_and_matches_factor() {
+        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 1.0, 0.0], &[1.0, 0.0, 2.0], &[0.0, 3.0, 1.0]]);
+        let mut f = Lu::factor(&a).unwrap();
+        f.refactor(&b).unwrap();
+        let fresh = Lu::factor(&b).unwrap();
+        assert!((f.det() - fresh.det()).abs() < 1e-12);
+        let rhs = [1.0, -1.0, 2.0];
+        let mut x = vec![0.0; 3];
+        f.solve_into(&rhs, &mut x).unwrap();
+        let ax = b.matvec(&x);
+        for (l, r) in ax.iter().zip(&rhs) {
+            assert!((l - r).abs() < 1e-12);
+        }
+        // Order mismatch is rejected.
+        assert!(f.refactor(&Matrix::identity(2)).is_err());
+    }
+
+    #[test]
+    fn refactor_recovers_after_singular_input() {
+        let good = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 2.0]]);
+        let singular = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut f = Lu::factor(&good).unwrap();
+        assert!(f.refactor(&singular).is_err());
+        f.refactor(&good).unwrap();
+        let x = f.solve(&[4.0, 6.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -276,8 +276,17 @@ impl Add for &Matrix {
     type Output = Matrix;
 
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add: shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add: shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -290,8 +299,17 @@ impl Sub for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub: shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub: shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Matrix {
             rows: self.rows,
             cols: self.cols,

@@ -69,12 +69,7 @@ pub fn nnls(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, NumericsError> {
         }
     }
     let inner = nnls_scaled(&a_scaled, b)?;
-    let x: Vec<f64> = inner
-        .x
-        .iter()
-        .zip(&col_scale)
-        .map(|(y, s)| y / s)
-        .collect();
+    let x: Vec<f64> = inner.x.iter().zip(&col_scale).map(|(y, s)| y / s).collect();
     Ok(NnlsSolution {
         x,
         residual_norm: inner.residual_norm,
@@ -103,10 +98,9 @@ fn nnls_scaled(a: &Matrix, b: &[f64]) -> Result<NnlsSolution, NumericsError> {
         // Find the most promising inactive variable.
         let mut best: Option<(usize, f64)> = None;
         for j in 0..n {
-            if !passive[j] && w[j] > tol
-                && best.is_none_or(|(_, bw)| w[j] > bw) {
-                    best = Some((j, w[j]));
-                }
+            if !passive[j] && w[j] > tol && best.is_none_or(|(_, bw)| w[j] > bw) {
+                best = Some((j, w[j]));
+            }
         }
         let Some((jstar, _)) = best else {
             // KKT conditions satisfied.

@@ -193,12 +193,7 @@ mod tests {
 
     #[test]
     fn overdetermined_matches_normal_equations() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ]);
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
         let b = [1.0, 2.2, 2.8, 4.1];
         let x = lstsq(&a, &b).unwrap();
         // Solve (A^T A) x = A^T b directly.

@@ -193,8 +193,13 @@ mod tests {
 
     #[test]
     fn brent_finds_cubic_root() {
-        let r = brent(|x| (x + 3.0) * (x - 1.0) * (x - 1.0) * (x - 1.0), -4.0, 0.0, RootOptions::default())
-            .unwrap();
+        let r = brent(
+            |x| (x + 3.0) * (x - 1.0) * (x - 1.0) * (x - 1.0),
+            -4.0,
+            0.0,
+            RootOptions::default(),
+        )
+        .unwrap();
         assert!((r + 3.0).abs() < 1e-9);
     }
 

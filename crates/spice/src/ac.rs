@@ -4,12 +4,15 @@
 //! capacitance matrices `(G, C)`, then solves `(G + jωC) x = b` across a
 //! frequency sweep with a unit-magnitude excitation on one voltage source —
 //! the analysis the paper's Table IV runs on the SRAM cell ("SRAM AC").
+//! Run it through [`crate::session::Analysis::Ac`]; the [`Circuit`] methods
+//! below are deprecated one-shot shims.
 
 use crate::elements::Element;
 use crate::error::SpiceError;
 use crate::netlist::{Circuit, NodeId};
+use crate::session::Session;
 use mosfet::Bias;
-use numerics::complex::{C64, CMatrix};
+use numerics::complex::{CMatrix, C64};
 use numerics::Matrix;
 
 /// Perturbation step for small-signal linearization (V).
@@ -25,27 +28,88 @@ pub struct AcResult {
 
 impl AcResult {
     /// Swept frequencies, Hz.
+    #[must_use]
     pub fn freqs(&self) -> &[f64] {
         &self.freqs
     }
 
-    /// Complex voltage of a node across the sweep (0 for ground).
-    pub fn voltage(&self, node: NodeId) -> Vec<C64> {
+    /// Complex voltage trace of a node across the sweep (0 for ground;
+    /// plural, in line with [`crate::dc::SweepResult::voltages`]).
+    #[must_use]
+    pub fn voltages(&self, node: NodeId) -> Vec<C64> {
         match node.unknown() {
             None => vec![C64::ZERO; self.freqs.len()],
             Some(i) => self.solutions.iter().map(|x| x[i]).collect(),
         }
     }
 
-    /// Voltage magnitude of a node across the sweep.
-    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
-        self.voltage(node).into_iter().map(C64::abs).collect()
+    /// Voltage magnitude trace of a node across the sweep.
+    #[must_use]
+    pub fn magnitudes(&self, node: NodeId) -> Vec<f64> {
+        self.voltages(node).into_iter().map(C64::abs).collect()
     }
 
-    /// Voltage phase (radians) of a node across the sweep.
-    pub fn phase(&self, node: NodeId) -> Vec<f64> {
-        self.voltage(node).into_iter().map(C64::arg).collect()
+    /// Voltage phase trace (radians) of a node across the sweep.
+    #[must_use]
+    pub fn phases(&self, node: NodeId) -> Vec<f64> {
+        self.voltages(node).into_iter().map(C64::arg).collect()
     }
+
+    /// Deprecated alias of [`AcResult::voltages`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "renamed to voltages (trace accessors are plural)"
+    )]
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> Vec<C64> {
+        self.voltages(node)
+    }
+
+    /// Deprecated alias of [`AcResult::magnitudes`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "renamed to magnitudes (trace accessors are plural)"
+    )]
+    #[must_use]
+    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
+        self.magnitudes(node)
+    }
+
+    /// Deprecated alias of [`AcResult::phases`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "renamed to phases (trace accessors are plural)"
+    )]
+    #[must_use]
+    pub fn phase(&self, node: NodeId) -> Vec<f64> {
+        self.phases(node)
+    }
+}
+
+/// Solves a linearized system across a frequency sweep with a unit
+/// excitation on the `src_idx`-th voltage source. Shared by the session
+/// engine and the legacy shims.
+pub(crate) fn sweep_linearized(
+    lin: &Linearized,
+    src_idx: usize,
+    freqs: &[f64],
+) -> Result<AcResult, SpiceError> {
+    let n = lin.g.rows();
+    let mut b = vec![C64::ZERO; n];
+    b[lin.nn + src_idx] = C64::ONE;
+    let mut solutions = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let m = CMatrix::from_gc(&lin.g, &lin.c, omega);
+        let x = m.solve(&b).map_err(|e| SpiceError::SingularSystem {
+            context: format!("AC point at {f:.3e} Hz: {e}"),
+        })?;
+        solutions.push(x);
+    }
+    Ok(AcResult {
+        freqs: freqs.to_vec(),
+        solutions,
+    })
 }
 
 /// Small-signal matrices at an operating point.
@@ -102,7 +166,12 @@ impl Circuit {
                 }
                 Element::Isource { .. } => {} // open in small signal
                 Element::Mosfet {
-                    d, g: gate, s, b, model, ..
+                    d,
+                    g: gate,
+                    s,
+                    b,
+                    model,
+                    ..
                 } => {
                     let bias = Bias {
                         vgs: volt(*gate) - volt(*s),
@@ -220,18 +289,26 @@ impl Circuit {
     /// Fails if the operating point cannot be found, the source is missing,
     /// the frequency list is empty/non-positive, or a frequency point is
     /// singular.
+    #[deprecated(
+        since = "0.2.0",
+        note = "elaborate a spice::Session once and call Session::ac"
+    )]
     pub fn ac_sweep(&self, source: &str, freqs: &[f64]) -> Result<AcResult, SpiceError> {
-        let op = self.dc_op()?;
-        self.ac_sweep_from_op(source, freqs, &op)
+        Session::elaborate(self.clone())?.ac_owned(source, freqs, &[])
     }
 
     /// [`Circuit::ac_sweep`] around a caller-supplied operating point —
     /// needed for bistable circuits where the caller selects the state via
-    /// [`Circuit::dc_op_with_guess`].
+    /// a guessed DC solve.
     ///
     /// # Errors
     ///
     /// Same as [`Circuit::ac_sweep`], minus operating-point search.
+    #[deprecated(
+        since = "0.2.0",
+        note = "elaborate a spice::Session once and call Session::ac_with_guess \
+                (the session solves the guessed operating point itself)"
+    )]
     pub fn ac_sweep_from_op(
         &self,
         source: &str,
@@ -245,22 +322,7 @@ impl Circuit {
         }
         let src_idx = self.vsource_index(source)?;
         let lin = self.linearize(op.raw());
-        let n = lin.g.rows();
-        let mut b = vec![C64::ZERO; n];
-        b[lin.nn + src_idx] = C64::ONE;
-        let mut solutions = Vec::with_capacity(freqs.len());
-        for &f in freqs {
-            let omega = 2.0 * std::f64::consts::PI * f;
-            let m = CMatrix::from_gc(&lin.g, &lin.c, omega);
-            let x = m.solve(&b).map_err(|e| SpiceError::SingularSystem {
-                context: format!("AC point at {f:.3e} Hz: {e}"),
-            })?;
-            solutions.push(x);
-        }
-        Ok(AcResult {
-            freqs: freqs.to_vec(),
-            solutions,
-        })
+        sweep_linearized(&lin, src_idx, freqs)
     }
 }
 
@@ -296,11 +358,12 @@ mod tests {
         ckt.vsource("V1", vin, Circuit::GROUND, Waveform::dc(0.0));
         ckt.resistor("R1", vin, out, r);
         ckt.capacitor("C1", out, Circuit::GROUND, c);
-        let res = ckt
-            .ac_sweep("V1", &[fc / 100.0, fc, fc * 100.0])
+        let mut s = Session::elaborate(ckt).unwrap();
+        let res = s
+            .ac_owned("V1", &[fc / 100.0, fc, fc * 100.0], &[])
             .unwrap();
-        let mag = res.magnitude(out);
-        let ph = res.phase(out);
+        let mag = res.magnitudes(out);
+        let ph = res.phases(out);
         assert!((mag[0] - 1.0).abs() < 1e-3, "passband |H| = {}", mag[0]);
         assert!(
             (mag[1] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3,
@@ -308,7 +371,11 @@ mod tests {
             mag[1]
         );
         assert!(mag[2] < 0.011, "stopband |H| = {}", mag[2]);
-        assert!((ph[1] + std::f64::consts::FRAC_PI_4).abs() < 1e-3, "phase(fc) = {}", ph[1]);
+        assert!(
+            (ph[1] + std::f64::consts::FRAC_PI_4).abs() < 1e-3,
+            "phase(fc) = {}",
+            ph[1]
+        );
     }
 
     #[test]
@@ -338,8 +405,9 @@ mod tests {
             Box::new(VsModel::nominal_nmos_40nm(Geometry::from_nm(300.0, 40.0))),
         );
         ckt.capacitor("CL", out, Circuit::GROUND, 1e-15);
-        let res = ckt.ac_sweep("VIN", &[1e6, 1e12]).unwrap();
-        let mag = res.magnitude(out);
+        let mut s = Session::elaborate(ckt).unwrap();
+        let res = s.ac_owned("VIN", &[1e6, 1e12], &[]).unwrap();
+        let mag = res.magnitudes(out);
         assert!(mag[0] > 2.0, "low-frequency gain = {}", mag[0]);
         assert!(mag[1] < 0.5 * mag[0], "gain must roll off: {mag:?}");
     }
@@ -357,9 +425,10 @@ mod tests {
         let a = ckt.node("a");
         ckt.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
         ckt.resistor("R1", a, Circuit::GROUND, 1.0);
-        assert!(ckt.ac_sweep("V1", &[]).is_err());
-        assert!(ckt.ac_sweep("V1", &[-1.0]).is_err());
-        assert!(ckt.ac_sweep("nope", &[1.0]).is_err());
+        let mut s = Session::elaborate(ckt).unwrap();
+        assert!(s.ac_owned("V1", &[], &[]).is_err());
+        assert!(s.ac_owned("V1", &[-1.0], &[]).is_err());
+        assert!(s.ac_owned("nope", &[1.0], &[]).is_err());
     }
 
     #[test]

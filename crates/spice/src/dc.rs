@@ -1,11 +1,20 @@
-//! DC operating point and DC sweeps.
+//! DC result types and the legacy one-shot operating-point/sweep shims.
+//!
+//! The solver itself lives in [`crate::session::Session`]; elaborate a
+//! session once and run [`crate::session::Analysis::Dc`] /
+//! [`crate::session::Analysis::DcSweep`] requests against it. The
+//! [`Circuit`] methods below survive as deprecated shims that build a
+//! throwaway session per call.
 
-use crate::engine::{newton, Mode, Workspace};
 use crate::error::SpiceError;
 use crate::netlist::{Circuit, NodeId};
-use crate::waveform::Waveform;
+use crate::session::Session;
 
 /// A solved DC operating point.
+///
+/// Accessor naming: scalar-per-node results use the singular (`voltage`),
+/// trace-per-node results (sweep, transient, AC) use the plural
+/// (`voltages`).
 #[derive(Debug, Clone)]
 pub struct DcResult {
     x: Vec<f64>,
@@ -18,6 +27,7 @@ impl DcResult {
     }
 
     /// Voltage of a node (0 for ground).
+    #[must_use]
     pub fn voltage(&self, node: NodeId) -> f64 {
         node.unknown().map_or(0.0, |i| self.x[i])
     }
@@ -26,185 +36,16 @@ impl DcResult {
     /// [`Circuit::vsource_index`]). SPICE convention: positive current flows
     /// *into* the positive terminal (so a supply delivering power reports a
     /// negative current).
+    #[must_use]
     pub fn vsource_current(&self, k: usize) -> f64 {
         self.x[self.nn + k]
     }
 
     /// The raw unknown vector (node voltages then branch currents) — used as
     /// warm start by sweeps and the transient engine.
+    #[must_use]
     pub fn raw(&self) -> &[f64] {
         &self.x
-    }
-}
-
-/// Gmin continuation ladder (largest first).
-const GMIN_STEPS: [f64; 7] = [1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12];
-/// Source-stepping ladder.
-const SOURCE_STEPS: [f64; 8] = [0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 0.95, 1.0];
-
-impl Circuit {
-    /// Solves the DC operating point.
-    ///
-    /// Tries plain Newton first, then gmin stepping, then source stepping.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpiceError::NoConvergence`] when all continuation
-    /// strategies fail, or netlist/singularity errors from assembly.
-    pub fn dc_op(&self) -> Result<DcResult, SpiceError> {
-        self.dc_op_from(None)
-    }
-
-    /// Solves the DC operating point starting from an initial node-voltage
-    /// guess. Useful for bistable circuits (SRAM, latches): the guess
-    /// selects which stable state Newton converges to.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Circuit::dc_op`].
-    pub fn dc_op_with_guess(&self, guess: &[(NodeId, f64)]) -> Result<DcResult, SpiceError> {
-        self.dc_op_from(Some(guess))
-    }
-
-    fn dc_op_from(&self, guess: Option<&[(NodeId, f64)]>) -> Result<DcResult, SpiceError> {
-        self.validate()?;
-        let mut ws = Workspace::new(self);
-        let nn = self.node_count() - 1;
-        let mut x0 = vec![0.0; self.n_unknowns()];
-        if let Some(g) = guess {
-            for &(node, v) in g {
-                if let Some(i) = node.unknown() {
-                    x0[i] = v;
-                }
-            }
-        }
-
-        let direct = newton(
-            self,
-            &x0,
-            &Mode::Dc {
-                gmin: 0.0,
-                source_scale: 1.0,
-            },
-            &mut ws,
-        );
-        if let Ok(x) = direct {
-            return Ok(DcResult::new(x, nn));
-        }
-
-        // Gmin stepping: relax with a large shunt conductance, then tighten.
-        let mut x = x0.clone();
-        let mut ok = true;
-        for &gmin in &GMIN_STEPS {
-            match newton(
-                self,
-                &x,
-                &Mode::Dc {
-                    gmin,
-                    source_scale: 1.0,
-                },
-                &mut ws,
-            ) {
-                Ok(next) => x = next,
-                Err(_) => {
-                    ok = false;
-                    break;
-                }
-            }
-        }
-        if ok {
-            if let Ok(fin) = newton(
-                self,
-                &x,
-                &Mode::Dc {
-                    gmin: 0.0,
-                    source_scale: 1.0,
-                },
-                &mut ws,
-            ) {
-                return Ok(DcResult::new(fin, nn));
-            }
-        }
-
-        // Source stepping: ramp all independent sources from zero.
-        let mut x = x0;
-        let mut stepping_failed = None;
-        for &scale in &SOURCE_STEPS {
-            match newton(
-                self,
-                &x,
-                &Mode::Dc {
-                    gmin: 0.0,
-                    source_scale: scale,
-                },
-                &mut ws,
-            ) {
-                Ok(next) => x = next,
-                Err(e) => {
-                    stepping_failed = Some((scale, e));
-                    break;
-                }
-            }
-        }
-        let Some((scale, e)) = stepping_failed else {
-            return Ok(DcResult::new(x, nn));
-        };
-        // A user-supplied guess can park the continuation in a basin that
-        // no longer exists for this sample (e.g. mismatch destroyed one
-        // latch state). A bad guess must never be worse than no guess:
-        // retry the whole ladder cold.
-        if guess.is_some() {
-            return self.dc_op_from(None);
-        }
-        Err(SpiceError::NoConvergence {
-            analysis: "dc op",
-            detail: format!("source stepping stuck at scale {scale}: {e}"),
-        })
-    }
-
-    /// Sweeps the DC value of voltage source `source` over `values`,
-    /// re-solving with warm starts. The source's waveform is restored
-    /// afterwards (the circuit is cloned internally).
-    ///
-    /// # Errors
-    ///
-    /// Fails when the source does not exist, the sweep is empty, or any
-    /// point fails to converge.
-    pub fn dc_sweep(&self, source: &str, values: &[f64]) -> Result<SweepResult, SpiceError> {
-        if values.is_empty() {
-            return Err(SpiceError::InvalidArgument {
-                context: "empty sweep".into(),
-            });
-        }
-        self.vsource_index(source)?;
-        let mut c = self.clone();
-        let nn = c.node_count() - 1;
-        let mut ws = Workspace::new(&c);
-        let mut points = Vec::with_capacity(values.len());
-        let mut warm: Option<Vec<f64>> = None;
-        for &v in values {
-            c.set_vsource(source, Waveform::dc(v))?;
-            let x0 = warm.clone().unwrap_or_else(|| vec![0.0; c.n_unknowns()]);
-            let x = match newton(
-                &c,
-                &x0,
-                &Mode::Dc {
-                    gmin: 0.0,
-                    source_scale: 1.0,
-                },
-                &mut ws,
-            ) {
-                Ok(x) => x,
-                // Cold retry with the full continuation ladder.
-                Err(_) => c.dc_op()?.raw().to_vec(),
-            };
-            warm = Some(x.clone());
-            points.push(DcResult::new(x, nn));
-        }
-        Ok(SweepResult {
-            values: values.to_vec(),
-            points,
-        })
     }
 }
 
@@ -219,14 +60,70 @@ pub struct SweepResult {
 
 impl SweepResult {
     /// Voltage trace of a node across the sweep.
+    #[must_use]
     pub fn voltages(&self, node: NodeId) -> Vec<f64> {
         self.points.iter().map(|p| p.voltage(node)).collect()
+    }
+
+    /// Branch-current trace of the `k`-th voltage source across the sweep.
+    #[must_use]
+    pub fn vsource_currents(&self, k: usize) -> Vec<f64> {
+        self.points.iter().map(|p| p.vsource_current(k)).collect()
+    }
+}
+
+impl Circuit {
+    /// Solves the DC operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NoConvergence`] when all continuation
+    /// strategies fail, or netlist/singularity errors from assembly.
+    #[deprecated(
+        since = "0.2.0",
+        note = "elaborate a spice::Session once and call Session::dc — it reuses \
+                the workspace and warm starts across solves"
+    )]
+    pub fn dc_op(&self) -> Result<DcResult, SpiceError> {
+        Session::elaborate(self.clone())?.dc_owned()
+    }
+
+    /// Solves the DC operating point starting from an initial node-voltage
+    /// guess. Useful for bistable circuits (SRAM, latches): the guess
+    /// selects which stable state Newton converges to.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Circuit::dc_op`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "elaborate a spice::Session once and call Session::dc_with_guess"
+    )]
+    pub fn dc_op_with_guess(&self, guess: &[(NodeId, f64)]) -> Result<DcResult, SpiceError> {
+        Session::elaborate(self.clone())?.dc_owned_with_guess(guess)
+    }
+
+    /// Sweeps the DC value of voltage source `source` over `values`,
+    /// re-solving with warm starts. The source's waveform is restored
+    /// afterwards (the circuit is cloned internally).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the source does not exist, the sweep is empty, or any
+    /// point fails to converge.
+    #[deprecated(
+        since = "0.2.0",
+        note = "elaborate a spice::Session once and call Session::dc_sweep"
+    )]
+    pub fn dc_sweep(&self, source: &str, values: &[f64]) -> Result<SweepResult, SpiceError> {
+        Session::elaborate(self.clone())?.dc_sweep_owned(source, values)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::waveform::Waveform;
 
     #[test]
     fn divider_op() {
@@ -236,7 +133,8 @@ mod tests {
         c.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
         c.resistor("R1", a, m, 2e3);
         c.resistor("R2", m, Circuit::GROUND, 1e3);
-        let op = c.dc_op().unwrap();
+        let mut s = Session::elaborate(c).unwrap();
+        let op = s.dc_owned().unwrap();
         assert!((op.voltage(m) - 1.0 / 3.0).abs() < 1e-6);
         assert!((op.voltage(Circuit::GROUND)).abs() < 1e-12);
         // Source current = -1/3 mA (delivering).
@@ -251,29 +149,31 @@ mod tests {
         c.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
         c.resistor("R1", a, m, 1e3);
         c.capacitor("C1", m, Circuit::GROUND, 1e-12);
-        let op = c.dc_op().unwrap();
+        let op = Session::elaborate(c).unwrap().dc_owned().unwrap();
         // No DC path to ground through C: node follows the source.
         assert!((op.voltage(m) - 1.0).abs() < 1e-3);
     }
 
     #[test]
-    fn sweep_tracks_source() {
+    fn sweep_tracks_source_and_reports_currents() {
         let mut c = Circuit::new();
         let a = c.node("a");
         let m = c.node("m");
         c.vsource("Vin", a, Circuit::GROUND, Waveform::dc(0.0));
         c.resistor("R1", a, m, 1e3);
         c.resistor("R2", m, Circuit::GROUND, 1e3);
-        let sweep = c.dc_sweep("Vin", &[0.0, 0.5, 1.0, 2.0]).unwrap();
+        let mut s = Session::elaborate(c).unwrap();
+        let sweep = s.dc_sweep_owned("Vin", &[0.0, 0.5, 1.0, 2.0]).unwrap();
         let vm = sweep.voltages(m);
         for (v, vin) in vm.iter().zip(&sweep.values) {
             assert!((v - vin / 2.0).abs() < 1e-6);
         }
-        // The original circuit still has its original source value.
-        assert_eq!(
-            c.dc_op().unwrap().voltage(a),
-            0.0
-        );
+        let im = sweep.vsource_currents(0);
+        for (i, vin) in im.iter().zip(&sweep.values) {
+            assert!((i + vin / 2e3).abs() < 1e-8);
+        }
+        // The session still has its original source value afterwards.
+        assert_eq!(s.dc_owned().unwrap().voltage(a), 0.0);
     }
 
     #[test]
@@ -282,19 +182,38 @@ mod tests {
         let a = c.node("a");
         c.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
         c.resistor("R1", a, Circuit::GROUND, 1.0);
-        assert!(c.dc_sweep("V1", &[]).is_err());
-        assert!(c.dc_sweep("nope", &[1.0]).is_err());
+        let mut s = Session::elaborate(c).unwrap();
+        assert!(s.dc_sweep_owned("V1", &[]).is_err());
+        assert!(s.dc_sweep_owned("nope", &[1.0]).is_err());
     }
 
     #[test]
-    fn guess_selects_units() {
+    fn guess_does_not_change_linear_answer() {
         // A plain linear circuit: the guess must not change the answer.
         let mut c = Circuit::new();
         let a = c.node("a");
         c.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
         c.resistor("R1", a, Circuit::GROUND, 1e3);
-        let op1 = c.dc_op().unwrap();
-        let op2 = c.dc_op_with_guess(&[(a, -5.0)]).unwrap();
+        let mut s = Session::elaborate(c).unwrap();
+        let op1 = s.dc_owned().unwrap();
+        let op2 = s.dc_owned_with_guess(&[(a, -5.0)]).unwrap();
         assert!((op1.voltage(a) - op2.voltage(a)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_still_answer() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let m = c.node("m");
+        c.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
+        c.resistor("R1", a, m, 2e3);
+        c.resistor("R2", m, Circuit::GROUND, 1e3);
+        let op = c.dc_op().unwrap();
+        assert!((op.voltage(m) - 1.0 / 3.0).abs() < 1e-6);
+        let sweep = c.dc_sweep("V1", &[0.0, 1.0]).unwrap();
+        assert_eq!(sweep.points.len(), 2);
+        // The shim clones: the original circuit keeps its waveform.
+        assert!((c.dc_op().unwrap().voltage(a) - 1.0).abs() < 1e-9);
     }
 }

@@ -71,13 +71,20 @@ pub enum Mode<'a> {
     },
 }
 
-/// Scratch space reused across Newton iterations and time steps.
+/// Scratch space reused across Newton iterations, time steps, and — through
+/// [`crate::session::Session`] — across entire analyses and Monte Carlo
+/// samples. Holds the MNA system plus the LU factorization storage, so the
+/// hot loop performs no per-iteration allocation.
 #[derive(Debug)]
 pub struct Workspace {
     n: usize,
     nn: usize,
     a: Matrix,
     b: Vec<f64>,
+    /// Reused LU factorization storage (order n once initialized).
+    lu: Option<Lu>,
+    /// Newton update scratch.
+    x_new: Vec<f64>,
 }
 
 impl Workspace {
@@ -89,12 +96,27 @@ impl Workspace {
             nn: circuit.node_count() - 1,
             a: Matrix::zeros(n, n),
             b: vec![0.0; n],
+            lu: None,
+            x_new: vec![0.0; n],
         }
     }
 
     /// Number of unknowns.
     pub fn n_unknowns(&self) -> usize {
         self.n
+    }
+
+    /// Factors the assembled system into the reused LU storage and solves
+    /// `A x = b` into the internal update scratch.
+    fn factor_and_solve(&mut self) -> Result<(), SpiceError> {
+        if let Some(lu) = self.lu.as_mut() {
+            lu.refactor(&self.a)?;
+        } else {
+            self.lu = Some(Lu::factor(&self.a)?);
+        }
+        let lu = self.lu.as_ref().expect("factored above");
+        lu.solve_into(&self.b, &mut self.x_new)?;
+        Ok(())
     }
 }
 
@@ -195,7 +217,12 @@ pub fn assemble(circuit: &Circuit, x: &[f64], mode: &Mode<'_>, ws: &mut Workspac
             }
             Element::Isource { pos, neg, wave, .. } => {
                 // Current into pos = current leaving neg.
-                stamp_current(ws, neg.unknown(), pos.unknown(), wave.value(time) * source_scale);
+                stamp_current(
+                    ws,
+                    neg.unknown(),
+                    pos.unknown(),
+                    wave.value(time) * source_scale,
+                );
             }
             Element::Mosfet {
                 d, g, s, b, model, ..
@@ -380,24 +407,28 @@ pub fn newton(
     let mut x = x0.to_vec();
     for iter in 0..MAX_NEWTON {
         assemble(circuit, &x, mode, ws);
-        let lu = Lu::factor(&ws.a).map_err(|e| SpiceError::SingularSystem {
-            context: format!("newton iteration {iter}: {e}"),
-        })?;
-        let x_new = lu.solve(&ws.b)?;
+        ws.factor_and_solve()
+            .map_err(|e| SpiceError::SingularSystem {
+                context: format!("newton iteration {iter}: {e}"),
+            })?;
         // Damped update.
         let mut max_dv = 0.0_f64;
         let mut max_di = 0.0_f64;
         for i in 0..ws.n {
-            let d = x_new[i] - x[i];
+            let d = ws.x_new[i] - x[i];
             if i < ws.nn {
                 max_dv = max_dv.max(d.abs());
             } else {
                 max_di = max_di.max(d.abs());
             }
         }
-        let scale = if max_dv > MAX_DV { MAX_DV / max_dv } else { 1.0 };
+        let scale = if max_dv > MAX_DV {
+            MAX_DV / max_dv
+        } else {
+            1.0
+        };
         for i in 0..ws.n {
-            x[i] += scale * (x_new[i] - x[i]);
+            x[i] += scale * (ws.x_new[i] - x[i]);
         }
         if !x.iter().all(|v| v.is_finite()) {
             return Err(SpiceError::NoConvergence {

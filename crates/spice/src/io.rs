@@ -13,16 +13,17 @@ use std::io::{self, Write};
 /// # Example
 ///
 /// ```
-/// use spice::{Circuit, TranOptions, Waveform};
+/// use spice::{Circuit, Session, TranOptions, Waveform};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut c = Circuit::new();
 /// let a = c.node("a");
 /// c.vsource("V1", a, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
 /// c.resistor("R1", a, Circuit::GROUND, 1e3);
-/// let res = c.tran(&TranOptions::new(1e-9, 1e-11))?;
+/// let mut s = Session::elaborate(c)?;
+/// let res = s.tran_owned(&TranOptions::new(1e-9, 1e-11))?;
 /// let mut out = Vec::new();
-/// spice::io::write_waveforms_csv(&mut out, &c, &res, &[a])?;
+/// spice::io::write_waveforms_csv(&mut out, s.circuit(), &res, &[a])?;
 /// assert!(String::from_utf8(out)?.starts_with("time,a\n"));
 /// # Ok(())
 /// # }
@@ -40,7 +41,7 @@ pub fn write_waveforms_csv<W: Write>(
     }
     writeln!(w)?;
     // Rows.
-    let traces: Vec<Vec<f64>> = nodes.iter().map(|&n| result.voltage(n)).collect();
+    let traces: Vec<Vec<f64>> = nodes.iter().map(|&n| result.voltages(n)).collect();
     for (k, &t) in result.times().iter().enumerate() {
         write!(w, "{t:.9e}")?;
         for trace in &traces {
@@ -54,6 +55,7 @@ pub fn write_waveforms_csv<W: Write>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
     use crate::tran::TranOptions;
     use crate::waveform::Waveform;
 
@@ -62,12 +64,19 @@ mod tests {
         let mut c = Circuit::new();
         let a = c.node("in");
         let b = c.node("out");
-        c.vsource("V1", a, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        c.vsource(
+            "V1",
+            a,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 0.0, 1e-12),
+        );
         c.resistor("R1", a, b, 1e3);
         c.capacitor("C1", b, Circuit::GROUND, 1e-12);
-        let res = c.tran(&TranOptions::new(1e-9, 0.1e-9)).unwrap();
+        let mut s = Session::elaborate(c).unwrap();
+        let res = s.tran_owned(&TranOptions::new(1e-9, 0.1e-9)).unwrap();
+        let c = s.circuit();
         let mut buf = Vec::new();
-        write_waveforms_csv(&mut buf, &c, &res, &[a, b]).unwrap();
+        write_waveforms_csv(&mut buf, c, &res, &[a, b]).unwrap();
         let s = String::from_utf8(buf).unwrap();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines[0], "time,in,out");
@@ -83,9 +92,10 @@ mod tests {
         c.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
         c.resistor("R1", a, Circuit::GROUND, 1e3);
         c.capacitor("C1", a, Circuit::GROUND, 1e-15);
-        let res = c.tran(&TranOptions::new(1e-10, 1e-11)).unwrap();
+        let mut s = Session::elaborate(c).unwrap();
+        let res = s.tran_owned(&TranOptions::new(1e-10, 1e-11)).unwrap();
         let mut buf = Vec::new();
-        write_waveforms_csv(&mut buf, &c, &res, &[Circuit::GROUND]).unwrap();
+        write_waveforms_csv(&mut buf, s.circuit(), &res, &[Circuit::GROUND]).unwrap();
         let s = String::from_utf8(buf).unwrap();
         for line in s.lines().skip(1) {
             let v: f64 = line.split(',').nth(1).unwrap().parse().unwrap();

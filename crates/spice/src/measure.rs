@@ -135,7 +135,7 @@ mod tests {
         let vin: Vec<f64> = t.iter().map(|&x| (x / 5e-9).min(1.0)).collect();
         let vout: Vec<f64> = t
             .iter()
-            .map(|&x| (((x - 2e-9) / 5e-9).max(0.0)).min(1.0))
+            .map(|&x| ((x - 2e-9) / 5e-9).clamp(0.0, 1.0))
             .collect();
         let d = prop_delay(&t, &vin, &vout, 0.5, Edge::Rising).unwrap();
         assert!((d - 2e-9).abs() < 1e-12, "delay = {d}");

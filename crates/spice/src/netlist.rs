@@ -85,6 +85,31 @@ impl Circuit {
         &self.elements
     }
 
+    /// Mutable element access for [`crate::session::Session`]'s in-place
+    /// device swaps — crate-private so external code cannot invalidate an
+    /// elaborated layout.
+    pub(crate) fn elements_mut(&mut self) -> &mut [Element] {
+        &mut self.elements
+    }
+
+    /// The waveform of the voltage source named `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadNetlist`] when the source is missing.
+    pub fn vsource_waveform(&self, name: &str) -> Result<&Waveform, SpiceError> {
+        for e in &self.elements {
+            if let Element::Vsource { name: n, wave, .. } = e {
+                if n == name {
+                    return Ok(wave);
+                }
+            }
+        }
+        Err(SpiceError::BadNetlist {
+            context: format!("no voltage source named {name}"),
+        })
+    }
+
     /// Adds a resistor.
     ///
     /// # Panics
@@ -189,7 +214,10 @@ impl Circuit {
     /// Returns [`SpiceError::BadNetlist`] when the source is missing.
     pub fn set_vsource(&mut self, name: &str, wave: Waveform) -> Result<(), SpiceError> {
         for e in &mut self.elements {
-            if let Element::Vsource { name: n, wave: w, .. } = e {
+            if let Element::Vsource {
+                name: n, wave: w, ..
+            } = e
+            {
                 if n == name {
                     *w = wave;
                     return Ok(());

@@ -127,7 +127,11 @@ fn parse_source(tokens: &[&str], name: &str) -> Result<Waveform, SpiceError> {
 fn extract_args(spec: &str) -> Result<Vec<f64>, SpiceError> {
     let inner: String = match (spec.find('('), spec.rfind(')')) {
         (Some(lo), Some(hi)) if hi > lo => spec[lo + 1..hi].to_string(),
-        _ => spec.split_whitespace().skip(1).collect::<Vec<_>>().join(" "),
+        _ => spec
+            .split_whitespace()
+            .skip(1)
+            .collect::<Vec<_>>()
+            .join(" "),
     };
     inner
         .split(|c: char| c.is_whitespace() || c == ',')
@@ -163,7 +167,11 @@ pub fn parse(text: &str) -> Result<Circuit, SpiceError> {
         let err = |msg: String| SpiceError::BadNetlist {
             context: format!("line '{line}': {msg}"),
         };
-        let kind = head.chars().next().expect("non-empty token").to_ascii_uppercase();
+        let kind = head
+            .chars()
+            .next()
+            .expect("non-empty token")
+            .to_ascii_uppercase();
         match kind {
             '.' => {
                 let directive = head.to_ascii_lowercase();
@@ -266,7 +274,10 @@ mod tests {
              .end",
         )
         .unwrap();
-        let op = c.dc_op().unwrap();
+        let op = crate::session::Session::elaborate(c.clone())
+            .unwrap()
+            .dc_owned()
+            .unwrap();
         let mid = c.find_node("mid").unwrap();
         assert!((op.voltage(mid) - 1.0).abs() < 1e-9);
     }
@@ -300,9 +311,16 @@ mod tests {
              CL out 0 1f",
         )
         .unwrap();
-        let op = c.dc_op().unwrap();
+        let op = crate::session::Session::elaborate(c.clone())
+            .unwrap()
+            .dc_owned()
+            .unwrap();
         let out = c.find_node("out").unwrap();
-        assert!(op.voltage(out) > 0.85, "inverter output high: {}", op.voltage(out));
+        assert!(
+            op.voltage(out) > 0.85,
+            "inverter output high: {}",
+            op.voltage(out)
+        );
     }
 
     #[test]
@@ -313,7 +331,10 @@ mod tests {
              R1 a 0 1k",
         )
         .unwrap();
-        let op = c.dc_op().unwrap();
+        let op = crate::session::Session::elaborate(c.clone())
+            .unwrap()
+            .dc_owned()
+            .unwrap();
         assert!((op.voltage(c.find_node("a").unwrap()) - 1.5).abs() < 1e-9);
     }
 
@@ -350,7 +371,10 @@ mod tests {
              M1 d g 0 0 bsimn W=600n L=40n",
         )
         .unwrap();
-        let op = c.dc_op().unwrap();
+        let op = crate::session::Session::elaborate(c)
+            .unwrap()
+            .dc_owned()
+            .unwrap();
         // Drain current flows: the supply sources it.
         assert!(op.vsource_current(0) < -1e-5);
     }

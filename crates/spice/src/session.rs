@@ -1,0 +1,1214 @@
+//! Session-based simulation: elaborate once, run many analyses.
+//!
+//! [`Session`] is the primary analysis surface of this crate. It takes
+//! ownership of a finished [`Circuit`], elaborates it once (validation,
+//! node/branch layout, workspace and LU scratch allocation), and then runs
+//! any number of analyses against that fixed topology:
+//!
+//! * every [`Analysis`] request returns a stable [`RunId`] into the
+//!   session's [`ResultStore`];
+//! * `*_owned` convenience methods bypass the store for hot loops;
+//! * [`Session::swap_devices`] / [`Session::swap_all_mosfets`] resample
+//!   MOSFET instances *in place* — the Monte Carlo fast path: no re-parse,
+//!   no re-elaboration, and the next DC solve warm-starts from the previous
+//!   sample's operating point;
+//! * [`Session::set_source`] retargets a stimulus (setup/hold searches,
+//!   sweeps) without rebuilding the netlist.
+//!
+//! The legacy one-shot methods on [`Circuit`] (`dc_op`, `dc_sweep`, `tran`,
+//! `ac_sweep`) remain as deprecated shims that elaborate a throwaway
+//! session per call.
+
+use crate::ac::{sweep_linearized, AcResult};
+use crate::dc::{DcResult, SweepResult};
+use crate::elements::Element;
+use crate::engine::{newton, Integrator, Mode, TranState, Workspace};
+use crate::error::SpiceError;
+use crate::netlist::{Circuit, NodeId};
+use crate::tran::{TranOptions, TranResult};
+use crate::waveform::Waveform;
+use mosfet::MosfetModel;
+use std::collections::HashMap;
+
+/// Gmin continuation ladder (largest first).
+const GMIN_STEPS: [f64; 7] = [1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 1e-12];
+/// Source-stepping ladder.
+const SOURCE_STEPS: [f64; 8] = [0.1, 0.25, 0.4, 0.55, 0.7, 0.85, 0.95, 1.0];
+/// Maximum binary step-halving depth on transient Newton failure.
+const MAX_HALVINGS: usize = 10;
+
+/// Stable identifier of one analysis run within a session.
+///
+/// Ids are monotonically increasing and never reused, even after
+/// [`ResultStore::take`] or [`ResultStore::clear`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunId(u64);
+
+impl std::fmt::Display for RunId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "run#{}", self.0)
+    }
+}
+
+/// An analysis request for [`Session::run`].
+#[derive(Debug, Clone)]
+pub enum Analysis {
+    /// Nonlinear DC operating point; `guess` seeds the Newton iteration
+    /// (empty for a cold start) and selects the state of bistable circuits.
+    Dc {
+        /// Initial node-voltage guesses.
+        guess: Vec<(NodeId, f64)>,
+    },
+    /// DC sweep of the named voltage source over `values`, warm-started
+    /// point to point. The source's waveform is restored afterwards.
+    DcSweep {
+        /// Voltage source to sweep.
+        source: String,
+        /// Swept DC values.
+        values: Vec<f64>,
+    },
+    /// Transient analysis.
+    Tran(TranOptions),
+    /// AC small-signal sweep: linearize at the DC operating point selected
+    /// by `guess` (empty for a cold start), apply a unit excitation on
+    /// `source`, solve at each frequency.
+    Ac {
+        /// Voltage source carrying the unit AC excitation.
+        source: String,
+        /// Sweep frequencies, Hz (all positive).
+        freqs: Vec<f64>,
+        /// Operating-point guesses for bistable circuits.
+        guess: Vec<(NodeId, f64)>,
+    },
+}
+
+impl Analysis {
+    /// A cold-start DC operating point request.
+    #[must_use]
+    pub fn dc() -> Self {
+        Analysis::Dc { guess: Vec::new() }
+    }
+
+    /// A DC operating point request seeded with node-voltage guesses.
+    #[must_use]
+    pub fn dc_with_guess(guess: &[(NodeId, f64)]) -> Self {
+        Analysis::Dc {
+            guess: guess.to_vec(),
+        }
+    }
+
+    /// A DC sweep request.
+    #[must_use]
+    pub fn dc_sweep(source: &str, values: &[f64]) -> Self {
+        Analysis::DcSweep {
+            source: source.to_string(),
+            values: values.to_vec(),
+        }
+    }
+
+    /// A transient request.
+    #[must_use]
+    pub fn tran(opts: TranOptions) -> Self {
+        Analysis::Tran(opts)
+    }
+
+    /// An AC sweep request (cold-start operating point).
+    #[must_use]
+    pub fn ac(source: &str, freqs: &[f64]) -> Self {
+        Analysis::Ac {
+            source: source.to_string(),
+            freqs: freqs.to_vec(),
+            guess: Vec::new(),
+        }
+    }
+
+    /// An AC sweep request with operating-point guesses.
+    #[must_use]
+    pub fn ac_with_guess(source: &str, freqs: &[f64], guess: &[(NodeId, f64)]) -> Self {
+        Analysis::Ac {
+            source: source.to_string(),
+            freqs: freqs.to_vec(),
+            guess: guess.to_vec(),
+        }
+    }
+}
+
+/// A completed analysis result.
+#[derive(Debug, Clone)]
+pub enum AnalysisResult {
+    /// DC operating point.
+    Dc(DcResult),
+    /// DC sweep.
+    Sweep(SweepResult),
+    /// Transient waveforms.
+    Tran(TranResult),
+    /// AC sweep.
+    Ac(AcResult),
+}
+
+impl AnalysisResult {
+    /// Short kind label ("dc", "sweep", "tran", "ac").
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AnalysisResult::Dc(_) => "dc",
+            AnalysisResult::Sweep(_) => "sweep",
+            AnalysisResult::Tran(_) => "tran",
+            AnalysisResult::Ac(_) => "ac",
+        }
+    }
+
+    /// The DC result, if this run was a DC operating point.
+    #[must_use]
+    pub fn as_dc(&self) -> Option<&DcResult> {
+        match self {
+            AnalysisResult::Dc(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The sweep result, if this run was a DC sweep.
+    #[must_use]
+    pub fn as_sweep(&self) -> Option<&SweepResult> {
+        match self {
+            AnalysisResult::Sweep(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The transient result, if this run was a transient.
+    #[must_use]
+    pub fn as_tran(&self) -> Option<&TranResult> {
+        match self {
+            AnalysisResult::Tran(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The AC result, if this run was an AC sweep.
+    #[must_use]
+    pub fn as_ac(&self) -> Option<&AcResult> {
+        match self {
+            AnalysisResult::Ac(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes into the DC result, if applicable.
+    #[must_use]
+    pub fn into_dc(self) -> Option<DcResult> {
+        match self {
+            AnalysisResult::Dc(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes into the sweep result, if applicable.
+    #[must_use]
+    pub fn into_sweep(self) -> Option<SweepResult> {
+        match self {
+            AnalysisResult::Sweep(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes into the transient result, if applicable.
+    #[must_use]
+    pub fn into_tran(self) -> Option<TranResult> {
+        match self {
+            AnalysisResult::Tran(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Consumes into the AC result, if applicable.
+    #[must_use]
+    pub fn into_ac(self) -> Option<AcResult> {
+        match self {
+            AnalysisResult::Ac(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// Completed runs of a session, keyed by [`RunId`].
+///
+/// Runs are stored in completion order; ids are strictly increasing, so
+/// lookups binary-search. Long-lived Monte Carlo sessions should either use
+/// the `*_owned` methods on [`Session`] (which bypass the store) or call
+/// [`ResultStore::clear`] periodically.
+#[derive(Debug, Clone, Default)]
+pub struct ResultStore {
+    runs: Vec<(RunId, AnalysisResult)>,
+}
+
+impl ResultStore {
+    /// Looks up a run by id.
+    #[must_use]
+    pub fn get(&self, id: RunId) -> Option<&AnalysisResult> {
+        self.runs
+            .binary_search_by_key(&id, |(k, _)| *k)
+            .ok()
+            .map(|i| &self.runs[i].1)
+    }
+
+    /// Removes and returns a run by id.
+    pub fn take(&mut self, id: RunId) -> Option<AnalysisResult> {
+        self.runs
+            .binary_search_by_key(&id, |(k, _)| *k)
+            .ok()
+            .map(|i| self.runs.remove(i).1)
+    }
+
+    /// The DC result of a run, if it exists and was a DC operating point.
+    #[must_use]
+    pub fn dc(&self, id: RunId) -> Option<&DcResult> {
+        self.get(id).and_then(AnalysisResult::as_dc)
+    }
+
+    /// The sweep result of a run, if it exists and was a DC sweep.
+    #[must_use]
+    pub fn sweep(&self, id: RunId) -> Option<&SweepResult> {
+        self.get(id).and_then(AnalysisResult::as_sweep)
+    }
+
+    /// The transient result of a run, if it exists and was a transient.
+    #[must_use]
+    pub fn tran(&self, id: RunId) -> Option<&TranResult> {
+        self.get(id).and_then(AnalysisResult::as_tran)
+    }
+
+    /// The AC result of a run, if it exists and was an AC sweep.
+    #[must_use]
+    pub fn ac(&self, id: RunId) -> Option<&AcResult> {
+        self.get(id).and_then(AnalysisResult::as_ac)
+    }
+
+    /// Number of stored runs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True when no runs are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Iterates stored runs in completion order.
+    pub fn iter(&self) -> impl Iterator<Item = (RunId, &AnalysisResult)> {
+        self.runs.iter().map(|(id, r)| (*id, r))
+    }
+
+    /// Drops all stored runs (ids are never reused).
+    pub fn clear(&mut self) {
+        self.runs.clear();
+    }
+}
+
+/// A persistent simulation session: one elaborated circuit, reusable
+/// scratch, many analyses.
+///
+/// # Example
+///
+/// ```
+/// use spice::{Analysis, Circuit, Session, Waveform};
+///
+/// # fn main() -> Result<(), spice::SpiceError> {
+/// let mut c = Circuit::new();
+/// let vin = c.node("in");
+/// let mid = c.node("mid");
+/// c.vsource("V1", vin, Circuit::GROUND, Waveform::dc(1.0));
+/// c.resistor("R1", vin, mid, 1e3);
+/// c.resistor("R2", mid, Circuit::GROUND, 1e3);
+///
+/// let mut s = Session::elaborate(c)?;
+/// let op = s.run(Analysis::dc())?;
+/// assert!((s.results().dc(op).unwrap().voltage(mid) - 0.5).abs() < 1e-9);
+/// // Same elaboration, different stimulus: no rebuild.
+/// s.set_source("V1", Waveform::dc(2.0))?;
+/// let op2 = s.dc()?;
+/// assert!((op2.voltage(mid) - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Session {
+    circuit: Circuit,
+    ws: Workspace,
+    /// Number of node-voltage unknowns (nodes minus ground).
+    nn: usize,
+    /// Element index of every MOSFET, by instance name.
+    mos_by_name: HashMap<String, usize>,
+    store: ResultStore,
+    next_run: u64,
+    /// Last converged DC unknown vector — warm start for the next DC solve.
+    warm: Option<Vec<f64>>,
+    /// Transient dynamic-state double buffer, reused across runs.
+    state: TranState,
+    state_scratch: TranState,
+}
+
+impl Session {
+    /// Validates and elaborates a circuit into a ready session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadNetlist`] for invalid netlists (e.g. empty,
+    /// or duplicate MOSFET instance names).
+    pub fn elaborate(circuit: Circuit) -> Result<Self, SpiceError> {
+        circuit.validate()?;
+        let mut mos_by_name = HashMap::new();
+        for (idx, e) in circuit.elements().iter().enumerate() {
+            if let Element::Mosfet { name, .. } = e {
+                if mos_by_name.insert(name.clone(), idx).is_some() {
+                    return Err(SpiceError::BadNetlist {
+                        context: format!("duplicate MOSFET instance name {name}"),
+                    });
+                }
+            }
+        }
+        let ws = Workspace::new(&circuit);
+        let nn = circuit.node_count() - 1;
+        Ok(Session {
+            circuit,
+            ws,
+            nn,
+            mos_by_name,
+            store: ResultStore::default(),
+            next_run: 0,
+            warm: None,
+            state: TranState::default(),
+            state_scratch: TranState::default(),
+        })
+    }
+
+    /// The elaborated circuit (read-only: the session owns the layout, so
+    /// structural edits go through [`Session::swap_devices`] and
+    /// [`Session::set_source`]).
+    #[must_use]
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Completed runs.
+    #[must_use]
+    pub fn results(&self) -> &ResultStore {
+        &self.store
+    }
+
+    /// Mutable access to completed runs (for [`ResultStore::take`] /
+    /// [`ResultStore::clear`]).
+    pub fn results_mut(&mut self) -> &mut ResultStore {
+        &mut self.store
+    }
+
+    /// Runs an analysis and stores the result under a fresh [`RunId`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates convergence, singularity, and argument errors from the
+    /// underlying analysis.
+    pub fn run(&mut self, analysis: Analysis) -> Result<RunId, SpiceError> {
+        let result = self.run_inner(analysis)?;
+        let id = RunId(self.next_run);
+        self.next_run += 1;
+        self.store.runs.push((id, result));
+        Ok(id)
+    }
+
+    /// Runs an analysis and returns the result directly, bypassing the
+    /// store — the zero-overhead path for Monte Carlo loops.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::run`].
+    pub fn run_owned(&mut self, analysis: Analysis) -> Result<AnalysisResult, SpiceError> {
+        self.run_inner(analysis)
+    }
+
+    fn run_inner(&mut self, analysis: Analysis) -> Result<AnalysisResult, SpiceError> {
+        match analysis {
+            Analysis::Dc { guess } => {
+                let g = if guess.is_empty() {
+                    None
+                } else {
+                    Some(guess.as_slice())
+                };
+                let x = self.solve_dc_vec(g)?;
+                Ok(AnalysisResult::Dc(DcResult::new(x, self.nn)))
+            }
+            Analysis::DcSweep { source, values } => self
+                .run_dc_sweep(&source, &values)
+                .map(AnalysisResult::Sweep),
+            Analysis::Tran(opts) => self.run_tran(&opts).map(AnalysisResult::Tran),
+            Analysis::Ac {
+                source,
+                freqs,
+                guess,
+            } => {
+                let g = if guess.is_empty() {
+                    None
+                } else {
+                    Some(guess.as_slice())
+                };
+                self.run_ac(&source, &freqs, g).map(AnalysisResult::Ac)
+            }
+        }
+    }
+
+    // ---- typed convenience wrappers -------------------------------------
+
+    /// DC operating point; result stored and borrowed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    pub fn dc(&mut self) -> Result<&DcResult, SpiceError> {
+        let id = self.run(Analysis::dc())?;
+        Ok(self.store.dc(id).expect("just stored"))
+    }
+
+    /// DC operating point with node-voltage guesses; result stored and
+    /// borrowed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    pub fn dc_with_guess(&mut self, guess: &[(NodeId, f64)]) -> Result<&DcResult, SpiceError> {
+        let id = self.run(Analysis::dc_with_guess(guess))?;
+        Ok(self.store.dc(id).expect("just stored"))
+    }
+
+    /// DC sweep; result stored and borrowed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    pub fn dc_sweep(&mut self, source: &str, values: &[f64]) -> Result<&SweepResult, SpiceError> {
+        let id = self.run(Analysis::dc_sweep(source, values))?;
+        Ok(self.store.sweep(id).expect("just stored"))
+    }
+
+    /// Transient; result stored and borrowed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    pub fn tran(&mut self, opts: &TranOptions) -> Result<&TranResult, SpiceError> {
+        let id = self.run(Analysis::Tran(opts.clone()))?;
+        Ok(self.store.tran(id).expect("just stored"))
+    }
+
+    /// AC sweep (cold operating point); result stored and borrowed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    pub fn ac(&mut self, source: &str, freqs: &[f64]) -> Result<&AcResult, SpiceError> {
+        let id = self.run(Analysis::ac(source, freqs))?;
+        Ok(self.store.ac(id).expect("just stored"))
+    }
+
+    /// AC sweep with operating-point guesses; result stored and borrowed.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    pub fn ac_with_guess(
+        &mut self,
+        source: &str,
+        freqs: &[f64],
+        guess: &[(NodeId, f64)],
+    ) -> Result<&AcResult, SpiceError> {
+        let id = self.run(Analysis::ac_with_guess(source, freqs, guess))?;
+        Ok(self.store.ac(id).expect("just stored"))
+    }
+
+    /// DC operating point, returned by value without touching the store.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    pub fn dc_owned(&mut self) -> Result<DcResult, SpiceError> {
+        Ok(self
+            .run_owned(Analysis::dc())?
+            .into_dc()
+            .expect("dc request yields dc result"))
+    }
+
+    /// [`Session::dc_owned`] with guesses.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    pub fn dc_owned_with_guess(&mut self, guess: &[(NodeId, f64)]) -> Result<DcResult, SpiceError> {
+        Ok(self
+            .run_owned(Analysis::dc_with_guess(guess))?
+            .into_dc()
+            .expect("dc request yields dc result"))
+    }
+
+    /// DC sweep, returned by value without touching the store.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    pub fn dc_sweep_owned(
+        &mut self,
+        source: &str,
+        values: &[f64],
+    ) -> Result<SweepResult, SpiceError> {
+        Ok(self
+            .run_owned(Analysis::dc_sweep(source, values))?
+            .into_sweep()
+            .expect("sweep request yields sweep result"))
+    }
+
+    /// Transient, returned by value without touching the store.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    pub fn tran_owned(&mut self, opts: &TranOptions) -> Result<TranResult, SpiceError> {
+        Ok(self
+            .run_owned(Analysis::Tran(opts.clone()))?
+            .into_tran()
+            .expect("tran request yields tran result"))
+    }
+
+    /// AC sweep, returned by value without touching the store.
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::run`].
+    pub fn ac_owned(
+        &mut self,
+        source: &str,
+        freqs: &[f64],
+        guess: &[(NodeId, f64)],
+    ) -> Result<AcResult, SpiceError> {
+        Ok(self
+            .run_owned(Analysis::ac_with_guess(source, freqs, guess))?
+            .into_ac()
+            .expect("ac request yields ac result"))
+    }
+
+    // ---- in-place mutation ----------------------------------------------
+
+    /// Replaces the waveform of an existing voltage source (sweeps, setup
+    /// and hold searches) without re-elaboration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadNetlist`] when the source is missing.
+    pub fn set_source(&mut self, name: &str, wave: Waveform) -> Result<(), SpiceError> {
+        self.circuit.set_vsource(name, wave)
+    }
+
+    /// Replaces the compact model of one MOSFET instance in place. The
+    /// node/branch layout, workspace, and LU scratch all stay valid; the
+    /// next DC solve warm-starts from the previous operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadNetlist`] when no MOSFET has that name.
+    pub fn swap_device(
+        &mut self,
+        name: &str,
+        model: Box<dyn MosfetModel>,
+    ) -> Result<(), SpiceError> {
+        let idx = *self
+            .mos_by_name
+            .get(name)
+            .ok_or_else(|| SpiceError::BadNetlist {
+                context: format!("no MOSFET named {name}"),
+            })?;
+        match &mut self.circuit.elements_mut()[idx] {
+            Element::Mosfet { model: slot, .. } => {
+                *slot = model;
+                Ok(())
+            }
+            _ => unreachable!("mos_by_name only indexes MOSFETs"),
+        }
+    }
+
+    /// Replaces several MOSFET models in place; returns the number swapped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadNetlist`] on the first unknown instance
+    /// name (earlier swaps in the batch remain applied).
+    pub fn swap_devices<I, S>(&mut self, swaps: I) -> Result<usize, SpiceError>
+    where
+        I: IntoIterator<Item = (S, Box<dyn MosfetModel>)>,
+        S: AsRef<str>,
+    {
+        let mut n = 0;
+        for (name, model) in swaps {
+            self.swap_device(name.as_ref(), model)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Resamples every MOSFET in the circuit: `f` receives each instance's
+    /// name and current model and returns the replacement. Returns the
+    /// number of devices swapped. This is the circuit-level Monte Carlo
+    /// inner loop — pair it with a mismatch-sampling factory.
+    pub fn swap_all_mosfets<F>(&mut self, mut f: F) -> usize
+    where
+        F: FnMut(&str, &dyn MosfetModel) -> Box<dyn MosfetModel>,
+    {
+        let mut n = 0;
+        for e in self.circuit.elements_mut() {
+            if let Element::Mosfet { name, model, .. } = e {
+                *model = f(name, model.as_ref());
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Number of MOSFET instances in the elaborated circuit.
+    #[must_use]
+    pub fn mosfet_count(&self) -> usize {
+        self.mos_by_name.len()
+    }
+
+    /// Drops the warm-start operating point, forcing the next DC solve to
+    /// run the full continuation ladder from zero. Rarely needed — swapping
+    /// devices intentionally keeps the warm start — but useful when a
+    /// stimulus change moves the circuit to a very different region.
+    pub fn invalidate_warm_start(&mut self) {
+        self.warm = None;
+    }
+
+    // ---- analysis engines -----------------------------------------------
+
+    /// Nonlinear DC solve with warm starting and the continuation ladder.
+    fn solve_dc_vec(&mut self, guess: Option<&[(NodeId, f64)]>) -> Result<Vec<f64>, SpiceError> {
+        let n = self.circuit.n_unknowns();
+        let mut x0 = vec![0.0; n];
+        match guess {
+            Some(g) => {
+                for &(node, v) in g {
+                    if let Some(i) = node.unknown() {
+                        x0[i] = v;
+                    }
+                }
+            }
+            None => {
+                // Warm start: the previous converged point of this session.
+                // For resampled-device Monte Carlo the new solution is close,
+                // so plain Newton usually lands in a handful of iterations.
+                if let Some(w) = &self.warm {
+                    x0.copy_from_slice(w);
+                }
+            }
+        }
+
+        let dc = Mode::Dc {
+            gmin: 0.0,
+            source_scale: 1.0,
+        };
+        if let Ok(x) = newton(&self.circuit, &x0, &dc, &mut self.ws) {
+            self.warm = Some(x.clone());
+            return Ok(x);
+        }
+
+        // Gmin stepping: relax with a large shunt conductance, then tighten.
+        let cold = vec![0.0; n];
+        let start = if guess.is_some() { &x0 } else { &cold };
+        let mut x = start.clone();
+        let mut ok = true;
+        for &gmin in &GMIN_STEPS {
+            match newton(
+                &self.circuit,
+                &x,
+                &Mode::Dc {
+                    gmin,
+                    source_scale: 1.0,
+                },
+                &mut self.ws,
+            ) {
+                Ok(next) => x = next,
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            if let Ok(fin) = newton(&self.circuit, &x, &dc, &mut self.ws) {
+                self.warm = Some(fin.clone());
+                return Ok(fin);
+            }
+        }
+
+        // Source stepping: ramp all independent sources from zero.
+        let mut x = start.clone();
+        let mut stepping_failed = None;
+        for &scale in &SOURCE_STEPS {
+            match newton(
+                &self.circuit,
+                &x,
+                &Mode::Dc {
+                    gmin: 0.0,
+                    source_scale: scale,
+                },
+                &mut self.ws,
+            ) {
+                Ok(next) => x = next,
+                Err(e) => {
+                    stepping_failed = Some((scale, e));
+                    break;
+                }
+            }
+        }
+        let Some((scale, e)) = stepping_failed else {
+            self.warm = Some(x.clone());
+            return Ok(x);
+        };
+        // A user-supplied guess can park the continuation in a basin that no
+        // longer exists for this sample (e.g. mismatch destroyed one latch
+        // state). A bad guess must never be worse than no guess: retry the
+        // whole ladder cold. The same applies to a stale warm start.
+        if guess.is_some() || self.warm.is_some() {
+            self.warm = None;
+            return self.solve_dc_vec(None);
+        }
+        Err(SpiceError::NoConvergence {
+            analysis: "dc op",
+            detail: format!("source stepping stuck at scale {scale}: {e}"),
+        })
+    }
+
+    /// DC sweep with point-to-point warm starts; restores the swept
+    /// source's waveform afterwards.
+    fn run_dc_sweep(&mut self, source: &str, values: &[f64]) -> Result<SweepResult, SpiceError> {
+        if values.is_empty() {
+            return Err(SpiceError::InvalidArgument {
+                context: "empty sweep".into(),
+            });
+        }
+        self.circuit.vsource_index(source)?;
+        let saved = self.circuit.vsource_waveform(source)?.clone();
+        let result = self.sweep_points(source, values);
+        self.circuit
+            .set_vsource(source, saved)
+            .expect("source existed above");
+        result
+    }
+
+    fn sweep_points(&mut self, source: &str, values: &[f64]) -> Result<SweepResult, SpiceError> {
+        let n = self.circuit.n_unknowns();
+        let mut points = Vec::with_capacity(values.len());
+        let mut warm: Option<Vec<f64>> = None;
+        for &v in values {
+            self.circuit.set_vsource(source, Waveform::dc(v))?;
+            let x0 = warm.clone().unwrap_or_else(|| vec![0.0; n]);
+            let x = match newton(
+                &self.circuit,
+                &x0,
+                &Mode::Dc {
+                    gmin: 0.0,
+                    source_scale: 1.0,
+                },
+                &mut self.ws,
+            ) {
+                Ok(x) => x,
+                // Cold retry with the full continuation ladder.
+                Err(_) => {
+                    self.warm = None;
+                    self.solve_dc_vec(None)?
+                }
+            };
+            warm = Some(x.clone());
+            points.push(DcResult::new(x, self.nn));
+        }
+        Ok(SweepResult {
+            values: values.to_vec(),
+            points,
+        })
+    }
+
+    /// Transient run: DC initial point, breakpoint-aligned fixed grid,
+    /// trapezoidal integration with backward-Euler restarts, recursive step
+    /// halving on Newton failure.
+    fn run_tran(&mut self, opts: &TranOptions) -> Result<TranResult, SpiceError> {
+        let mut x = self.solve_dc_vec(if opts.ic.is_empty() {
+            None
+        } else {
+            Some(&opts.ic)
+        })?;
+        crate::tran::init_state(&self.circuit, &x, &mut self.state);
+
+        // Build the time grid: multiples of dt plus all waveform breakpoints.
+        let mut grid: Vec<f64> = Vec::new();
+        let n_steps = (opts.tstop / opts.dt).ceil() as usize;
+        for k in 1..=n_steps {
+            grid.push((k as f64 * opts.dt).min(opts.tstop));
+        }
+        for e in self.circuit.elements() {
+            let wave = match e {
+                Element::Vsource { wave, .. } | Element::Isource { wave, .. } => wave,
+                _ => continue,
+            };
+            for bp in wave.breakpoints(opts.tstop) {
+                if bp > 0.0 {
+                    grid.push(bp);
+                }
+            }
+        }
+        grid.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        grid.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+
+        let mut times = Vec::with_capacity(grid.len() + 1);
+        let mut snapshots = Vec::with_capacity(grid.len() + 1);
+        times.push(0.0);
+        snapshots.push(x.clone());
+
+        let mut t_prev = 0.0;
+        // Breakpoint times where integration must restart with BE.
+        let mut restart = true;
+        let bp_set: Vec<f64> = {
+            let mut v: Vec<f64> = self
+                .circuit
+                .elements()
+                .iter()
+                .filter_map(|e| match e {
+                    Element::Vsource { wave, .. } | Element::Isource { wave, .. } => {
+                        Some(wave.breakpoints(opts.tstop))
+                    }
+                    _ => None,
+                })
+                .flatten()
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+            v
+        };
+
+        for &t in &grid {
+            let h = t - t_prev;
+            if h <= 0.0 {
+                continue;
+            }
+            let method = if restart || !opts.trapezoidal {
+                Integrator::BackwardEuler
+            } else {
+                Integrator::Trapezoidal
+            };
+            self.advance(&mut x, t_prev, t, method, 0)?;
+            times.push(t);
+            snapshots.push(x.clone());
+            // Restart integration right after crossing a breakpoint.
+            restart = bp_set
+                .iter()
+                .any(|&bp| bp > t_prev + 1e-18 && bp <= t + 1e-18);
+            t_prev = t;
+        }
+
+        // The transient leaves the circuit at t=tstop; the stored warm start
+        // (the t=0 operating point) is still the right DC seed.
+        Ok(TranResult::new(times, snapshots, self.nn))
+    }
+
+    /// One integration step from `t0` to `t1`, with recursive halving.
+    fn advance(
+        &mut self,
+        x: &mut Vec<f64>,
+        t0: f64,
+        t1: f64,
+        method: Integrator,
+        depth: usize,
+    ) -> Result<(), SpiceError> {
+        let h = t1 - t0;
+        let mode = Mode::Tran {
+            method,
+            h,
+            t: t1,
+            state: &self.state,
+        };
+        match newton(&self.circuit, x, &mode, &mut self.ws) {
+            Ok(x_new) => {
+                crate::tran::update_state(
+                    &self.circuit,
+                    &x_new,
+                    &self.state,
+                    h,
+                    method,
+                    &mut self.state_scratch,
+                );
+                std::mem::swap(&mut self.state, &mut self.state_scratch);
+                *x = x_new;
+                Ok(())
+            }
+            Err(e) => {
+                if depth >= MAX_HALVINGS {
+                    return Err(SpiceError::NoConvergence {
+                        analysis: "transient",
+                        detail: format!("step at t={t1:.3e} failed after halving: {e}"),
+                    });
+                }
+                let tm = 0.5 * (t0 + t1);
+                // Sub-steps restart with BE for robustness.
+                self.advance(x, t0, tm, Integrator::BackwardEuler, depth + 1)?;
+                self.advance(x, tm, t1, Integrator::BackwardEuler, depth + 1)
+            }
+        }
+    }
+
+    /// AC small-signal sweep at the (possibly guess-selected) operating
+    /// point.
+    fn run_ac(
+        &mut self,
+        source: &str,
+        freqs: &[f64],
+        guess: Option<&[(NodeId, f64)]>,
+    ) -> Result<AcResult, SpiceError> {
+        if freqs.is_empty() || freqs.iter().any(|&f| f <= 0.0) {
+            return Err(SpiceError::InvalidArgument {
+                context: "AC sweep needs positive frequencies".into(),
+            });
+        }
+        let src_idx = self.circuit.vsource_index(source)?;
+        let x_op = self.solve_dc_vec(guess)?;
+        let lin = self.circuit.linearize(&x_op);
+        sweep_linearized(&lin, src_idx, freqs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+    use mosfet::{vs::VsModel, Geometry};
+
+    fn divider() -> (Circuit, NodeId, NodeId) {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let m = c.node("m");
+        c.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
+        c.resistor("R1", a, m, 2e3);
+        c.resistor("R2", m, Circuit::GROUND, 1e3);
+        (c, a, m)
+    }
+
+    fn inverter(vdd_v: f64, vin_v: f64) -> (Circuit, NodeId) {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(vdd_v));
+        c.vsource("VIN", vin, Circuit::GROUND, Waveform::dc(vin_v));
+        c.mosfet(
+            "MP",
+            out,
+            vin,
+            vdd,
+            vdd,
+            Box::new(VsModel::nominal_pmos_40nm(Geometry::from_nm(600.0, 40.0))),
+        );
+        c.mosfet(
+            "MN",
+            out,
+            vin,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            Box::new(VsModel::nominal_nmos_40nm(Geometry::from_nm(300.0, 40.0))),
+        );
+        (c, out)
+    }
+
+    #[test]
+    fn run_ids_are_stable_and_typed() {
+        let (c, a, m) = divider();
+        let mut s = Session::elaborate(c).unwrap();
+        let id0 = s.run(Analysis::dc()).unwrap();
+        let id1 = s.run(Analysis::dc_sweep("V1", &[0.0, 1.0])).unwrap();
+        assert_ne!(id0, id1);
+        assert!(id0 < id1);
+        let op = s.results().dc(id0).unwrap();
+        assert!((op.voltage(m) - 1.0 / 3.0).abs() < 1e-6);
+        assert!((op.voltage(a) - 1.0).abs() < 1e-6);
+        // Kind mismatch yields None, not a panic.
+        assert!(s.results().tran(id0).is_none());
+        assert_eq!(s.results().get(id0).unwrap().kind(), "dc");
+        assert_eq!(s.results().len(), 2);
+        // take() removes; ids are never reused.
+        let taken = s.results_mut().take(id0).unwrap();
+        assert!(taken.as_dc().is_some());
+        assert!(s.results().get(id0).is_none());
+        let id2 = s.run(Analysis::dc()).unwrap();
+        assert!(id2 > id1);
+    }
+
+    #[test]
+    fn owned_runs_bypass_store() {
+        let (c, _, m) = divider();
+        let mut s = Session::elaborate(c).unwrap();
+        let op = s.dc_owned().unwrap();
+        assert!((op.voltage(m) - 1.0 / 3.0).abs() < 1e-6);
+        assert!(s.results().is_empty());
+    }
+
+    #[test]
+    fn sweep_restores_source_waveform() {
+        let (c, a, m) = divider();
+        let mut s = Session::elaborate(c).unwrap();
+        let sweep = s.dc_sweep_owned("V1", &[0.0, 0.6, 3.0]).unwrap();
+        let vm = sweep.voltages(m);
+        for (v, vin) in vm.iter().zip(&sweep.values) {
+            assert!((v - vin / 3.0).abs() < 1e-6);
+        }
+        // The original 1 V DC value is restored.
+        let op = s.dc_owned().unwrap();
+        assert!((op.voltage(a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_started_resolve_matches_fresh_elaboration() {
+        // Solve, swap in a slightly different device, re-solve warm; a
+        // fresh cold session on the same swapped netlist must agree.
+        let (c, out) = inverter(0.9, 0.45);
+        let mut warm = Session::elaborate(c.clone()).unwrap();
+        let _ = warm.dc_owned().unwrap();
+        let weaker = VsModel::nominal_nmos_40nm(Geometry::from_nm(240.0, 40.0));
+        warm.swap_device("MN", Box::new(weaker.clone())).unwrap();
+        let v_warm = warm.dc_owned().unwrap().voltage(out);
+
+        let mut cold_c = c;
+        // Rebuild the same swapped netlist from scratch.
+        let mut cold = {
+            cold_c.set_vsource("VIN", Waveform::dc(0.45)).unwrap();
+            let mut s = Session::elaborate(cold_c).unwrap();
+            s.swap_device("MN", Box::new(weaker)).unwrap();
+            s
+        };
+        let v_cold = cold.dc_owned().unwrap().voltage(out);
+        assert!(
+            (v_warm - v_cold).abs() < 1e-6,
+            "warm {v_warm} vs cold {v_cold}"
+        );
+    }
+
+    #[test]
+    fn swap_device_changes_solution_in_place() {
+        let (c, out) = inverter(0.9, 0.0);
+        let mut s = Session::elaborate(c).unwrap();
+        let hi = s.dc_owned().unwrap().voltage(out);
+        assert!(hi > 0.85, "inverter high = {hi}");
+        // Swap the PMOS for a much weaker device: the high level persists
+        // (statics), but the operating point genuinely re-solves.
+        s.swap_device(
+            "MP",
+            Box::new(VsModel::nominal_pmos_40nm(Geometry::from_nm(80.0, 40.0))),
+        )
+        .unwrap();
+        let hi2 = s.dc_owned().unwrap().voltage(out);
+        assert!(hi2 > 0.8);
+        assert_ne!(hi, hi2);
+        assert!(s
+            .swap_device(
+                "NOPE",
+                Box::new(VsModel::nominal_pmos_40nm(Geometry::from_nm(80.0, 40.0)))
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn swap_all_mosfets_counts_devices() {
+        let (c, _) = inverter(0.9, 0.45);
+        let mut s = Session::elaborate(c).unwrap();
+        assert_eq!(s.mosfet_count(), 2);
+        let n = s.swap_all_mosfets(|_, old| old.clone_box());
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn duplicate_mosfet_names_rejected() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let g = Geometry::from_nm(300.0, 40.0);
+        c.vsource("V1", a, Circuit::GROUND, Waveform::dc(0.9));
+        c.mosfet(
+            "M1",
+            a,
+            a,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            Box::new(VsModel::nominal_nmos_40nm(g)),
+        );
+        c.mosfet(
+            "M1",
+            a,
+            a,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            Box::new(VsModel::nominal_nmos_40nm(g)),
+        );
+        assert!(Session::elaborate(c).is_err());
+    }
+
+    #[test]
+    fn empty_circuit_rejected_at_elaboration() {
+        assert!(Session::elaborate(Circuit::new()).is_err());
+    }
+
+    #[test]
+    fn tran_runs_through_session() {
+        let r = 1e3;
+        let cap = 1e-9;
+        let tau = r * cap;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 0.0, 1e-12),
+        );
+        ckt.resistor("R1", vin, out, r);
+        ckt.capacitor("C1", out, Circuit::GROUND, cap);
+        let mut s = Session::elaborate(ckt).unwrap();
+        let res = s
+            .tran_owned(&TranOptions::new(5.0 * tau, tau / 100.0))
+            .unwrap();
+        let v = res.voltages(out);
+        for (i, &t) in res.times().iter().enumerate() {
+            let expected = 1.0 - (-t / tau).exp();
+            assert!((v[i] - expected).abs() < 5e-3, "t={t:.3e}");
+        }
+        // A second run on the same session gives the same answer (state
+        // buffers are reused, not stale).
+        let res2 = s
+            .tran_owned(&TranOptions::new(5.0 * tau, tau / 100.0))
+            .unwrap();
+        let v2 = res2.voltages(out);
+        for (a, b) in v.iter().zip(&v2) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ac_runs_through_session() {
+        let r = 1e3;
+        let cap = 1e-9;
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * cap);
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource("V1", vin, Circuit::GROUND, Waveform::dc(0.0));
+        ckt.resistor("R1", vin, out, r);
+        ckt.capacitor("C1", out, Circuit::GROUND, cap);
+        let mut s = Session::elaborate(ckt).unwrap();
+        let res = s.ac("V1", &[fc]).unwrap();
+        let mag = res.magnitudes(out);
+        assert!((mag[0] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+        assert!(s.run(Analysis::ac("V1", &[])).is_err());
+        assert!(s.run(Analysis::ac("nope", &[1.0])).is_err());
+    }
+}

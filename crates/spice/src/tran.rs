@@ -1,17 +1,19 @@
-//! Transient analysis.
+//! Transient options/result types, dynamic-state bookkeeping, and the
+//! legacy one-shot shim.
 //!
-//! Fixed base step with waveform-breakpoint alignment; trapezoidal
-//! integration with backward-Euler startup after every discontinuity, and
-//! automatic step halving (up to 10 binary levels) when Newton fails at a
-//! point.
+//! The integration loop itself (fixed base step with waveform-breakpoint
+//! alignment, trapezoidal with backward-Euler restarts, recursive step
+//! halving) lives in [`crate::session::Session`]; the state-update kernels
+//! it uses are here, next to the element definitions they mirror.
 
 use crate::elements::Element;
-use crate::engine::{newton, Integrator, Mode, TranState, Workspace};
+use crate::engine::{Integrator, TranState};
 use crate::error::SpiceError;
 use crate::netlist::{Circuit, NodeId};
+use crate::session::Session;
 use mosfet::Bias;
 
-/// Options for [`Circuit::tran`].
+/// Options for a transient analysis ([`crate::session::Analysis::Tran`]).
 #[derive(Debug, Clone)]
 pub struct TranOptions {
     /// Simulation end time, s.
@@ -44,12 +46,14 @@ impl TranOptions {
     }
 
     /// Adds an initial-condition guess.
+    #[must_use]
     pub fn with_ic(mut self, node: NodeId, v: f64) -> Self {
         self.ic.push((node, v));
         self
     }
 
     /// Forces backward Euler for every step.
+    #[must_use]
     pub fn backward_euler(mut self) -> Self {
         self.trapezoidal = false;
         self
@@ -65,23 +69,36 @@ pub struct TranResult {
 }
 
 impl TranResult {
+    pub(crate) fn new(times: Vec<f64>, snapshots: Vec<Vec<f64>>, nn: usize) -> Self {
+        TranResult {
+            times,
+            snapshots,
+            nn,
+        }
+    }
+
     /// The accepted time points, s.
+    #[must_use]
     pub fn times(&self) -> &[f64] {
         &self.times
     }
 
     /// Number of stored points.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.times.len()
     }
 
     /// True when no points were stored (cannot happen for a successful run).
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.times.is_empty()
     }
 
-    /// Voltage waveform of a node.
-    pub fn voltage(&self, node: NodeId) -> Vec<f64> {
+    /// Voltage waveform of a node (plural: one value per time point, in
+    /// line with [`crate::dc::SweepResult::voltages`]).
+    #[must_use]
+    pub fn voltages(&self, node: NodeId) -> Vec<f64> {
         match node.unknown() {
             None => vec![0.0; self.len()],
             Some(i) => self.snapshots.iter().map(|x| x[i]).collect(),
@@ -89,13 +106,122 @@ impl TranResult {
     }
 
     /// Branch-current waveform of the `k`-th voltage source.
-    pub fn vsource_current(&self, k: usize) -> Vec<f64> {
+    #[must_use]
+    pub fn vsource_currents(&self, k: usize) -> Vec<f64> {
         self.snapshots.iter().map(|x| x[self.nn + k]).collect()
+    }
+
+    /// Deprecated alias of [`TranResult::voltages`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "renamed to voltages (trace accessors are plural)"
+    )]
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> Vec<f64> {
+        self.voltages(node)
+    }
+
+    /// Deprecated alias of [`TranResult::vsource_currents`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "renamed to vsource_currents (trace accessors are plural)"
+    )]
+    #[must_use]
+    pub fn vsource_current(&self, k: usize) -> Vec<f64> {
+        self.vsource_currents(k)
     }
 }
 
-/// Maximum binary step-halving depth on Newton failure.
-const MAX_HALVINGS: usize = 10;
+/// Fills `st` with the dynamic (charge-storage) state implied by the solved
+/// operating point `x`, reusing the buffers' capacity.
+pub(crate) fn init_state(circuit: &Circuit, x: &[f64], st: &mut TranState) {
+    let volt = |n: NodeId| n.unknown().map_or(0.0, |i| x[i]);
+    st.cap_v.clear();
+    st.cap_i.clear();
+    st.mos_q.clear();
+    st.mos_i.clear();
+    for e in circuit.elements() {
+        match e {
+            Element::Capacitor { a, b, .. } => {
+                st.cap_v.push(volt(*a) - volt(*b));
+                st.cap_i.push(0.0);
+            }
+            Element::Mosfet {
+                d, g, s, b, model, ..
+            } => {
+                let bias = Bias {
+                    vgs: volt(*g) - volt(*s),
+                    vds: volt(*d) - volt(*s),
+                    vbs: volt(*b) - volt(*s),
+                };
+                let q = model.charges(bias);
+                st.mos_q.push([q.qg, q.qd, q.qs, q.qb]);
+                st.mos_i.push([0.0; 4]);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Writes the dynamic state at the end of an accepted step into `out`
+/// (reusing capacity), given the previous state `prev` and the new solution
+/// `x`.
+pub(crate) fn update_state(
+    circuit: &Circuit,
+    x: &[f64],
+    prev: &TranState,
+    h: f64,
+    method: Integrator,
+    out: &mut TranState,
+) {
+    let volt = |n: NodeId| n.unknown().map_or(0.0, |i| x[i]);
+    out.cap_v.clear();
+    out.cap_i.clear();
+    out.mos_q.clear();
+    out.mos_i.clear();
+    let mut c_idx = 0;
+    let mut m_idx = 0;
+    for e in circuit.elements() {
+        match e {
+            Element::Capacitor { a, b, c, .. } => {
+                let v_new = volt(*a) - volt(*b);
+                let v_old = prev.cap_v[c_idx];
+                let i_new = match method {
+                    Integrator::BackwardEuler => c / h * (v_new - v_old),
+                    Integrator::Trapezoidal => 2.0 * c / h * (v_new - v_old) - prev.cap_i[c_idx],
+                };
+                out.cap_v.push(v_new);
+                out.cap_i.push(i_new);
+                c_idx += 1;
+            }
+            Element::Mosfet {
+                d, g, s, b, model, ..
+            } => {
+                let bias = Bias {
+                    vgs: volt(*g) - volt(*s),
+                    vds: volt(*d) - volt(*s),
+                    vbs: volt(*b) - volt(*s),
+                };
+                let q = model.charges(bias);
+                let q_new = [q.qg, q.qd, q.qs, q.qb];
+                let q_old = prev.mos_q[m_idx];
+                let mut i_new = [0.0; 4];
+                for t in 0..4 {
+                    i_new[t] = match method {
+                        Integrator::BackwardEuler => (q_new[t] - q_old[t]) / h,
+                        Integrator::Trapezoidal => {
+                            2.0 * (q_new[t] - q_old[t]) / h - prev.mos_i[m_idx][t]
+                        }
+                    };
+                }
+                out.mos_q.push(q_new);
+                out.mos_i.push(i_new);
+                m_idx += 1;
+            }
+            _ => {}
+        }
+    }
+}
 
 impl Circuit {
     /// Runs a transient analysis.
@@ -104,208 +230,13 @@ impl Circuit {
     ///
     /// Propagates DC-op failure for the initial point and reports
     /// [`SpiceError::NoConvergence`] if a step fails even after halving.
+    #[deprecated(
+        since = "0.2.0",
+        note = "elaborate a spice::Session once and call Session::tran — it reuses \
+                the workspace, LU scratch, and dynamic-state buffers"
+    )]
     pub fn tran(&self, opts: &TranOptions) -> Result<TranResult, SpiceError> {
-        self.validate()?;
-        let op = self.dc_op_with_guess(&opts.ic)?;
-        let mut x = op.raw().to_vec();
-        let nn = self.node_count() - 1;
-        let mut ws = Workspace::new(self);
-        let mut state = self.init_state(&x);
-
-        // Build the time grid: multiples of dt plus all waveform breakpoints.
-        let mut grid: Vec<f64> = Vec::new();
-        let n_steps = (opts.tstop / opts.dt).ceil() as usize;
-        for k in 1..=n_steps {
-            grid.push((k as f64 * opts.dt).min(opts.tstop));
-        }
-        for e in self.elements() {
-            let wave = match e {
-                Element::Vsource { wave, .. } | Element::Isource { wave, .. } => wave,
-                _ => continue,
-            };
-            for bp in wave.breakpoints(opts.tstop) {
-                if bp > 0.0 {
-                    grid.push(bp);
-                }
-            }
-        }
-        grid.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-        grid.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
-
-        let mut times = Vec::with_capacity(grid.len() + 1);
-        let mut snapshots = Vec::with_capacity(grid.len() + 1);
-        times.push(0.0);
-        snapshots.push(x.clone());
-
-        let mut t_prev = 0.0;
-        // Breakpoint times where integration must restart with BE.
-        let mut restart = true;
-        let bp_set: Vec<f64> = {
-            let mut v: Vec<f64> = self
-                .elements()
-                .iter()
-                .filter_map(|e| match e {
-                    Element::Vsource { wave, .. } | Element::Isource { wave, .. } => {
-                        Some(wave.breakpoints(opts.tstop))
-                    }
-                    _ => None,
-                })
-                .flatten()
-                .collect();
-            v.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-            v
-        };
-
-        for &t in &grid {
-            let h = t - t_prev;
-            if h <= 0.0 {
-                continue;
-            }
-            let method = if restart || !opts.trapezoidal {
-                Integrator::BackwardEuler
-            } else {
-                Integrator::Trapezoidal
-            };
-            self.advance(&mut x, &mut state, t_prev, t, method, &mut ws, 0)?;
-            times.push(t);
-            snapshots.push(x.clone());
-            // Restart integration right after crossing a breakpoint.
-            restart = bp_set
-                .iter()
-                .any(|&bp| bp > t_prev + 1e-18 && bp <= t + 1e-18);
-            t_prev = t;
-        }
-
-        Ok(TranResult {
-            times,
-            snapshots,
-            nn,
-        })
-    }
-
-    /// One integration step from `t0` to `t1`, with recursive halving.
-    #[allow(clippy::too_many_arguments)]
-    fn advance(
-        &self,
-        x: &mut Vec<f64>,
-        state: &mut TranState,
-        t0: f64,
-        t1: f64,
-        method: Integrator,
-        ws: &mut Workspace,
-        depth: usize,
-    ) -> Result<(), SpiceError> {
-        let h = t1 - t0;
-        let mode = Mode::Tran {
-            method,
-            h,
-            t: t1,
-            state,
-        };
-        match newton(self, x, &mode, ws) {
-            Ok(x_new) => {
-                *state = self.update_state(&x_new, state, h, method);
-                *x = x_new;
-                Ok(())
-            }
-            Err(e) => {
-                if depth >= MAX_HALVINGS {
-                    return Err(SpiceError::NoConvergence {
-                        analysis: "transient",
-                        detail: format!("step at t={t1:.3e} failed after halving: {e}"),
-                    });
-                }
-                let tm = 0.5 * (t0 + t1);
-                // Sub-steps restart with BE for robustness.
-                self.advance(x, state, t0, tm, Integrator::BackwardEuler, ws, depth + 1)?;
-                self.advance(x, state, tm, t1, Integrator::BackwardEuler, ws, depth + 1)
-            }
-        }
-    }
-
-    /// Initializes dynamic state from a solved operating point.
-    fn init_state(&self, x: &[f64]) -> TranState {
-        let volt = |n: NodeId| n.unknown().map_or(0.0, |i| x[i]);
-        let mut st = TranState::default();
-        for e in self.elements() {
-            match e {
-                Element::Capacitor { a, b, .. } => {
-                    st.cap_v.push(volt(*a) - volt(*b));
-                    st.cap_i.push(0.0);
-                }
-                Element::Mosfet {
-                    d, g, s, b, model, ..
-                } => {
-                    let bias = Bias {
-                        vgs: volt(*g) - volt(*s),
-                        vds: volt(*d) - volt(*s),
-                        vbs: volt(*b) - volt(*s),
-                    };
-                    let q = model.charges(bias);
-                    st.mos_q.push([q.qg, q.qd, q.qs, q.qb]);
-                    st.mos_i.push([0.0; 4]);
-                }
-                _ => {}
-            }
-        }
-        st
-    }
-
-    /// Produces the dynamic state at the end of an accepted step.
-    fn update_state(
-        &self,
-        x: &[f64],
-        prev: &TranState,
-        h: f64,
-        method: Integrator,
-    ) -> TranState {
-        let volt = |n: NodeId| n.unknown().map_or(0.0, |i| x[i]);
-        let mut st = TranState::default();
-        let mut c_idx = 0;
-        let mut m_idx = 0;
-        for e in self.elements() {
-            match e {
-                Element::Capacitor { a, b, c, .. } => {
-                    let v_new = volt(*a) - volt(*b);
-                    let v_old = prev.cap_v[c_idx];
-                    let i_new = match method {
-                        Integrator::BackwardEuler => c / h * (v_new - v_old),
-                        Integrator::Trapezoidal => {
-                            2.0 * c / h * (v_new - v_old) - prev.cap_i[c_idx]
-                        }
-                    };
-                    st.cap_v.push(v_new);
-                    st.cap_i.push(i_new);
-                    c_idx += 1;
-                }
-                Element::Mosfet {
-                    d, g, s, b, model, ..
-                } => {
-                    let bias = Bias {
-                        vgs: volt(*g) - volt(*s),
-                        vds: volt(*d) - volt(*s),
-                        vbs: volt(*b) - volt(*s),
-                    };
-                    let q = model.charges(bias);
-                    let q_new = [q.qg, q.qd, q.qs, q.qb];
-                    let q_old = prev.mos_q[m_idx];
-                    let mut i_new = [0.0; 4];
-                    for t in 0..4 {
-                        i_new[t] = match method {
-                            Integrator::BackwardEuler => (q_new[t] - q_old[t]) / h,
-                            Integrator::Trapezoidal => {
-                                2.0 * (q_new[t] - q_old[t]) / h - prev.mos_i[m_idx][t]
-                            }
-                        };
-                    }
-                    st.mos_q.push(q_new);
-                    st.mos_i.push(i_new);
-                    m_idx += 1;
-                }
-                _ => {}
-            }
-        }
-        st
+        Session::elaborate(self.clone())?.tran_owned(opts)
     }
 }
 
@@ -313,6 +244,10 @@ impl Circuit {
 mod tests {
     use super::*;
     use crate::waveform::Waveform;
+
+    fn session(c: Circuit) -> Session {
+        Session::elaborate(c).unwrap()
+    }
 
     /// RC charging: v(t) = V (1 - exp(-t/RC)).
     #[test]
@@ -323,11 +258,18 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let out = ckt.node("out");
-        ckt.vsource("V1", vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        ckt.vsource(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 0.0, 1e-12),
+        );
         ckt.resistor("R1", vin, out, r);
         ckt.capacitor("C1", out, Circuit::GROUND, c);
-        let res = ckt.tran(&TranOptions::new(5.0 * tau, tau / 100.0)).unwrap();
-        let v = res.voltage(out);
+        let res = session(ckt)
+            .tran_owned(&TranOptions::new(5.0 * tau, tau / 100.0))
+            .unwrap();
+        let v = res.voltages(out);
         for (i, &t) in res.times().iter().enumerate() {
             let expected = 1.0 - (-t / tau).exp();
             assert!(
@@ -346,11 +288,18 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let out = ckt.node("out");
-        ckt.vsource("V1", vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 1e-9, 1e-12));
+        ckt.vsource(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 1e-9, 1e-12),
+        );
         ckt.resistor("R1", vin, out, 1e3);
         ckt.capacitor("C1", out, Circuit::GROUND, 1e-12);
-        let res = ckt.tran(&TranOptions::new(10e-9, 0.05e-9)).unwrap();
-        let v = res.voltage(out);
+        let res = session(ckt)
+            .tran_owned(&TranOptions::new(10e-9, 0.05e-9))
+            .unwrap();
+        let v = res.voltages(out);
         for w in v.windows(2) {
             assert!(w[1] >= w[0] - 1e-9, "ringing: {} -> {}", w[0], w[1]);
         }
@@ -364,11 +313,18 @@ mod tests {
         let mut ckt = Circuit::new();
         let vin = ckt.node("in");
         let mid = ckt.node("mid");
-        ckt.vsource("V1", vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.1e-9, 1e-12));
+        ckt.vsource(
+            "V1",
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 0.1e-9, 1e-12),
+        );
         ckt.capacitor("C1", vin, mid, 3e-12);
         ckt.capacitor("C2", mid, Circuit::GROUND, 1e-12);
-        let res = ckt.tran(&TranOptions::new(1e-9, 0.01e-9)).unwrap();
-        let v = res.voltage(mid);
+        let res = session(ckt)
+            .tran_owned(&TranOptions::new(1e-9, 0.01e-9))
+            .unwrap();
+        let v = res.voltages(mid);
         // Divider: C1/(C1+C2) = 0.75 right after the step.
         let last = v[res.len() - 1];
         assert!((last - 0.75).abs() < 0.02, "divider = {last}");
@@ -393,8 +349,10 @@ mod tests {
             },
         );
         ckt.resistor("R1", a, Circuit::GROUND, 1e3);
-        let res = ckt.tran(&TranOptions::new(4e-9, 0.05e-9)).unwrap();
-        let v = res.voltage(a);
+        let res = session(ckt)
+            .tran_owned(&TranOptions::new(4e-9, 0.05e-9))
+            .unwrap();
+        let v = res.voltages(a);
         let t = res.times();
         // Before the pulse, 0; on the flat top, 1.
         let idx_before = t.iter().position(|&x| x > 0.5e-9).unwrap();
@@ -420,13 +378,18 @@ mod tests {
             let mut ckt = Circuit::new();
             let vin = ckt.node("in");
             let out = ckt.node("out");
-            ckt.vsource("V1", vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+            ckt.vsource(
+                "V1",
+                vin,
+                Circuit::GROUND,
+                Waveform::step(0.0, 1.0, 0.0, 1e-12),
+            );
             ckt.resistor("R1", vin, out, r);
             ckt.capacitor("C1", out, Circuit::GROUND, c);
             (ckt, out)
         };
         let max_err = |res: &TranResult, out: NodeId| {
-            let v = res.voltage(out);
+            let v = res.voltages(out);
             res.times()
                 .iter()
                 .zip(&v)
@@ -435,9 +398,10 @@ mod tests {
         };
         let (ckt, out) = build();
         let coarse = tau / 12.0;
-        let trap = ckt.tran(&TranOptions::new(4.0 * tau, coarse)).unwrap();
-        let be = ckt
-            .tran(&TranOptions::new(4.0 * tau, coarse).backward_euler())
+        let mut s = session(ckt);
+        let trap = s.tran_owned(&TranOptions::new(4.0 * tau, coarse)).unwrap();
+        let be = s
+            .tran_owned(&TranOptions::new(4.0 * tau, coarse).backward_euler())
             .unwrap();
         let e_trap = max_err(&trap, out);
         let e_be = max_err(&be, out);

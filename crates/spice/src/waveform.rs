@@ -119,7 +119,12 @@ impl Waveform {
                 let mut out = Vec::new();
                 let mut base = *delay;
                 loop {
-                    for t in [base, base + rise, base + rise + width, base + rise + width + fall] {
+                    for t in [
+                        base,
+                        base + rise,
+                        base + rise + width,
+                        base + rise + width + fall,
+                    ] {
                         if t <= tstop {
                             out.push(t);
                         }

@@ -5,7 +5,7 @@
 //! inverter) — the building block of every benchmark in the paper.
 
 use mosfet::{bsim::BsimModel, vs::VsModel, Geometry, MosfetModel};
-use spice::{Circuit, TranOptions, Waveform};
+use spice::{Circuit, Session, TranOptions, Waveform};
 
 const VDD: f64 = 0.9;
 
@@ -46,8 +46,12 @@ fn inverter_dc_rails_vs_model() {
     let (n, p) = vs_pair();
     let (c, _vin, out) = inverter(n, p, 1e-15);
     // Input low -> output at VDD.
-    let op = c.dc_op().unwrap();
-    assert!((op.voltage(out) - VDD).abs() < 0.02, "out = {}", op.voltage(out));
+    let op = Session::elaborate(c).unwrap().dc_owned().unwrap();
+    assert!(
+        (op.voltage(out) - VDD).abs() < 0.02,
+        "out = {}",
+        op.voltage(out)
+    );
 }
 
 #[test]
@@ -55,11 +59,19 @@ fn inverter_vtc_is_monotone_and_switches_vs_model() {
     let (n, p) = vs_pair();
     let (c, _vin, out) = inverter(n, p, 1e-15);
     let vals: Vec<f64> = (0..=45).map(|i| i as f64 * 0.02).collect();
-    let sweep = c.dc_sweep("VIN", &vals).unwrap();
+    let sweep = Session::elaborate(c)
+        .unwrap()
+        .dc_sweep_owned("VIN", &vals)
+        .unwrap();
     let vout = sweep.voltages(out);
     // Monotone decreasing.
     for w in vout.windows(2) {
-        assert!(w[1] <= w[0] + 1e-6, "VTC not monotone: {} -> {}", w[0], w[1]);
+        assert!(
+            w[1] <= w[0] + 1e-6,
+            "VTC not monotone: {} -> {}",
+            w[0],
+            w[1]
+        );
     }
     // Full swing.
     assert!(vout[0] > 0.95 * VDD);
@@ -75,7 +87,10 @@ fn inverter_vtc_bsim_model() {
     let (n, p) = bsim_pair();
     let (c, _vin, out) = inverter(n, p, 1e-15);
     let vals: Vec<f64> = (0..=45).map(|i| i as f64 * 0.02).collect();
-    let sweep = c.dc_sweep("VIN", &vals).unwrap();
+    let sweep = Session::elaborate(c)
+        .unwrap()
+        .dc_sweep_owned("VIN", &vals)
+        .unwrap();
     let vout = sweep.voltages(out);
     assert!(vout[0] > 0.95 * VDD);
     assert!(vout[vout.len() - 1] < 0.05 * VDD);
@@ -98,35 +113,26 @@ fn inverter_transient_switches_both_models() {
             },
         )
         .unwrap();
-        let res = c.tran(&TranOptions::new(1.2e-9, 2e-12)).unwrap();
-        let vout = res.voltage(out);
+        let mut s = Session::elaborate(c).unwrap();
+        let res = s.tran_owned(&TranOptions::new(1.2e-9, 2e-12)).unwrap();
+        let vout = res.voltages(out);
         let t = res.times();
         // Starts high.
         assert!(vout[0] > 0.95 * VDD, "{label}: v(0) = {}", vout[0]);
         // Falls after the input rises.
-        let fall = spice::measure::cross_time(
-            t,
-            &vout,
-            VDD / 2.0,
-            spice::measure::Edge::Falling,
-            0.0,
-        );
+        let fall =
+            spice::measure::cross_time(t, &vout, VDD / 2.0, spice::measure::Edge::Falling, 0.0);
         assert!(fall.is_some(), "{label}: output never fell");
         let tf = fall.unwrap();
         assert!(tf > 50e-12 && tf < 300e-12, "{label}: fall at {tf:.3e}");
         // Rises again after the input falls.
-        let rise = spice::measure::cross_time(
-            t,
-            &vout,
-            VDD / 2.0,
-            spice::measure::Edge::Rising,
-            tf,
-        );
+        let rise =
+            spice::measure::cross_time(t, &vout, VDD / 2.0, spice::measure::Edge::Rising, tf);
         assert!(rise.is_some(), "{label}: output never recovered");
         // Delay is in the ps range for these loads.
         let delay = spice::measure::prop_delay(
             t,
-            &res.voltage(c.find_node("in").unwrap()),
+            &res.voltages(s.circuit().find_node("in").unwrap()),
             &vout,
             VDD / 2.0,
             spice::measure::Edge::Rising,
@@ -156,8 +162,11 @@ fn inverter_supply_current_spikes_during_switching() {
         },
     )
     .unwrap();
-    let res = c.tran(&TranOptions::new(1e-9, 2e-12)).unwrap();
-    let idd = res.vsource_current(0); // VDD source is first
+    let res = Session::elaborate(c)
+        .unwrap()
+        .tran_owned(&TranOptions::new(1e-9, 2e-12))
+        .unwrap();
+    let idd = res.vsource_currents(0); // VDD source is first
     let t = res.times();
     // Quiescent current (before the edge) is tiny; switching current is not.
     let i_quiet = idd
@@ -167,7 +176,10 @@ fn inverter_supply_current_spikes_during_switching() {
         .map(|(i, _)| i.abs())
         .fold(0.0_f64, f64::max);
     let i_peak = idd.iter().map(|i| i.abs()).fold(0.0_f64, f64::max);
-    assert!(i_peak > 20.0 * i_quiet, "peak {i_peak:.3e} vs quiet {i_quiet:.3e}");
+    assert!(
+        i_peak > 20.0 * i_quiet,
+        "peak {i_peak:.3e} vs quiet {i_quiet:.3e}"
+    );
 }
 
 #[test]
@@ -195,7 +207,7 @@ fn nmos_iv_through_simulator_matches_model() {
         Circuit::GROUND,
         Box::new(model),
     );
-    let op = c.dc_op().unwrap();
+    let op = Session::elaborate(c).unwrap().dc_owned().unwrap();
     // The drain source supplies the drain current: i(VD) = -Id.
     let i_vd = op.vsource_current(0);
     assert!(
@@ -206,7 +218,7 @@ fn nmos_iv_through_simulator_matches_model() {
 
 #[test]
 fn bistable_latch_respects_initial_guess() {
-    // Two cross-coupled inverters: dc_op_with_guess picks the state.
+    // Two cross-coupled inverters: the DC guess picks the state.
     let mut c = Circuit::new();
     let vdd = c.node("vdd");
     let q = c.node("q");
@@ -214,16 +226,45 @@ fn bistable_latch_respects_initial_guess() {
     c.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(VDD));
     let g = Geometry::from_nm(150.0, 40.0);
     let gp = Geometry::from_nm(300.0, 40.0);
-    c.mosfet("MP1", q, qb, vdd, vdd, Box::new(VsModel::nominal_pmos_40nm(gp)));
-    c.mosfet("MN1", q, qb, Circuit::GROUND, Circuit::GROUND, Box::new(VsModel::nominal_nmos_40nm(g)));
-    c.mosfet("MP2", qb, q, vdd, vdd, Box::new(VsModel::nominal_pmos_40nm(gp)));
-    c.mosfet("MN2", qb, q, Circuit::GROUND, Circuit::GROUND, Box::new(VsModel::nominal_nmos_40nm(g)));
+    c.mosfet(
+        "MP1",
+        q,
+        qb,
+        vdd,
+        vdd,
+        Box::new(VsModel::nominal_pmos_40nm(gp)),
+    );
+    c.mosfet(
+        "MN1",
+        q,
+        qb,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        Box::new(VsModel::nominal_nmos_40nm(g)),
+    );
+    c.mosfet(
+        "MP2",
+        qb,
+        q,
+        vdd,
+        vdd,
+        Box::new(VsModel::nominal_pmos_40nm(gp)),
+    );
+    c.mosfet(
+        "MN2",
+        qb,
+        q,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        Box::new(VsModel::nominal_nmos_40nm(g)),
+    );
 
-    let op_q1 = c.dc_op_with_guess(&[(q, VDD), (qb, 0.0)]).unwrap();
+    let mut s = Session::elaborate(c).unwrap();
+    let op_q1 = s.dc_owned_with_guess(&[(q, VDD), (qb, 0.0)]).unwrap();
     assert!(op_q1.voltage(q) > 0.8 * VDD, "q = {}", op_q1.voltage(q));
     assert!(op_q1.voltage(qb) < 0.2 * VDD);
 
-    let op_q0 = c.dc_op_with_guess(&[(q, 0.0), (qb, VDD)]).unwrap();
+    let op_q0 = s.dc_owned_with_guess(&[(q, 0.0), (qb, VDD)]).unwrap();
     assert!(op_q0.voltage(q) < 0.2 * VDD, "q = {}", op_q0.voltage(q));
     assert!(op_q0.voltage(qb) > 0.8 * VDD);
 }

@@ -1,0 +1,255 @@
+//! Equivalence suite: a persistent [`Session`] (warm starts, reused
+//! workspace and LU scratch, in-place device swaps) must reproduce the
+//! legacy one-shot `Circuit` analyses on real circuits — the parsed
+//! inverter-chain netlist of `examples/netlist_sim.rs` and a 6T SRAM cell —
+//! plus a property test that `swap_devices` + re-solve equals a fresh
+//! elaboration of the mutated netlist.
+#![allow(deprecated)] // the whole point is comparing against the legacy API
+
+use mosfet::{vs::VsModel, Geometry, MosfetModel, StatParam, VariationDelta};
+use spice::{parser, Circuit, NodeId, Session, TranOptions, Waveform};
+
+/// The three-stage inverter chain from `examples/netlist_sim.rs`.
+const NETLIST: &str = "
+* three-stage inverter chain, VS 40nm models
+VDD vdd 0 DC 0.9
+VIN in 0 PULSE(0 0.9 100p 15p 15p 600p 2n)
+
+* stage 1
+MP1 n1 in vdd vdd vsp W=600n L=40n
+MN1 n1 in 0 0 vsn W=300n L=40n
+C1 n1 0 0.5f
+
+* stage 2
+MP2 n2 n1 vdd vdd vsp W=600n L=40n
+MN2 n2 n1 0 0 vsn W=300n L=40n
+C2 n2 0 0.5f
+
+* stage 3
+MP3 out n2 vdd vdd vsp W=600n L=40n
+MN3 out n2 0 0 vsn W=300n L=40n
+CL out 0 1f
+.end
+";
+
+const VDD: f64 = 0.9;
+
+/// Newton converges the update norm below 1e-7 V; warm-started and cold
+/// solves may approach the fixed point along different paths.
+const TOL_V: f64 = 1e-6;
+
+fn chain() -> Circuit {
+    parser::parse(NETLIST).expect("bundled netlist parses")
+}
+
+/// A 6T SRAM cell wired for READ (word line high, bit lines at Vdd),
+/// mirroring `circuits::sram::full_cell`.
+fn sram_cell(deltas: &[VariationDelta; 6]) -> (Circuit, NodeId, NodeId) {
+    let gn = Geometry::from_nm(150.0, 40.0);
+    let gp = Geometry::from_nm(80.0, 40.0);
+    let ga = Geometry::from_nm(100.0, 40.0);
+    let nmos = |d: VariationDelta, g| -> Box<dyn MosfetModel> {
+        Box::new(VsModel::with_variation(
+            mosfet::vs::VsParams::nmos_40nm(),
+            mosfet::Polarity::Nmos,
+            g,
+            d,
+        ))
+    };
+    let pmos = |d: VariationDelta| -> Box<dyn MosfetModel> {
+        Box::new(VsModel::with_variation(
+            mosfet::vs::VsParams::pmos_40nm(),
+            mosfet::Polarity::Pmos,
+            gp,
+            d,
+        ))
+    };
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let l = c.node("l");
+    let r = c.node("r");
+    let bl = c.node("bl");
+    let blb = c.node("blb");
+    let wl = c.node("wl");
+    c.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(VDD));
+    c.vsource("VBL", bl, Circuit::GROUND, Waveform::dc(VDD));
+    c.vsource("VBLB", blb, Circuit::GROUND, Waveform::dc(VDD));
+    c.vsource("VWL", wl, Circuit::GROUND, Waveform::dc(VDD));
+    c.mosfet("PU1", l, r, vdd, vdd, pmos(deltas[0]));
+    c.mosfet(
+        "PD1",
+        l,
+        r,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        nmos(deltas[1], gn),
+    );
+    c.mosfet("PG1", bl, wl, l, Circuit::GROUND, nmos(deltas[2], ga));
+    c.mosfet("PU2", r, l, vdd, vdd, pmos(deltas[3]));
+    c.mosfet(
+        "PD2",
+        r,
+        l,
+        Circuit::GROUND,
+        Circuit::GROUND,
+        nmos(deltas[4], gn),
+    );
+    c.mosfet("PG2", blb, wl, r, Circuit::GROUND, nmos(deltas[5], ga));
+    (c, l, r)
+}
+
+fn all_nodes(c: &Circuit) -> Vec<NodeId> {
+    // Probe every interned node by walking the element terminals.
+    let mut v: Vec<NodeId> = c.elements().iter().flat_map(|e| e.nodes()).collect();
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[test]
+fn chain_dc_matches_legacy() {
+    let c = chain();
+    let legacy = c.dc_op().unwrap();
+    let mut s = Session::elaborate(c.clone()).unwrap();
+    // Run twice: the second solve is warm-started and must land on the
+    // same operating point.
+    for pass in 0..2 {
+        let op = s.dc_owned().unwrap();
+        for &n in &all_nodes(&c) {
+            assert!(
+                (op.voltage(n) - legacy.voltage(n)).abs() < TOL_V,
+                "pass {pass}, node {}: {} vs {}",
+                c.node_name(n),
+                op.voltage(n),
+                legacy.voltage(n)
+            );
+        }
+    }
+}
+
+#[test]
+fn chain_sweep_matches_legacy() {
+    let c = chain();
+    let values: Vec<f64> = (0..19).map(|i| VDD * i as f64 / 18.0).collect();
+    let legacy = c.dc_sweep("VIN", &values).unwrap();
+    let mut s = Session::elaborate(c.clone()).unwrap();
+    let out = c.find_node("out").unwrap();
+    let sweep = s.dc_sweep_owned("VIN", &values).unwrap();
+    for (a, b) in sweep.voltages(out).iter().zip(legacy.voltages(out)) {
+        assert!((a - b).abs() < TOL_V, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn chain_tran_matches_legacy() {
+    let c = chain();
+    let opts = TranOptions::new(1.2e-9, 3e-12);
+    let legacy = c.tran(&opts).unwrap();
+    let mut s = Session::elaborate(c.clone()).unwrap();
+    // Precede the transient with other runs so the session state is "hot".
+    let _ = s.dc_owned().unwrap();
+    let res = s.tran_owned(&opts).unwrap();
+    assert_eq!(res.times().len(), legacy.times().len());
+    let out = c.find_node("out").unwrap();
+    for (a, b) in res.voltages(out).iter().zip(legacy.voltages(out)) {
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn chain_ac_matches_legacy() {
+    let c = chain();
+    let freqs = [1e6, 1e9, 1e11];
+    let legacy = c.ac_sweep("VIN", &freqs).unwrap();
+    let mut s = Session::elaborate(c.clone()).unwrap();
+    let n1 = c.find_node("n1").unwrap();
+    let ac = s.ac_owned("VIN", &freqs, &[]).unwrap();
+    for (a, b) in ac.magnitudes(n1).iter().zip(legacy.magnitudes(n1)) {
+        assert!((a - b).abs() < 1e-6 * b.max(1e-9), "{a} vs {b}");
+    }
+    for (a, b) in ac.phases(n1).iter().zip(legacy.phases(n1)) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn sram_dc_and_ac_match_legacy() {
+    let deltas = [VariationDelta::default(); 6];
+    let (c, l, r) = sram_cell(&deltas);
+    let guess = [(l, 0.0), (r, VDD)];
+    let legacy_op = c.dc_op_with_guess(&guess).unwrap();
+    let freqs = [1e6, 1e9];
+    let legacy_ac = c.ac_sweep_from_op("VBL", &freqs, &legacy_op).unwrap();
+
+    let mut s = Session::elaborate(c.clone()).unwrap();
+    let op = s.dc_owned_with_guess(&guess).unwrap();
+    assert!((op.voltage(l) - legacy_op.voltage(l)).abs() < TOL_V);
+    assert!((op.voltage(r) - legacy_op.voltage(r)).abs() < TOL_V);
+    let ac = s.ac_owned("VBL", &freqs, &guess).unwrap();
+    for (a, b) in ac.magnitudes(l).iter().zip(legacy_ac.magnitudes(l)) {
+        // The AC solution is linear in the operating point; tiny op-point
+        // differences are amplified through subthreshold conductances.
+        assert!((a - b).abs() < 1e-3 * b.max(1e-9), "{a} vs {b}");
+    }
+}
+
+/// SplitMix64: a tiny deterministic generator for test-case sampling.
+struct TestRng(u64);
+
+impl TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * u
+    }
+}
+
+/// Property: swapping devices into a live session and re-solving equals a
+/// fresh elaboration of the netlist built with those devices — across many
+/// random mismatch draws, with the session accumulating warm starts.
+#[test]
+fn swapped_session_equals_fresh_elaboration_property() {
+    let mut rng = TestRng(0xe95_0051);
+    let nominal = [VariationDelta::default(); 6];
+    let (c0, l, r) = sram_cell(&nominal);
+    let mut session = Session::elaborate(c0).unwrap();
+    let guess = [(l, 0.0), (r, VDD)];
+
+    for trial in 0..12 {
+        // Random threshold-voltage mismatch on all six devices.
+        let mut deltas = [VariationDelta::default(); 6];
+        for d in &mut deltas {
+            *d = VariationDelta::single(StatParam::Vt0, rng.range(-0.04, 0.04));
+        }
+        // In-place swap on the persistent session (warm-started solve)...
+        let (c_fresh, _, _) = sram_cell(&deltas);
+        let mut swaps = Vec::new();
+        for e in c_fresh.elements() {
+            if let spice::elements::Element::Mosfet { name, model, .. } = e {
+                swaps.push((name.clone(), model.clone_box()));
+            }
+        }
+        assert_eq!(session.swap_devices(swaps).unwrap(), 6);
+        let warm = session.dc_owned_with_guess(&guess).unwrap();
+        // ...must match a cold fresh elaboration of the same netlist.
+        let cold = Session::elaborate(c_fresh)
+            .unwrap()
+            .dc_owned_with_guess(&guess)
+            .unwrap();
+        for &n in &[l, r] {
+            assert!(
+                (warm.voltage(n) - cold.voltage(n)).abs() < TOL_V,
+                "trial {trial}: warm {} vs cold {}",
+                warm.voltage(n),
+                cold.voltage(n)
+            );
+        }
+    }
+}

@@ -139,7 +139,11 @@ mod tests {
     fn recovers_correlation() {
         let (xs, ys) = correlated_sample(20_000, 0.6, 31);
         let b = Bivariate::from_samples(&xs, &ys);
-        assert!((b.correlation() - 0.6).abs() < 0.03, "rho = {}", b.correlation());
+        assert!(
+            (b.correlation() - 0.6).abs() < 0.03,
+            "rho = {}",
+            b.correlation()
+        );
         assert!((b.var_x - 1.0).abs() < 0.05);
         assert!((b.var_y - 1.0).abs() < 0.05);
     }

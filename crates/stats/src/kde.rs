@@ -77,11 +77,7 @@ impl Kde {
     /// Density estimate at `x`.
     pub fn density(&self, x: f64) -> f64 {
         let h = self.bandwidth;
-        let s: f64 = self
-            .xs
-            .iter()
-            .map(|&xi| gaussian::pdf((x - xi) / h))
-            .sum();
+        let s: f64 = self.xs.iter().map(|&xi| gaussian::pdf((x - xi) / h)).sum();
         s / (self.xs.len() as f64 * h)
     }
 

@@ -105,7 +105,11 @@ mod tests {
         let qq = QqPlot::from_sample(&xs);
         assert!(qq.linearity_r > 0.999, "r = {}", qq.linearity_r);
         assert!((qq.slope - 0.3).abs() < 0.03, "slope {}", qq.slope);
-        assert!((qq.intercept - 2.0).abs() < 0.03, "intercept {}", qq.intercept);
+        assert!(
+            (qq.intercept - 2.0).abs() < 0.03,
+            "intercept {}",
+            qq.intercept
+        );
         assert!(qq.max_deviation() < 0.5);
     }
 

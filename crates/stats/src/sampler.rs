@@ -1,12 +1,49 @@
 //! Seeded random sampling.
 //!
 //! Monte Carlo experiments must be reproducible: every experiment in the
-//! bench harness takes an explicit seed. Normal deviates are generated with
-//! the Box-Muller transform so that the only external dependency is `rand`
-//! itself (the allowed-crate list does not include `rand_distr`).
+//! bench harness takes an explicit seed. The generator is a self-contained
+//! xoshiro256++ (public-domain algorithm by Blackman & Vigna) seeded through
+//! SplitMix64, so the workspace carries no external RNG dependency; normal
+//! deviates come from the Box-Muller transform (polar form).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// xoshiro256++ state, seeded via SplitMix64.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_seed(seed: u64) -> Self {
+        // SplitMix64 expansion: guarantees a non-zero, well-mixed state even
+        // for small or correlated seeds.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Xoshiro256 {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
 
 /// A seeded random sampler with Gaussian support.
 ///
@@ -21,7 +58,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Sampler {
-    rng: StdRng,
+    rng: Xoshiro256,
     /// Spare deviate from the last Box-Muller pair.
     spare: Option<f64>,
 }
@@ -30,7 +67,7 @@ impl Sampler {
     /// Creates a sampler from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
         Sampler {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Xoshiro256::from_seed(seed),
             spare: None,
         }
     }
@@ -38,13 +75,14 @@ impl Sampler {
     /// Derives an independent child sampler (used to give every Monte Carlo
     /// sample its own stream so that per-sample work is order-independent).
     pub fn fork(&mut self, salt: u64) -> Sampler {
-        let s: u64 = self.rng.gen();
+        let s: u64 = self.rng.next_u64();
         Sampler::from_seed(s ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
     }
 
     /// Uniform deviate in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        // 53 mantissa bits of the raw stream: uniform on [0, 1).
+        (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform deviate in `[lo, hi)`.
@@ -121,7 +159,11 @@ mod tests {
         assert!((sum.mean - 3.0).abs() < 0.02, "mean {}", sum.mean);
         assert!((sum.std - 0.5).abs() < 0.02, "std {}", sum.std);
         assert!(sum.skewness.abs() < 0.1, "skew {}", sum.skewness);
-        assert!(sum.excess_kurtosis.abs() < 0.2, "kurt {}", sum.excess_kurtosis);
+        assert!(
+            sum.excess_kurtosis.abs() < 0.2,
+            "kurt {}",
+            sum.excess_kurtosis
+        );
     }
 
     #[test]

@@ -16,13 +16,18 @@ const N_SAMPLES: usize = 150;
 const VDD: f64 = 0.9;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut config = ExtractionConfig::default();
-    config.mc_samples = 600;
+    let config = ExtractionConfig {
+        mc_samples: 600,
+        ..ExtractionConfig::default()
+    };
     let report = extract_statistical_vs_model(&config)?;
     let sz = InverterSizing::from_nm(600.0, 300.0, 40.0);
 
     for family in ["vs (statistical)", "bsim (golden kit)"] {
         let mut delays = Vec::with_capacity(N_SAMPLES);
+        // One elaborated bench per family: trials swap freshly drawn
+        // devices into the live session instead of rebuilding the netlist.
+        let mut bench: Option<DelayBench> = None;
         for trial in 0..N_SAMPLES {
             // One independent mismatch draw per transistor per trial.
             let mut factory = if family.starts_with("vs") {
@@ -42,8 +47,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     statvs::stats::Sampler::from_seed(100 + trial as u64),
                 )
             };
-            let bench = DelayBench::fo3(GateKind::Inverter, sz, VDD, &mut factory);
-            delays.push(bench.measure_delay(bench.default_dt())?);
+            let b = match bench.as_mut() {
+                Some(b) => {
+                    b.resample(&mut factory);
+                    b
+                }
+                None => bench.insert(DelayBench::fo3(GateKind::Inverter, sz, VDD, &mut factory)),
+            };
+            let dt = b.default_dt();
+            delays.push(b.measure_delay(dt)?);
         }
         let s = Summary::from_slice(&delays);
         println!(

@@ -16,8 +16,10 @@ use statvs::vscore::pipeline::{extract_statistical_vs_model, ExtractionConfig};
 const N_SAMPLES: usize = 200;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut config = ExtractionConfig::default();
-    config.mc_samples = 600;
+    let config = ExtractionConfig {
+        mc_samples: 600,
+        ..ExtractionConfig::default()
+    };
     let report = extract_statistical_vs_model(&config)?;
     let sz = InverterSizing::from_nm(300.0, 300.0, 40.0);
 
@@ -28,6 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for vdd in [0.9, 0.7, 0.55] {
         let mut delays = Vec::with_capacity(N_SAMPLES);
+        // One session per supply point; every trial swaps devices in place.
+        let mut bench: Option<DelayBench> = None;
         for trial in 0..N_SAMPLES {
             let mut factory = statvs::vscore::mc::McFactory::vs(
                 report.nmos.fit.params,
@@ -36,8 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 report.pmos.extracted,
                 statvs::stats::Sampler::from_seed(9000 + trial as u64),
             );
-            let bench = DelayBench::fo3(GateKind::Nand2, sz, vdd, &mut factory);
-            if let Ok(d) = bench.measure_delay(2e-12) {
+            let b = match bench.as_mut() {
+                Some(b) => {
+                    b.resample(&mut factory);
+                    b
+                }
+                None => bench.insert(DelayBench::fo3(GateKind::Nand2, sz, vdd, &mut factory)),
+            };
+            if let Ok(d) = b.measure_delay(2e-12) {
                 delays.push(d);
             }
         }

@@ -7,7 +7,7 @@
 //! Run with `cargo run --release --example netlist_sim`.
 
 use statvs::spice::measure::{cross_time, Edge};
-use statvs::spice::{parser, TranOptions};
+use statvs::spice::{parser, Session, TranOptions};
 
 const NETLIST: &str = "
 * three-stage inverter chain, VS 40nm models
@@ -32,28 +32,32 @@ CL out 0 1f
 ";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let circuit = parser::parse(NETLIST)?;
+    let parsed = parser::parse(NETLIST)?;
     println!(
         "parsed netlist: {} nodes, {} elements",
-        circuit.node_count(),
-        circuit.elements().len()
+        parsed.node_count(),
+        parsed.elements().len()
     );
 
-    let result = circuit.tran(&TranOptions::new(1.2e-9, 1.5e-12))?;
+    // Elaborate once; the session owns the layout and scratch for any
+    // number of analyses on this topology.
+    let mut session = Session::elaborate(parsed)?;
+    let result = session.tran_owned(&TranOptions::new(1.2e-9, 1.5e-12))?;
+    let circuit = session.circuit();
     let t = result.times();
     let vdd_half = 0.45;
 
     // Stage-by-stage 50% crossing times for the first input edge.
     let mut t_prev = cross_time(
         t,
-        &result.voltage(circuit.find_node("in").expect("in")),
+        &result.voltages(circuit.find_node("in").expect("in")),
         vdd_half,
         Edge::Rising,
         0.0,
     )
     .expect("input edge");
     for (stage, node) in ["n1", "n2", "out"].iter().enumerate() {
-        let v = result.voltage(circuit.find_node(node).expect("stage node"));
+        let v = result.voltages(circuit.find_node(node).expect("stage node"));
         let t_cross = cross_time(t, &v, vdd_half, Edge::Any, t_prev).expect("stage switches");
         println!(
             "stage {}: {} crosses 50% at {:.1} ps (stage delay {:.2} ps)",
@@ -66,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Supply current integral -> dynamic charge per edge.
-    let idd = result.vsource_current(0);
+    let idd = result.vsource_currents(0);
     let q: f64 = t
         .windows(2)
         .zip(idd.windows(2))

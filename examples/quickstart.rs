@@ -16,8 +16,10 @@ use statvs::vscore::sensitivity::VsBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- steps 1 + 2: the pipeline runs fit, kit Monte Carlo, and BPV ---
-    let mut config = ExtractionConfig::default();
-    config.mc_samples = 800; // keep the example quick
+    let config = ExtractionConfig {
+        mc_samples: 800, // keep the example quick
+        ..ExtractionConfig::default()
+    };
     let report = extract_statistical_vs_model(&config)?;
 
     println!("fitted NMOS VS parameters:");
@@ -34,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  α1 = {:.2} V·nm   (VT0, RDF)", alphas[0]);
     println!("  α2 = α3 = {:.2} nm (Leff/Weff, LER)", alphas[1]);
     println!("  α4 = {:.0} nm·cm²/(V·s) (µ, stress)", alphas[3]);
-    println!("  α5 = {:.2} nm·µF/cm² (Cinv, oxide — measured directly)", alphas[4]);
+    println!(
+        "  α5 = {:.2} nm·µF/cm² (Cinv, oxide — measured directly)",
+        alphas[4]
+    );
 
     // --- step 3: validate σ(Idsat) at a geometry the extraction never saw ---
     let geom = Geometry::from_nm(450.0, 40.0);

@@ -7,7 +7,7 @@
 //! Run with `cargo run --release --example sram_snm`.
 
 use statvs::circuits::cells::NominalVsFactory;
-use statvs::circuits::sram::{butterfly, measure_snm, SnmMode, SramDevices, SramSizing};
+use statvs::circuits::sram::{butterfly, SnmBench, SnmMode, SramDevices, SramSizing};
 use statvs::stats::Summary;
 use statvs::vscore::pipeline::{extract_statistical_vs_model, ExtractionConfig};
 
@@ -47,11 +47,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ascii_butterfly(&c1, &c2);
 
     // Monte Carlo SNM with the extracted statistical model.
-    let mut config = ExtractionConfig::default();
-    config.mc_samples = 600;
+    let config = ExtractionConfig {
+        mc_samples: 600,
+        ..ExtractionConfig::default()
+    };
     let report = extract_statistical_vs_model(&config)?;
     for (mode, label) in [(SnmMode::Read, "READ"), (SnmMode::Hold, "HOLD")] {
         let mut snms = Vec::with_capacity(N_SAMPLES);
+        // Both half-cell sessions elaborate once; every sample swaps six
+        // freshly drawn devices in place and re-sweeps with warm starts.
+        let mut bench: Option<SnmBench> = None;
         for trial in 0..N_SAMPLES {
             let mut factory = statvs::vscore::mc::McFactory::vs(
                 report.nmos.fit.params,
@@ -60,7 +65,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 report.pmos.extracted,
                 statvs::stats::Sampler::from_seed(3000 + trial as u64),
             );
-            snms.push(measure_snm(sz, VDD, mode, 61, &mut factory)?);
+            let snm = match bench.as_mut() {
+                Some(b) => {
+                    b.resample(sz, &mut factory)?;
+                    b.snm()?
+                }
+                None => bench
+                    .insert(SnmBench::new(sz, VDD, mode, 61, &mut factory)?)
+                    .snm()?,
+            };
+            snms.push(snm);
         }
         let s = Summary::from_slice(&snms);
         println!(

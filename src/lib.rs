@@ -10,20 +10,36 @@
 //!   tests, SSTA corner analysis.
 //! * [`mosfet`] — the Virtual Source compact model and the BSIM4-like
 //!   golden baseline, with per-instance mismatch and temperature derating.
-//! * [`spice`] — an MNA circuit simulator (nonlinear DC, sweeps, transient,
-//!   AC small-signal, SPICE-netlist parsing, CSV export).
+//! * [`spice`] — a **session-based** MNA circuit simulator: build a
+//!   `Circuit`, elaborate it once into a `spice::Session`, then run any
+//!   number of DC / sweep / transient / AC analyses against it, resampling
+//!   MOSFETs in place (`Session::swap_devices`) between Monte Carlo
+//!   samples. SPICE-netlist parsing and CSV export included.
 //! * [`circuits`] — benchmark cells: INV/NAND2 FO3, D flip-flop
-//!   (setup/hold), 6T SRAM (butterfly, SNM, AC read disturb).
+//!   (setup/hold), 6T SRAM (butterfly, SNM, AC read disturb). Every bench
+//!   owns a persistent session and exposes `resample(..)` for in-place
+//!   Monte Carlo.
 //! * [`vscore`] — the statistical modeling flow itself: Pelgrom scaling,
 //!   backward propagation of variance (BPV, independent and correlated),
 //!   staged nominal fitting with CV correction, Monte Carlo, Verilog-A
 //!   export.
 //!
+//! # Simulation model
+//!
+//! The paper's validation is circuit-level Monte Carlo: thousands of solves
+//! of the *same topology* with resampled device parameters. The workspace
+//! is shaped around that loop — **elaborate once, run many analyses, swap
+//! devices in place** — so the netlist is parsed and the MNA layout, the
+//! workspace, and the LU scratch are allocated a single time per topology,
+//! and each sample's Newton solve warm-starts from the previous sample's
+//! operating point.
+//!
 //! # Quickstart
 //!
 //! See `examples/quickstart.rs` for the end-to-end flow: calibrate a golden
 //! kit, fit the nominal VS model, extract mismatch coefficients with BPV,
-//! and validate with Monte Carlo.
+//! and validate with Monte Carlo. `examples/netlist_sim.rs` shows the
+//! session API driven from a parsed SPICE netlist.
 
 pub use circuits;
 pub use mosfet;

@@ -52,10 +52,7 @@ fn extraction_to_device_validation() {
     ));
     for i in 0..2 {
         let ratio = (v_vs[i] / v_kit[i]).sqrt();
-        assert!(
-            (0.7..1.4).contains(&ratio),
-            "metric {i}: σ ratio = {ratio}"
-        );
+        assert!((0.7..1.4).contains(&ratio), "metric {i}: σ ratio = {ratio}");
     }
 }
 
@@ -67,6 +64,8 @@ fn circuit_level_sigma_agreement() {
     let sz = InverterSizing::from_nm(600.0, 300.0, 40.0);
     let n = 60;
     let collect = |family: &str| -> Vec<f64> {
+        // One elaborated session per family; samples swap devices in place.
+        let mut bench: Option<DelayBench> = None;
         (0..n)
             .filter_map(|trial| {
                 let mut f = match family {
@@ -85,9 +84,14 @@ fn circuit_level_sigma_agreement() {
                         Sampler::from_seed(500 + trial),
                     ),
                 };
-                DelayBench::fo3(GateKind::Inverter, sz, 0.9, &mut f)
-                    .measure_delay(2e-12)
-                    .ok()
+                let b = match bench.as_mut() {
+                    Some(b) => {
+                        b.resample(&mut f);
+                        b
+                    }
+                    None => bench.insert(DelayBench::fo3(GateKind::Inverter, sz, 0.9, &mut f)),
+                };
+                b.measure_delay(2e-12).ok()
             })
             .collect()
     };
