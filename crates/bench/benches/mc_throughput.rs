@@ -17,8 +17,8 @@ use circuits::sram::{SnmBench, SnmMode, SramDevices, SramSizing};
 use mosfet::{vs::VsParams, Geometry, MismatchSpec, Polarity};
 use spice::Session;
 use stats::Sampler;
-use vsbench::microbench::{maybe_write_json, measure};
-use vscore::mc::{device_metric_samples, McFactory};
+use vsbench::microbench::{maybe_write_json, measure, Measurement};
+use vscore::mc::{device_metric_samples, McFactory, ParallelRunner};
 use vscore::sensitivity::{BsimBuilder, VsBuilder};
 
 fn mc_factory(seed: u64) -> McFactory {
@@ -113,6 +113,73 @@ fn main() {
                 assert!(op.voltage(r).is_finite());
             }
         }));
+    }
+
+    // ---- circuit level: parallel SRAM DC Monte Carlo --------------------
+    // The same per-sample workload as sram_dc_sample/session_swap, sharded
+    // with ParallelRunner: one replicated session per worker, per-sample
+    // device swaps from deterministically derived streams, warm-started
+    // solves. One measured iteration = a PAR_BATCH-sample run (including
+    // worker spawn + Session::replicate setup); the recorded entry is
+    // normalized per sample, so aggregate throughput across threads is
+    // directly comparable with the single-session baseline above.
+    {
+        const PAR_BATCH: usize = 512;
+        let mut f0 = mc_factory(0);
+        let devices = SramDevices::draw(sz, &mut f0);
+        let (c, l, r) = circuits::sram::full_cell(&devices, 0.9);
+        let master = Session::elaborate(c).expect("well-formed");
+        let avail = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        let mut thread_counts = vec![1, 4, avail];
+        thread_counts.sort_unstable();
+        thread_counts.dedup();
+        for threads in thread_counts {
+            let mut run_seed = 0u64;
+            let m = measure(&format!("sram_dc_mc_batch512/aggregate_{threads}t"), || {
+                run_seed += 1;
+                let out = ParallelRunner::new(run_seed)
+                    .workers(threads)
+                    .run(
+                        PAR_BATCH,
+                        |_, _| {
+                            let mut s = master.replicate()?;
+                            // Select the basin once per worker; samples then
+                            // warm-start from the previous operating point.
+                            let op = s.dc_owned_with_guess(&[(l, 0.0), (r, 0.9)])?;
+                            assert!(op.voltage(r).is_finite());
+                            Ok(s)
+                        },
+                        |session, sampler, _| {
+                            let mut f = mc_factory(0);
+                            f.set_sampler(sampler.clone());
+                            let SramDevices { pd, pu, pg } = SramDevices::draw(sz, &mut f);
+                            let [pd0, pd1] = pd;
+                            let [pu0, pu1] = pu;
+                            let [pg0, pg1] = pg;
+                            session
+                                .swap_devices([
+                                    ("PD1", pd0),
+                                    ("PD2", pd1),
+                                    ("PU1", pu0),
+                                    ("PU2", pu1),
+                                    ("PG1", pg0),
+                                    ("PG2", pg1),
+                                ])
+                                .expect("known instances");
+                            // Extreme draws may fail to converge; counted,
+                            // not fatal — part of the measured workload.
+                            session.dc_owned().map(|op| op.voltage(r))
+                        },
+                    )
+                    .expect("replication succeeds");
+                assert_eq!(out.len() + out.failures, PAR_BATCH);
+            });
+            results.push(Measurement {
+                label: format!("sram_dc_sample/parallel_{threads}t"),
+                secs_per_iter: m.secs_per_iter / PAR_BATCH as f64,
+                iters: m.iters * PAR_BATCH as u64,
+            });
+        }
     }
 
     // ---- circuit level: READ SNM (butterfly sweeps) ---------------------

@@ -2,6 +2,7 @@
 //! directory.
 
 use std::path::PathBuf;
+use vscore::mc::ParallelRunner;
 use vscore::pipeline::{
     extract_statistical_vs_model, CoreError, ExtractionConfig, ExtractionReport,
 };
@@ -69,5 +70,39 @@ impl ExperimentContext {
             self.extraction.pmos.truth,
             stats::Sampler::from_seed(trial_seed),
         )
+    }
+
+    /// A [`ParallelRunner`] seeded from the context seed and an experiment
+    /// salt. Worker count defaults to the machine's available parallelism;
+    /// the `STATVS_MC_THREADS` environment variable overrides it. Every
+    /// worker count draws the same mismatch samples; warm-started bench
+    /// state can shift measured values by last-bit amounts between counts,
+    /// so pin the variable when byte-stable artifacts matter.
+    pub fn runner(&self, salt: u64) -> ParallelRunner {
+        let runner = ParallelRunner::new(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(salt),
+        );
+        match std::env::var("STATVS_MC_THREADS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+        {
+            Some(n) => runner.workers(n),
+            None => runner,
+        }
+    }
+
+    /// A factory for either family (`"vs"` or anything else for the kit)
+    /// driven by an externally derived sampler — the shape the parallel
+    /// Monte Carlo sample closures need (`ParallelRunner` hands each sample
+    /// its own stream).
+    pub fn factory(&self, family: &str, sampler: stats::Sampler) -> vscore::mc::McFactory {
+        let mut f = match family {
+            "vs" => self.vs_factory(0),
+            _ => self.kit_factory(0),
+        };
+        f.set_sampler(sampler);
+        f
     }
 }

@@ -11,9 +11,12 @@ use stats::Summary;
 
 /// Collects Monte Carlo delay samples for one gate/size/model combination.
 ///
-/// The testbench is elaborated into one persistent session; every trial
-/// swaps freshly drawn devices in place ([`DelayBench::resample`]) and
-/// re-runs warm-started — no per-sample netlist rebuild.
+/// The samples shard across a [`vscore::mc::ParallelRunner`]: every worker
+/// elaborates its own persistent bench once, then each sample swaps freshly
+/// drawn devices in place ([`DelayBench::resample`]) with a sampler stream
+/// derived purely from `(seed, sample index)` and re-runs warm-started — no
+/// per-sample netlist rebuild, and the drawn devices are identical for any
+/// worker count.
 ///
 /// Functional failures (missing output edges under extreme mismatch) are
 /// skipped, matching standard Monte Carlo practice; the skip count is
@@ -27,35 +30,24 @@ pub fn delay_samples(
     family: &str,
     seed_salt: u64,
 ) -> (Vec<f64>, usize) {
-    let mut out = Vec::with_capacity(n);
-    let mut failures = 0;
-    let mut bench: Option<DelayBench> = None;
-    for trial in 0..n {
-        let seed = ctx
-            .seed
-            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-            .wrapping_add(seed_salt)
-            .wrapping_add(trial as u64);
-        let mut f = match family {
-            "vs" => ctx.vs_factory(seed),
-            _ => ctx.kit_factory(seed),
-        };
-        // First trial builds (and draws through the factory); later trials
-        // swap devices into the same elaboration.
-        let b = match bench.as_mut() {
-            Some(b) => {
-                b.resample(&mut f);
-                b
-            }
-            None => bench.insert(DelayBench::fo3(kind, sz, vdd, &mut f)),
-        };
-        let dt = b.default_dt();
-        match b.measure_delay(dt) {
-            Ok(d) => out.push(d),
-            Err(_) => failures += 1,
-        }
-    }
-    (out, failures)
+    let out = ctx
+        .runner(seed_salt)
+        .run_scalar(
+            n,
+            |_, setup| {
+                let mut f = ctx.factory(family, setup.clone());
+                Ok::<_, spice::SpiceError>(DelayBench::fo3(kind, sz, vdd, &mut f))
+            },
+            |bench, sampler, _| {
+                let mut f = ctx.factory(family, sampler.clone());
+                bench.resample(&mut f);
+                let dt = bench.default_dt();
+                bench.measure_delay(dt)
+            },
+        )
+        .expect("bench elaboration is infallible for well-formed sizings");
+    let failures = out.failures;
+    (out.into_values(), failures)
 }
 
 /// Regenerates the delay PDFs of Fig. 5.

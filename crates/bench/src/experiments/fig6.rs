@@ -27,32 +27,29 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
     let mut report = format!("Fig. 6 — leakage vs frequency scatter, INV FO3, {n} MC samples\n\n");
 
     for family in ["bsim", "vs"] {
-        let mut leaks = Vec::with_capacity(n);
-        let mut freqs = Vec::with_capacity(n);
-        let mut failures = 0;
-        // One elaborated bench per family; trials swap devices in place.
-        let mut bench: Option<DelayBench> = None;
-        for trial in 0..n {
-            let seed = ctx.seed.wrapping_add(0xf16_6000).wrapping_add(trial as u64);
-            let mut f = match family {
-                "vs" => ctx.vs_factory(seed),
-                _ => ctx.kit_factory(seed),
-            };
-            let b = match bench.as_mut() {
-                Some(b) => {
-                    b.resample(&mut f);
-                    b
-                }
-                None => bench.insert(DelayBench::fo3(GateKind::Inverter, sz, ctx.vdd(), &mut f)),
-            };
-            match leakage_frequency_of(b) {
-                Ok(lf) => {
-                    leaks.push(lf.leakage);
-                    freqs.push(lf.frequency);
-                }
-                Err(_) => failures += 1,
-            }
-        }
+        // One elaborated bench per worker; samples swap devices in place.
+        let out = ctx
+            .runner(0xf16_6000)
+            .run(
+                n,
+                |_, setup| {
+                    let mut f = ctx.factory(family, setup.clone());
+                    Ok::<_, spice::SpiceError>(DelayBench::fo3(
+                        GateKind::Inverter,
+                        sz,
+                        ctx.vdd(),
+                        &mut f,
+                    ))
+                },
+                |bench, sampler, _| {
+                    let mut f = ctx.factory(family, sampler.clone());
+                    bench.resample(&mut f);
+                    leakage_frequency_of(bench).map(|lf| (lf.leakage, lf.frequency))
+                },
+            )
+            .expect("bench elaboration is infallible");
+        let failures = out.failures;
+        let (leaks, freqs): (Vec<f64>, Vec<f64>) = out.values().copied().unzip();
         write_csv(
             &ctx.out_dir,
             &format!("fig6_scatter_{family}.csv"),

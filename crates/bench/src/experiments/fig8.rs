@@ -26,38 +26,35 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
     );
 
     for family in ["bsim", "vs"] {
-        let mut samples = Vec::with_capacity(n);
-        let mut failures = 0;
-        // One elaborated flip-flop session per family. Each trial swaps a
+        // One elaborated flip-flop session per worker. Each sample swaps a
         // fresh mismatch draw in place; the binary search then re-targets
         // only the data waveform — the same devices serve every candidate
         // setup time without a single rebuild (pre-session code had to
         // reconstruct the netlist from an identically seeded factory at
-        // every probe).
-        let mut bench: Option<DffBench> = None;
-        for trial in 0..n {
-            let seed = ctx.seed.wrapping_add(0xd1f_f000).wrapping_add(trial as u64);
-            let mut f = match family {
-                "vs" => ctx.vs_factory(seed),
-                _ => ctx.kit_factory(seed),
-            };
-            let b = match bench.as_mut() {
-                Some(b) => {
-                    b.resample(&mut f);
-                    b
-                }
-                None => bench.insert(DffBench::new(
-                    DffSizing::default(),
-                    ctx.vdd(),
-                    T_MAX,
-                    &mut f,
-                )),
-            };
-            match setup_time(b, T_MAX, RESOLUTION, DT) {
-                Ok(t) => samples.push(t),
-                Err(_) => failures += 1,
-            }
-        }
+        // every probe). Sharding is deterministic: sample `i` draws from
+        // the `(seed, i)` stream on every worker count.
+        let out = ctx
+            .runner(0xd1f_f000)
+            .run_scalar(
+                n,
+                |_, setup| {
+                    let mut f = ctx.factory(family, setup.clone());
+                    Ok::<_, spice::SpiceError>(DffBench::new(
+                        DffSizing::default(),
+                        ctx.vdd(),
+                        T_MAX,
+                        &mut f,
+                    ))
+                },
+                |bench, sampler, _| {
+                    let mut f = ctx.factory(family, sampler.clone());
+                    bench.resample(&mut f);
+                    setup_time(bench, T_MAX, RESOLUTION, DT)
+                },
+            )
+            .expect("bench elaboration is infallible");
+        let failures = out.failures;
+        let samples = out.into_values();
         let s = Summary::from_slice(&samples);
         let kde = Kde::from_sample(&samples);
         write_csv(

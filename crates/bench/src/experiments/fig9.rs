@@ -50,27 +50,33 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
 
     for (mode, tag) in [(SnmMode::Read, "read"), (SnmMode::Hold, "hold")] {
         for family in ["bsim", "vs"] {
-            let mut samples = Vec::with_capacity(n);
-            let mut failures = 0;
-            let mut bench: Option<SnmBench> = None;
-            for trial in 0..n {
-                let seed = ctx.seed.wrapping_add(0x54a8).wrapping_add(trial as u64);
-                let mut f = match family {
-                    "vs" => ctx.vs_factory(seed),
-                    _ => ctx.kit_factory(seed),
-                };
-                let result = match bench.as_mut() {
-                    Some(b) => b.resample(sz, &mut f).and_then(|()| b.snm()),
-                    None => match SnmBench::new(sz, ctx.vdd(), mode, 61, &mut f) {
-                        Ok(b) => bench.insert(b).snm(),
-                        Err(e) => Err(e),
-                    },
-                };
-                match result {
-                    Ok(s) => samples.push(s),
-                    Err(_) => failures += 1,
-                }
-            }
+            // Both half-cell sessions elaborate once per worker; every
+            // sample swaps six freshly drawn devices in place and
+            // re-sweeps with warm starts. A non-convergent construction
+            // draw retries with a fresh one (as the sequential loop did by
+            // rolling to the next trial) — the initial devices are
+            // overwritten by the first sample anyway.
+            let out = ctx.runner(0x54a8).run_scalar(
+                n,
+                |_, setup| {
+                    let mut last_err = None;
+                    for attempt in 0..8 {
+                        let mut f = ctx.factory(family, setup.fork(attempt));
+                        match SnmBench::new(sz, ctx.vdd(), mode, 61, &mut f) {
+                            Ok(b) => return Ok(b),
+                            Err(e) => last_err = Some(e),
+                        }
+                    }
+                    Err(last_err.expect("eight attempts made"))
+                },
+                |bench, sampler, _| {
+                    let mut f = ctx.factory(family, sampler.clone());
+                    bench.resample(sz, &mut f)?;
+                    bench.snm()
+                },
+            )?;
+            let failures = out.failures;
+            let samples = out.into_values();
             let s = Summary::from_slice(&samples);
             let kde = Kde::from_sample(&samples);
             let qq = QqPlot::from_sample(&samples);

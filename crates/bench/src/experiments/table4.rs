@@ -19,72 +19,95 @@ use circuits::dff::{DffBench, DffSizing};
 use circuits::sram::{ReadDisturbBench, SramSizing};
 use std::time::Instant;
 
-/// Runs one family's workload through a single persistent session
-/// (elaborate once, swap devices per trial); returns (elapsed seconds,
-/// completed runs).
-fn run_workload(ctx: &ExperimentContext, family: &str, cell: &str, n: usize) -> (f64, usize) {
+/// Runs one family's workload through the parallel executor (one
+/// persistent session per worker: elaborate once, swap devices per
+/// sample); returns (elapsed wall-clock seconds, completed runs).
+///
+/// Both families run on the same worker count, so the VS-vs-kit runtime
+/// ratio — the reproduced claim — is unaffected by the sharding.
+///
+/// # Errors
+///
+/// Propagates worker-setup (bench construction) failures; per-sample
+/// failures are only counted against `completed`.
+fn run_workload(
+    ctx: &ExperimentContext,
+    family: &str,
+    cell: &str,
+    n: usize,
+) -> Result<(f64, usize), spice::SpiceError> {
     let t0 = Instant::now();
-    let mut done = 0;
-    let mut delay_bench: Option<DelayBench> = None;
-    let mut dff_bench: Option<DffBench> = None;
-    let mut sram_bench: Option<ReadDisturbBench> = None;
-    let sram_freqs = spice::ac::log_sweep(1e6, 1e11, 5);
-    for trial in 0..n {
-        let seed = ctx.seed.wrapping_add(0x7ab4).wrapping_add(trial as u64);
-        let mut f = match family {
-            "vs" => ctx.vs_factory(seed),
-            _ => ctx.kit_factory(seed),
-        };
-        let ok = match cell {
-            "nand2" => {
-                let b = match delay_bench.as_mut() {
-                    Some(b) => {
-                        b.resample(&mut f);
-                        b
-                    }
-                    None => delay_bench.insert(DelayBench::fo3(
+    let runner = ctx.runner(0x7ab4);
+    let done = match cell {
+        "nand2" => runner
+            .run_scalar(
+                n,
+                |_, setup| {
+                    let mut f = ctx.factory(family, setup.clone());
+                    Ok::<_, spice::SpiceError>(DelayBench::fo3(
                         GateKind::Nand2,
                         InverterSizing::from_nm(300.0, 300.0, 40.0),
                         ctx.vdd(),
                         &mut f,
-                    )),
-                };
-                b.measure_delay(2e-12).is_ok()
-            }
-            "dff" => {
-                let b = match dff_bench.as_mut() {
-                    Some(b) => {
-                        b.resample(&mut f);
-                        b
-                    }
-                    None => dff_bench.insert(DffBench::new(
+                    ))
+                },
+                |b, sampler, _| {
+                    let mut f = ctx.factory(family, sampler.clone());
+                    b.resample(&mut f);
+                    b.measure_delay(2e-12)
+                },
+            )
+            .map(|o| o.len()),
+        "dff" => runner
+            .run(
+                n,
+                |_, setup| {
+                    let mut f = ctx.factory(family, setup.clone());
+                    Ok::<_, spice::SpiceError>(DffBench::new(
                         DffSizing::default(),
                         ctx.vdd(),
                         150e-12,
                         &mut f,
-                    )),
-                };
-                b.captures(4e-12).is_ok()
-            }
-            _ => {
-                // The paper's "SRAM AC": small-signal sweep of the read-
-                // disturb transfer, 25 log-spaced points per sample.
-                let sz = SramSizing::default();
-                let result = match sram_bench.as_mut() {
-                    Some(b) => b.resample(sz, &mut f).and_then(|()| b.run(&sram_freqs)),
-                    None => match ReadDisturbBench::new(sz, ctx.vdd(), &mut f) {
-                        Ok(b) => sram_bench.insert(b).run(&sram_freqs),
-                        Err(e) => Err(e),
+                    ))
+                },
+                |b, sampler, _| {
+                    let mut f = ctx.factory(family, sampler.clone());
+                    b.resample(&mut f);
+                    b.captures(4e-12)
+                },
+            )
+            .map(|o| o.len()),
+        _ => {
+            // The paper's "SRAM AC": small-signal sweep of the read-
+            // disturb transfer, 25 log-spaced points per sample.
+            let sram_freqs = spice::ac::log_sweep(1e6, 1e11, 5);
+            let sz = SramSizing::default();
+            runner
+                .run(
+                    n,
+                    |_, setup| {
+                        // Retry non-convergent construction draws; the
+                        // first sample overwrites the devices regardless.
+                        let mut last_err = None;
+                        for attempt in 0..8 {
+                            let mut f = ctx.factory(family, setup.fork(attempt));
+                            match ReadDisturbBench::new(sz, ctx.vdd(), &mut f) {
+                                Ok(b) => return Ok(b),
+                                Err(e) => last_err = Some(e),
+                            }
+                        }
+                        Err(last_err.expect("eight attempts made"))
                     },
-                };
-                result.is_ok()
-            }
-        };
-        if ok {
-            done += 1;
+                    |b, sampler, _| {
+                        let mut f = ctx.factory(family, sampler.clone());
+                        b.resample(sz, &mut f)?;
+                        b.run(&sram_freqs)
+                    },
+                )
+                .map(|o| o.len())
         }
-    }
-    (t0.elapsed().as_secs_f64(), done)
+    }?;
+    Ok((t0.elapsed().as_secs_f64(), done))
 }
 
 /// Regenerates the runtime/state comparison.
@@ -106,8 +129,8 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
         String::from("Table IV — Monte Carlo runtime comparison (same simulator, both models)\n\n");
     let mut speedups = Vec::new();
     for (label, cell, analysis, n) in workloads {
-        let (t_vs, _) = run_workload(ctx, "vs", cell, n);
-        let (t_kit, _) = run_workload(ctx, "bsim", cell, n);
+        let (t_vs, _) = run_workload(ctx, "vs", cell, n)?;
+        let (t_kit, _) = run_workload(ctx, "bsim", cell, n)?;
         let speedup = t_kit / t_vs;
         speedups.push(speedup);
         table.row(vec![

@@ -24,6 +24,15 @@
 //! | `fig8`   | Fig. 8  | DFF setup-time PDF |
 //! | `fig9`   | Fig. 9  | SRAM butterfly + READ/HOLD SNM PDFs + QQ |
 //! | `table4` | Table IV | Monte Carlo runtime/memory, VS vs kit |
+//!
+//! Circuit-level Monte Carlo loops shard across cores through
+//! `vscore::mc::ParallelRunner` (override the worker count with
+//! `STATVS_MC_THREADS`). Every sample draws the same mismatch devices for
+//! any worker count; measured values can drift in the last float bits
+//! across worker counts because the benches keep their warm-started Newton
+//! state between samples (see the `vscore::mc::parallel` module docs for
+//! the exact scope of the bit-exactness guarantee). `ARCHITECTURE.md` at
+//! the repo root diagrams the data flow.
 
 pub mod context;
 pub mod experiments;

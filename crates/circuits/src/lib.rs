@@ -20,7 +20,9 @@
 //! Monte Carlo loops resample device models *in place*
 //! ([`cells::resample_devices`], `DelayBench::resample`,
 //! `DffBench::resample`, `SnmBench::resample`) instead of rebuilding and
-//! re-elaborating netlists per sample.
+//! re-elaborating netlists per sample. Benches are `Send`, so the parallel
+//! executor (`vscore::mc::ParallelRunner`) builds one per worker thread;
+//! `ARCHITECTURE.md` at the repo root diagrams that data flow.
 
 pub mod cells;
 pub mod delay;

@@ -18,9 +18,14 @@
 //!    paper Eq. (10), solved jointly across geometries (non-negative least
 //!    squares) and per-geometry (paper Fig. 2), with the `α2 = α3` LER
 //!    constraint and directly-measured `σ_Cinv`.
-//! 6. [`mc`] — Monte Carlo engines: device-level metric sampling and the
+//! 6. [`mc`] — Monte Carlo engines: device-level metric sampling, the
 //!    circuit-level [`mc::McFactory`] that plugs sampled devices into the
-//!    benchmark circuits.
+//!    benchmark circuits, and [`mc::ParallelRunner`] — the deterministic,
+//!    work-sharded executor that spreads either level across every
+//!    available core with bit-identical results for any worker count.
+//!
+//! `ARCHITECTURE.md` at the repo root diagrams the crate graph and the
+//! parallel Monte Carlo data flow.
 //!
 //! # Quickstart
 //!

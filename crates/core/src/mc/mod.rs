@@ -9,6 +9,48 @@
 //!   [`mosfet::VariationDelta`] per transistor instance so that benchmark
 //!   netlists (INV, NAND2, DFF, SRAM) see uncorrelated within-die mismatch
 //!   (Figs. 5-9).
+//!
+//! Either level shards across threads with [`ParallelRunner`] (see
+//! [`parallel`]): each worker owns its elaborated sessions, each sample
+//! draws from a stream derived purely from `(seed, sample index)`, and the
+//! outcome is bit-identical for any worker count. `ARCHITECTURE.md` at the
+//! repo root diagrams the data flow.
+//!
+//! # Example
+//!
+//! A parallel device-level variance estimate (the circuit-level loops in
+//! `vsbench` follow the same shape with benches as worker state):
+//!
+//! ```
+//! use mosfet::{vs::VsParams, Geometry, MismatchSpec, Polarity};
+//! use vscore::mc::ParallelRunner;
+//! use vscore::metrics::DeviceMetrics;
+//! use vscore::sensitivity::{VariedModel, VsBuilder};
+//!
+//! let builder = VsBuilder {
+//!     params: VsParams::nmos_40nm(),
+//!     polarity: Polarity::Nmos,
+//!     geom: Geometry::from_nm(600.0, 40.0),
+//! };
+//! let spec = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+//! let out = ParallelRunner::new(42)
+//!     .workers(2)
+//!     .run_scalar(
+//!         64,
+//!         |_w, _s| Ok::<(), std::convert::Infallible>(()),
+//!         |(), sampler, _i| {
+//!             let delta = spec.sample(builder.geometry(), || sampler.standard_normal());
+//!             Ok(DeviceMetrics::evaluate(builder.build(delta).as_ref(), 0.9).idsat)
+//!         },
+//!     )
+//!     .unwrap();
+//! assert_eq!(out.moments().count(), 64);
+//! assert!(out.moments().std() > 0.0);
+//! ```
+
+pub mod parallel;
+
+pub use parallel::{EarlyStop, McOutcome, ParallelRunner};
 
 use crate::metrics::DeviceMetrics;
 use crate::sensitivity::VariedModel;
@@ -18,7 +60,7 @@ use mosfet::{
     vs::{VsModel, VsParams},
     Geometry, MismatchSpec, MosfetModel, Polarity,
 };
-use stats::Sampler;
+use stats::{Sampler, Welford};
 
 /// Draws `n` mismatch samples and evaluates the metrics for each.
 pub fn device_metric_samples(
@@ -37,6 +79,19 @@ pub fn device_metric_samples(
         .collect()
 }
 
+/// Streaming moment accumulators for the three metric columns — one pass
+/// over the samples, no per-column buffers.
+fn column_moments(samples: &[DeviceMetrics]) -> [Welford; 3] {
+    let mut acc = [Welford::new(); 3];
+    for s in samples {
+        let row = s.as_array();
+        for (w, &x) in acc.iter_mut().zip(&row) {
+            w.push(x);
+        }
+    }
+    acc
+}
+
 /// Sample variances of `[Idsat, log10 Ioff, Cgg]`.
 ///
 /// # Panics
@@ -44,12 +99,7 @@ pub fn device_metric_samples(
 /// Panics if `samples` has fewer than 2 entries.
 pub fn variances(samples: &[DeviceMetrics]) -> [f64; 3] {
     assert!(samples.len() >= 2, "need at least two samples");
-    let mut out = [0.0; 3];
-    for i in 0..3 {
-        let xs: Vec<f64> = samples.iter().map(|s| s.as_array()[i]).collect();
-        out[i] = stats::Summary::from_slice(&xs).variance;
-    }
-    out
+    column_moments(samples).map(|w| w.variance())
 }
 
 /// Sample means of `[Idsat, log10 Ioff, Cgg]`.
@@ -59,12 +109,7 @@ pub fn variances(samples: &[DeviceMetrics]) -> [f64; 3] {
 /// Panics if `samples` is empty.
 pub fn means(samples: &[DeviceMetrics]) -> [f64; 3] {
     assert!(!samples.is_empty(), "need at least one sample");
-    let mut out = [0.0; 3];
-    for i in 0..3 {
-        let xs: Vec<f64> = samples.iter().map(|s| s.as_array()[i]).collect();
-        out[i] = stats::descriptive::mean(&xs);
-    }
-    out
+    column_moments(samples).map(|w| w.mean())
 }
 
 /// Which model family a factory instantiates.
@@ -139,6 +184,13 @@ impl McFactory {
     /// trials independent and reproducible).
     pub fn reseed(&mut self, seed: u64) {
         self.sampler = Sampler::from_seed(seed);
+    }
+
+    /// Replaces the internal sampler with an externally derived stream —
+    /// the [`ParallelRunner`] path: clone a factory template per worker,
+    /// then hand each sample its own [`Sampler::stream`]-derived sampler.
+    pub fn set_sampler(&mut self, sampler: Sampler) {
+        self.sampler = sampler;
     }
 }
 

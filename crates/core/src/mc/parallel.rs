@@ -1,0 +1,485 @@
+//! Work-sharded, deterministic parallel Monte Carlo execution.
+//!
+//! [`ParallelRunner`] spreads the samples of one Monte Carlo experiment
+//! across `std::thread` workers. Three properties shape the design:
+//!
+//! * **Elaborate once per worker.** Worker state (an elaborated
+//!   [`spice::Session`], a bench, a device factory template) is built once
+//!   by the `build` closure inside each worker thread — the per-sample fast
+//!   path (swap devices, warm-started re-solve) never crosses a thread
+//!   boundary. Use [`spice::Session::replicate`] to hand every worker its
+//!   own copy of a shared elaboration.
+//! * **Thread-count-invariant determinism.** Sample `i` always draws from
+//!   [`stats::Sampler::stream`]`(i)` of the runner's base sampler — a pure
+//!   function of `(seed, i)` — and work is handed out by index from a
+//!   shared counter. Whichever worker happens to execute a sample, it
+//!   computes bit-identical results; 1, 2, or 64 workers produce the same
+//!   sample set. Merged moments reported by [`McOutcome::moments`] are
+//!   accumulated in sample-index order, so they are bit-identical too.
+//!
+//!   The guarantee is as strong as the sample closure is pure: if a sample
+//!   reads mutable worker state whose value depends on scheduling history —
+//!   the classic case is a warm-started Newton solve seeded by whichever
+//!   sample the worker ran previously — its result can drift in the last
+//!   floating-point bits while remaining statistically identical (the
+//!   mismatch draws are exactly the same devices). Call
+//!   [`spice::Session::invalidate_warm_start`] per sample when bit-exact
+//!   reproducibility matters more than the warm-start speedup.
+//! * **Streaming aggregation with optional early stopping.** Workers write
+//!   results into per-sample slots; the coordinating thread folds them into
+//!   a [`Welford`] accumulator at deterministic round boundaries and can
+//!   stop the run once the confidence interval on the mean is tight enough
+//!   ([`EarlyStop`]). Because rounds are fixed multiples of
+//!   [`ParallelRunner::check_every`] samples (independent of the worker
+//!   count), the stopping sample count is deterministic as well.
+//!
+//! # Example
+//!
+//! ```
+//! use vscore::mc::ParallelRunner;
+//!
+//! // Estimate E[X^2] for X ~ N(0,1): worker state is trivial (unit), the
+//! // per-sample closure gets a deterministically derived sampler.
+//! let runner = ParallelRunner::new(7).workers(2);
+//! let out = runner
+//!     .run_scalar(
+//!         400,
+//!         |_worker, _sampler| Ok::<(), std::convert::Infallible>(()),
+//!         |(), sampler, _i| {
+//!             let x = sampler.standard_normal();
+//!             Ok(x * x)
+//!         },
+//!     )
+//!     .unwrap();
+//! let moments = out.moments();
+//! assert_eq!(moments.count(), 400);
+//! assert!((moments.mean() - 1.0).abs() < 0.2);
+//! // Same seed, different worker count: bit-identical outcome.
+//! let again = ParallelRunner::new(7)
+//!     .workers(1)
+//!     .run_scalar(
+//!         400,
+//!         |_, _| Ok::<(), std::convert::Infallible>(()),
+//!         |(), s, _| {
+//!             let x = s.standard_normal();
+//!             Ok(x * x)
+//!         },
+//!     )
+//!     .unwrap();
+//! assert_eq!(moments.mean(), again.moments().mean());
+//! ```
+
+use stats::{Sampler, Welford};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Sentinel `limit` value signalling workers to shut down.
+const SHUTDOWN: usize = usize::MAX;
+/// Salt separating worker-setup streams from per-sample streams.
+const WORKER_STREAM_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Confidence-interval stopping rule for [`ParallelRunner::run_scalar`].
+///
+/// The run ends at the first round boundary where at least `min_samples`
+/// samples have succeeded and the `z`-scaled half-width of the confidence
+/// interval on the mean is below `rel_half_width · |mean|`. A mean of zero
+/// never satisfies the relative criterion; use an absolute transform of the
+/// metric if that can occur.
+#[derive(Debug, Clone, Copy)]
+pub struct EarlyStop {
+    /// Target half-width of the CI, relative to the absolute mean.
+    pub rel_half_width: f64,
+    /// Normal quantile of the interval (1.96 ~ 95%).
+    pub z: f64,
+    /// Minimum number of successful samples before stopping is considered.
+    pub min_samples: usize,
+}
+
+impl EarlyStop {
+    /// A 95% (`z = 1.96`) rule with the given relative half-width and a
+    /// 64-sample floor.
+    #[must_use]
+    pub fn relative(rel_half_width: f64) -> Self {
+        EarlyStop {
+            rel_half_width,
+            z: 1.96,
+            min_samples: 64,
+        }
+    }
+
+    /// Overrides the minimum sample count.
+    #[must_use]
+    pub fn min_samples(mut self, n: usize) -> Self {
+        self.min_samples = n;
+        self
+    }
+
+    /// Overrides the normal quantile.
+    #[must_use]
+    pub fn z(mut self, z: f64) -> Self {
+        self.z = z;
+        self
+    }
+}
+
+/// Outcome of a parallel Monte Carlo run.
+///
+/// Successful samples are stored as `(index, value)` pairs sorted by sample
+/// index; failed samples (the `sample` closure returned `Err`) are counted
+/// in `failures` and omitted, matching the skip-and-count convention of the
+/// sequential experiment loops.
+#[derive(Debug, Clone)]
+pub struct McOutcome<T> {
+    samples: Vec<(usize, T)>,
+    /// Samples whose closure returned an error (functional failures under
+    /// extreme mismatch, non-convergence, ...).
+    pub failures: usize,
+    /// Number of sample indices actually scheduled — equals the requested
+    /// count unless an [`EarlyStop`] rule ended the run sooner.
+    pub attempted: usize,
+    /// Worker threads the run executed on.
+    pub workers: usize,
+}
+
+impl<T> McOutcome<T> {
+    /// Number of successful samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no sample succeeded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `(sample index, value)` pairs, ascending by index.
+    #[must_use]
+    pub fn samples(&self) -> &[(usize, T)] {
+        &self.samples
+    }
+
+    /// Successful sample values in index order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.samples.iter().map(|(_, t)| t)
+    }
+
+    /// Consumes the outcome into the values in index order.
+    #[must_use]
+    pub fn into_values(self) -> Vec<T> {
+        self.samples.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+impl McOutcome<f64> {
+    /// Streaming moments of the successful samples, accumulated in sample-
+    /// index order — bit-identical for any worker count.
+    #[must_use]
+    pub fn moments(&self) -> Welford {
+        let mut w = Welford::new();
+        for (_, x) in &self.samples {
+            w.push(*x);
+        }
+        w
+    }
+}
+
+/// A deterministic, work-sharded Monte Carlo executor.
+///
+/// See the [module docs](self) for the determinism contract and a runnable
+/// example. Construct with [`ParallelRunner::new`] (worker count defaults
+/// to the machine's available parallelism) and adjust with the builder
+/// methods.
+#[derive(Debug, Clone)]
+pub struct ParallelRunner {
+    workers: usize,
+    seed: u64,
+    early_stop: Option<EarlyStop>,
+    check_every: usize,
+}
+
+impl ParallelRunner {
+    /// A runner using every available hardware thread.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+        ParallelRunner {
+            workers,
+            seed,
+            early_stop: None,
+            check_every: 256,
+        }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// Configured worker count.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers
+    }
+
+    /// Enables confidence-interval early stopping for
+    /// [`ParallelRunner::run_scalar`].
+    #[must_use]
+    pub fn early_stop(mut self, stop: EarlyStop) -> Self {
+        self.early_stop = Some(stop);
+        self
+    }
+
+    /// Sets the round granularity: the stopping rule is evaluated every
+    /// `n` samples (clamped to at least 1). Rounds are independent of the
+    /// worker count, keeping early-stopped runs deterministic.
+    #[must_use]
+    pub fn check_every(mut self, n: usize) -> Self {
+        self.check_every = n.max(1);
+        self
+    }
+
+    /// Runs `n` samples of a generic-valued experiment.
+    ///
+    /// `build(worker_id, sampler)` constructs each worker's private state
+    /// inside its thread (elaborated sessions, benches, factory templates);
+    /// the sampler it receives is derived per worker and is *not* part of
+    /// the per-sample determinism contract — anything drawn from it must be
+    /// overwritten per sample (as device-swapping benches do).
+    ///
+    /// `sample(state, sampler, i)` computes sample `i` with a sampler
+    /// stream derived purely from the runner seed and `i`. An `Err` return
+    /// marks that sample failed and is counted, not propagated.
+    ///
+    /// Early stopping does not apply (there is no scalar metric to watch);
+    /// use [`ParallelRunner::run_scalar`] for that.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first worker-state `build` error.
+    pub fn run<W, T, E, B, S>(&self, n: usize, build: B, sample: S) -> Result<McOutcome<T>, E>
+    where
+        T: Send,
+        E: Send,
+        B: Fn(usize, &mut Sampler) -> Result<W, E> + Sync,
+        S: Fn(&mut W, &mut Sampler, usize) -> Result<T, E> + Sync,
+    {
+        self.run_impl(n, build, sample, None)
+    }
+
+    /// [`ParallelRunner::run`] for scalar metrics, with the configured
+    /// [`EarlyStop`] rule applied at round boundaries. Moments of the
+    /// outcome come from [`McOutcome::moments`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first worker-state `build` error.
+    pub fn run_scalar<W, E, B, S>(&self, n: usize, build: B, sample: S) -> Result<McOutcome<f64>, E>
+    where
+        E: Send,
+        B: Fn(usize, &mut Sampler) -> Result<W, E> + Sync,
+        S: Fn(&mut W, &mut Sampler, usize) -> Result<f64, E> + Sync,
+    {
+        self.run_impl(n, build, sample, Some(&|x: &f64| *x))
+    }
+
+    /// The sharded execution engine shared by `run` and `run_scalar`.
+    fn run_impl<W, T, E, B, S>(
+        &self,
+        n: usize,
+        build: B,
+        sample: S,
+        metric: Option<&dyn Fn(&T) -> f64>,
+    ) -> Result<McOutcome<T>, E>
+    where
+        T: Send,
+        E: Send,
+        B: Fn(usize, &mut Sampler) -> Result<W, E> + Sync,
+        S: Fn(&mut W, &mut Sampler, usize) -> Result<T, E> + Sync,
+    {
+        let workers = self.workers.min(n.max(1));
+        if n == 0 {
+            return Ok(McOutcome {
+                samples: Vec::new(),
+                failures: 0,
+                attempted: 0,
+                workers,
+            });
+        }
+
+        // Two deterministic stream families: one per sample index (the
+        // determinism contract), one per worker id (setup-only draws).
+        let mut root = Sampler::from_seed(self.seed);
+        let sample_base = root.fork(0);
+        let worker_base = root.fork(WORKER_STREAM_SALT);
+
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let results = Mutex::new(slots);
+        let failures = AtomicUsize::new(0);
+        let next = AtomicUsize::new(0);
+        let limit = AtomicUsize::new(0);
+        // Workers + the coordinating thread.
+        let barrier = Barrier::new(workers + 1);
+        let setup_err: Mutex<Option<E>> = Mutex::new(None);
+
+        // A panic inside a user closure must not strand the other threads
+        // at a barrier (std barriers do not poison): the unwinding worker
+        // catches the payload, parks itself as idle, and keeps honouring
+        // the barrier protocol; the coordinator shuts the run down and
+        // re-raises the panic after the scope joins.
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let store_panic = |p: Box<dyn std::any::Any + Send>| {
+            let mut slot = panic_slot.lock().expect("no poisoned locks");
+            if slot.is_none() {
+                *slot = Some(p);
+            }
+        };
+
+        let round = match (self.early_stop, metric.is_some()) {
+            (Some(_), true) => self.check_every,
+            _ => n,
+        };
+
+        let attempted = std::thread::scope(|scope| {
+            for worker_id in 0..workers {
+                let (build, sample) = (&build, &sample);
+                let (results, failures) = (&results, &failures);
+                let (next, limit, barrier) = (&next, &limit, &barrier);
+                let (setup_err, store_panic) = (&setup_err, &store_panic);
+                let (sample_base, worker_base) = (&sample_base, &worker_base);
+                scope.spawn(move || {
+                    let mut wsampler = worker_base.stream(worker_id as u64);
+                    let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        build(worker_id, &mut wsampler)
+                    }));
+                    let mut state = match built {
+                        Ok(Ok(w)) => Some(w),
+                        Ok(Err(e)) => {
+                            let mut slot = setup_err.lock().expect("no poisoned locks");
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            None
+                        }
+                        Err(p) => {
+                            store_panic(p);
+                            None
+                        }
+                    };
+                    barrier.wait(); // setup complete
+                    loop {
+                        barrier.wait(); // round start
+                        let hi = limit.load(Ordering::SeqCst);
+                        if hi == SHUTDOWN {
+                            return;
+                        }
+                        let mut poisoned = false;
+                        if let Some(st) = state.as_mut() {
+                            // Bounded pop: never overshoots `hi`, so round
+                            // boundaries lose no sample indices.
+                            while let Ok(i) =
+                                next.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |i| {
+                                    (i < hi).then_some(i + 1)
+                                })
+                            {
+                                let mut s = sample_base.stream(i as u64);
+                                let r =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        sample(st, &mut s, i)
+                                    }));
+                                match r {
+                                    Ok(Ok(t)) => {
+                                        results.lock().expect("no poisoned locks")[i] = Some(t);
+                                    }
+                                    Ok(Err(_)) => {
+                                        failures.fetch_add(1, Ordering::SeqCst);
+                                    }
+                                    Err(p) => {
+                                        store_panic(p);
+                                        poisoned = true;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        if poisoned {
+                            // The state may be mid-mutation; retire it and
+                            // idle through the remaining barriers.
+                            state = None;
+                        }
+                        barrier.wait(); // round end
+                    }
+                });
+            }
+
+            // ---- coordinator ------------------------------------------------
+            let shutdown = |hi: usize| {
+                limit.store(SHUTDOWN, Ordering::SeqCst);
+                barrier.wait();
+                hi
+            };
+            barrier.wait(); // setup complete
+            if setup_err.lock().expect("no poisoned locks").is_some()
+                || panic_slot.lock().expect("no poisoned locks").is_some()
+            {
+                return shutdown(0);
+            }
+            let mut hi = 0;
+            // Early-stop accumulator: samples below a finished round's
+            // limit never change, so each slot is folded exactly once, in
+            // index order — bit-identical to a from-scratch refold, but
+            // O(round) per check instead of O(hi).
+            let mut watched = Welford::new();
+            let mut folded_to = 0;
+            while hi < n {
+                hi = (hi + round).min(n);
+                limit.store(hi, Ordering::SeqCst);
+                barrier.wait(); // round start
+                barrier.wait(); // round end: all samples < hi are final
+                if panic_slot.lock().expect("no poisoned locks").is_some() {
+                    return shutdown(hi);
+                }
+                if hi < n {
+                    if let (Some(stop), Some(metric)) = (self.early_stop, metric) {
+                        let res = results.lock().expect("no poisoned locks");
+                        for t in res[folded_to..hi].iter().flatten() {
+                            watched.push(metric(t));
+                        }
+                        folded_to = hi;
+                        if watched.count() >= stop.min_samples as u64
+                            && watched.ci_half_width(stop.z)
+                                <= stop.rel_half_width * watched.mean().abs()
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+            shutdown(hi)
+        });
+
+        if let Some(p) = panic_slot.into_inner().expect("no poisoned locks") {
+            std::panic::resume_unwind(p);
+        }
+        if let Some(e) = setup_err.into_inner().expect("no poisoned locks") {
+            return Err(e);
+        }
+        let samples = results
+            .into_inner()
+            .expect("no poisoned locks")
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (i, t)))
+            .collect();
+        Ok(McOutcome {
+            samples,
+            failures: failures.into_inner(),
+            attempted,
+            workers,
+        })
+    }
+}

@@ -1,0 +1,261 @@
+//! Determinism contract of the parallel Monte Carlo executor.
+//!
+//! `ParallelRunner` promises that the set of `(sample index, value)` pairs
+//! and the merged moments are *bit-identical* for any worker count when
+//! each sample is a pure function of its derived sampler stream. These
+//! tests pin that down on the device-level workload (stateless), on a
+//! circuit-level SRAM workload (cold-started sessions), and for the
+//! round-boundary early-stopping rule.
+
+use circuits::sram::{full_cell, SramDevices, SramSizing};
+use mosfet::{vs::VsParams, Geometry, MismatchSpec, Polarity};
+use spice::Session;
+use stats::{Sampler, Welford};
+use vscore::mc::{EarlyStop, McFactory, ParallelRunner};
+use vscore::metrics::DeviceMetrics;
+use vscore::sensitivity::{VariedModel, VsBuilder};
+
+const VDD: f64 = 0.9;
+
+fn builder() -> VsBuilder {
+    VsBuilder {
+        params: VsParams::nmos_40nm(),
+        polarity: Polarity::Nmos,
+        geom: Geometry::from_nm(600.0, 40.0),
+    }
+}
+
+fn spec() -> MismatchSpec {
+    MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29)
+}
+
+/// Runs the stateless device-level workload on `workers` threads.
+fn device_run(seed: u64, n: usize, workers: usize) -> (Vec<(usize, u64)>, Welford) {
+    let b = builder();
+    let sp = spec();
+    let out = ParallelRunner::new(seed)
+        .workers(workers)
+        .run_scalar(
+            n,
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+            |(), sampler, _| {
+                let delta = sp.sample(b.geometry(), || sampler.standard_normal());
+                Ok(DeviceMetrics::evaluate(b.build(delta).as_ref(), VDD).idsat)
+            },
+        )
+        .expect("infallible setup");
+    let bits = out
+        .samples()
+        .iter()
+        .map(|&(i, x)| (i, x.to_bits()))
+        .collect();
+    (bits, out.moments())
+}
+
+#[test]
+fn device_level_runs_are_thread_count_invariant() {
+    // Property loop: several seeds and sizes, three worker counts each.
+    for (seed, n) in [(1u64, 97), (42, 256), (0xdead_beef, 33)] {
+        let (s1, m1) = device_run(seed, n, 1);
+        assert_eq!(s1.len(), n, "stateless workload never fails");
+        for workers in [2, 8] {
+            let (sw, mw) = device_run(seed, n, workers);
+            assert_eq!(
+                s1, sw,
+                "seed {seed}: sample set differs at {workers} workers"
+            );
+            assert_eq!(
+                m1.mean().to_bits(),
+                mw.mean().to_bits(),
+                "seed {seed}: merged mean differs at {workers} workers"
+            );
+            assert_eq!(m1.variance().to_bits(), mw.variance().to_bits());
+            assert_eq!(m1.count(), mw.count());
+            assert_eq!(m1.min().to_bits(), mw.min().to_bits());
+            assert_eq!(m1.max().to_bits(), mw.max().to_bits());
+        }
+    }
+}
+
+#[test]
+fn device_level_runs_depend_on_seed() {
+    let (a, _) = device_run(7, 64, 2);
+    let (b, _) = device_run(8, 64, 2);
+    assert_ne!(a, b);
+}
+
+/// Circuit-level workload: full 6T cell DC solve with per-sample device
+/// swaps. Cold-starting every sample makes each one a pure function of its
+/// sampler stream, so the bit-exactness guarantee applies; warm-started
+/// production loops trade that for speed (same statistics, last-bit drift).
+fn sram_run(seed: u64, n: usize, workers: usize) -> Vec<(usize, u64)> {
+    let sz = SramSizing::default();
+    let template = McFactory::vs(
+        VsParams::nmos_40nm(),
+        VsParams::pmos_40nm(),
+        spec(),
+        spec(),
+        Sampler::from_seed(0),
+    );
+    let out = ParallelRunner::new(seed)
+        .workers(workers)
+        .run(
+            n,
+            |_, setup_sampler| {
+                let mut f = template.clone();
+                f.set_sampler(setup_sampler.clone());
+                let devices = SramDevices::draw(sz, &mut f);
+                let (c, l, r) = full_cell(&devices, VDD);
+                let session = Session::elaborate(c)?;
+                Ok((session, l, r))
+            },
+            |(session, l, r), sampler, _| {
+                let mut f = template.clone();
+                f.set_sampler(sampler.clone());
+                let SramDevices { pd, pu, pg } = SramDevices::draw(sz, &mut f);
+                let [pd0, pd1] = pd;
+                let [pu0, pu1] = pu;
+                let [pg0, pg1] = pg;
+                session.swap_devices([
+                    ("PD1", pd0),
+                    ("PD2", pd1),
+                    ("PU1", pu0),
+                    ("PU2", pu1),
+                    ("PG1", pg0),
+                    ("PG2", pg1),
+                ])?;
+                session.invalidate_warm_start();
+                let op = session.dc_owned_with_guess(&[(*l, 0.0), (*r, VDD)])?;
+                Ok::<f64, spice::SpiceError>(op.voltage(*r))
+            },
+        )
+        .expect("elaboration succeeds");
+    out.samples()
+        .iter()
+        .map(|&(i, x)| (i, x.to_bits()))
+        .collect()
+}
+
+#[test]
+fn sram_dc_runs_are_thread_count_invariant() {
+    let s1 = sram_run(99, 24, 1);
+    let s2 = sram_run(99, 24, 2);
+    let s8 = sram_run(99, 24, 8);
+    assert!(s1.len() >= 20, "almost all draws converge");
+    assert_eq!(s1, s2);
+    assert_eq!(s1, s8);
+}
+
+#[test]
+fn early_stop_is_deterministic_and_bounded() {
+    let run = |workers: usize| {
+        ParallelRunner::new(5)
+            .workers(workers)
+            .check_every(50)
+            .early_stop(EarlyStop::relative(0.05).min_samples(50))
+            .run_scalar(
+                100_000,
+                |_, _| Ok::<(), std::convert::Infallible>(()),
+                |(), s, _| Ok(10.0 + s.standard_normal()),
+            )
+            .expect("infallible")
+    };
+    let a = run(1);
+    let b = run(3);
+    // The 5% CI on N(10, 1) needs only a handful of rounds.
+    assert!(a.attempted < 100_000, "early stop fired ({})", a.attempted);
+    assert_eq!(
+        a.attempted, b.attempted,
+        "stop point must not depend on workers"
+    );
+    assert_eq!(a.moments().mean().to_bits(), b.moments().mean().to_bits());
+    assert_eq!(a.len(), b.len());
+    let m = a.moments();
+    assert!(m.ci_half_width(1.96) <= 0.05 * m.mean().abs());
+}
+
+#[test]
+fn failures_are_counted_not_fatal() {
+    let out = ParallelRunner::new(3)
+        .workers(2)
+        .run_scalar(
+            40,
+            |_, _| Ok::<(), &'static str>(()),
+            |(), _, i| {
+                if i % 4 == 0 {
+                    Err("synthetic")
+                } else {
+                    Ok(1.0)
+                }
+            },
+        )
+        .expect("setup is fine");
+    assert_eq!(out.failures, 10);
+    assert_eq!(out.len(), 30);
+    assert_eq!(out.attempted, 40);
+    // Indices of failed samples are absent from the sample set.
+    assert!(out.samples().iter().all(|(i, _)| i % 4 != 0));
+}
+
+#[test]
+fn setup_errors_propagate() {
+    let err = ParallelRunner::new(1)
+        .workers(4)
+        .run_scalar(
+            8,
+            |w, _| {
+                if w == 0 {
+                    Err("worker zero failed")
+                } else {
+                    Ok(())
+                }
+            },
+            |(), _, _| Ok(0.0),
+        )
+        .unwrap_err();
+    assert_eq!(err, "worker zero failed");
+}
+
+#[test]
+#[should_panic(expected = "synthetic sample panic")]
+fn sample_panics_propagate_instead_of_deadlocking() {
+    let _ = ParallelRunner::new(2).workers(3).run_scalar(
+        64,
+        |_, _| Ok::<(), std::convert::Infallible>(()),
+        |(), _, i| {
+            if i == 7 {
+                panic!("synthetic sample panic");
+            }
+            Ok(1.0)
+        },
+    );
+}
+
+#[test]
+#[should_panic(expected = "synthetic build panic")]
+fn build_panics_propagate_instead_of_deadlocking() {
+    let _ = ParallelRunner::new(2).workers(3).run_scalar(
+        64,
+        |w, _| {
+            if w == 1 {
+                panic!("synthetic build panic");
+            }
+            Ok::<(), std::convert::Infallible>(())
+        },
+        |(), _, _| Ok(1.0),
+    );
+}
+
+#[test]
+fn zero_samples_is_empty_outcome() {
+    let out = ParallelRunner::new(1)
+        .run_scalar(
+            0,
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+            |(), _, _| Ok(1.0),
+        )
+        .expect("no work");
+    assert!(out.is_empty());
+    assert_eq!(out.attempted, 0);
+    assert!(out.moments().is_empty());
+}

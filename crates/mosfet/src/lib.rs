@@ -16,6 +16,11 @@
 //! the paper: `VT0`, `Leff`, `Weff`, `µ`, `Cinv`), generated from a Pelgrom
 //! area-scaling [`variation::MismatchSpec`].
 //!
+//! Model instances are plain data behind the `Send + Sync`
+//! [`MosfetModel`] trait, so elaborated circuits cross thread boundaries
+//! freely (see `ARCHITECTURE.md` at the repo root for where this crate
+//! sits in the workspace).
+//!
 //! # Example
 //!
 //! ```

@@ -19,6 +19,9 @@
 //! * [`lm`] — Levenberg-Marquardt nonlinear least squares (nominal VS
 //!   parameter extraction against the golden kit, paper Fig. 1).
 //!
+//! `ARCHITECTURE.md` at the repo root places this crate at the base of the
+//! workspace's crate graph.
+//!
 //! # Example
 //!
 //! ```

@@ -59,6 +59,12 @@
 //! The pre-0.2 one-shot methods (`Circuit::dc_op`, `Circuit::dc_sweep`,
 //! `Circuit::tran`, `Circuit::ac_sweep`) remain as deprecated shims for one
 //! release; each call elaborates a throwaway session.
+//!
+//! Sessions are `Send`, and [`Session::replicate`] re-elaborates the same
+//! topology into an independent session — the setup step of the parallel
+//! Monte Carlo executor in the `vscore` crate. `ARCHITECTURE.md` at the
+//! repo root diagrams the crate graph, the session lifecycle, and the
+//! parallel Monte Carlo data flow.
 
 pub mod ac;
 pub mod dc;

@@ -4,8 +4,12 @@
 //! distributions lives here:
 //!
 //! * [`sampler`] — seeded RNG plumbing and in-house Gaussian sampling
-//!   (Box-Muller, so no extra distribution crates are required).
+//!   (Box-Muller, so no extra distribution crates are required), including
+//!   the deterministic stream-splitting ([`Sampler::fork`] /
+//!   [`Sampler::stream`]) that the parallel Monte Carlo executor relies on.
 //! * [`descriptive`] — mean / variance / skewness / kurtosis / quantiles.
+//! * [`welford`] — streaming mean/variance accumulation with exact
+//!   [`Welford::merge`], for sharded and unbounded Monte Carlo runs.
 //! * [`gaussian`] — the standard normal pdf / cdf / inverse cdf.
 //! * [`histogram`] — fixed-bin histograms with density normalization.
 //! * [`kde`] — Gaussian kernel density estimates (the smooth PDF curves in
@@ -16,6 +20,9 @@
 //!   ellipses (Fig. 4).
 //! * [`correlation`] — Pearson correlation.
 //! * [`ks`] — a Kolmogorov-Smirnov normality check.
+//!
+//! `ARCHITECTURE.md` at the repo root shows how these pieces feed the
+//! parallel Monte Carlo executor (`vscore::mc`).
 //!
 //! # Example
 //!
@@ -40,6 +47,8 @@ pub mod kde;
 pub mod ks;
 pub mod qq;
 pub mod sampler;
+pub mod welford;
 
 pub use descriptive::Summary;
 pub use sampler::Sampler;
+pub use welford::Welford;

@@ -72,11 +72,54 @@ impl Sampler {
         }
     }
 
-    /// Derives an independent child sampler (used to give every Monte Carlo
-    /// sample its own stream so that per-sample work is order-independent).
+    /// Derives an independent child sampler, advancing this sampler's
+    /// stream by one draw.
+    ///
+    /// # Determinism contract
+    ///
+    /// The child is a pure function of the parent's *current state* and the
+    /// salt. Two samplers with identical state produce identical children
+    /// for equal salts and decorrelated children for different salts — so a
+    /// sequence of forks from a freshly seeded parent is reproducible
+    /// run-to-run, and salting by sample index gives every Monte Carlo
+    /// sample its own stream regardless of which worker executes it:
+    ///
+    /// ```
+    /// use stats::Sampler;
+    ///
+    /// let mut a = Sampler::from_seed(42);
+    /// let mut b = Sampler::from_seed(42);
+    /// // Same state + same salt => identical child streams.
+    /// assert_eq!(a.fork(7).uniform(), b.fork(7).uniform());
+    /// // Same state + different salt => decorrelated children.
+    /// assert_ne!(a.fork(1).uniform(), b.fork(2).uniform());
+    /// ```
     pub fn fork(&mut self, salt: u64) -> Sampler {
         let s: u64 = self.rng.next_u64();
         Sampler::from_seed(s ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// [`Sampler::fork`] without mutating the parent: the child is derived
+    /// from a snapshot of the current state, so `stream` is a *pure*
+    /// function of `(state, salt)`.
+    ///
+    /// This is the primitive behind thread-count-invariant parallel Monte
+    /// Carlo: a base sampler held by the executor hands sample `i` the
+    /// stream `base.stream(i)`, and because the derivation touches only the
+    /// snapshot, every worker computes the same stream for the same sample
+    /// index no matter how samples are sharded.
+    ///
+    /// ```
+    /// use stats::Sampler;
+    ///
+    /// let base = Sampler::from_seed(9);
+    /// let x: Vec<f64> = (0..4).map(|i| base.stream(i).uniform()).collect();
+    /// let y: Vec<f64> = (0..4).map(|i| base.stream(i).uniform()).collect();
+    /// assert_eq!(x, y); // pure: the base sampler never advances
+    /// ```
+    #[must_use]
+    pub fn stream(&self, salt: u64) -> Sampler {
+        self.clone().fork(salt)
     }
 
     /// Uniform deviate in `[0, 1)`.
@@ -183,6 +226,23 @@ mod tests {
         let x1: Vec<f64> = (0..16).map(|_| c1.uniform()).collect();
         let x2: Vec<f64> = (0..16).map(|_| c2.uniform()).collect();
         assert_ne!(x1, x2);
+    }
+
+    #[test]
+    fn stream_is_pure_and_matches_fork() {
+        let base = Sampler::from_seed(321);
+        let mut mutating = base.clone();
+        let mut via_fork = mutating.fork(5);
+        let mut via_stream = base.stream(5);
+        for _ in 0..32 {
+            assert_eq!(via_fork.uniform(), via_stream.uniform());
+        }
+        // stream() left the base untouched: a second derivation agrees.
+        let mut again = base.stream(5);
+        let mut third = base.stream(5);
+        for _ in 0..32 {
+            assert_eq!(again.uniform(), third.uniform());
+        }
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Streaming moment accumulation (Welford's online algorithm).
+//!
+//! Monte Carlo loops that run for millions of samples — and the parallel
+//! executor that shards them across workers — cannot afford to buffer every
+//! sample just to compute a mean and a variance at the end. [`Welford`]
+//! accumulates count / mean / M2 (plus min and max) one observation at a
+//! time in O(1) memory, and two accumulators combine exactly with
+//! [`Welford::merge`] (the pairwise update of Chan, Golub & LeVeque), which
+//! is how per-worker partial results become one aggregate.
+//!
+//! # Example
+//!
+//! ```
+//! use stats::{Summary, Welford};
+//!
+//! let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+//! // Stream the first half into one accumulator, the second into another.
+//! let mut a = Welford::new();
+//! let mut b = Welford::new();
+//! xs[..4].iter().for_each(|&x| a.push(x));
+//! xs[4..].iter().for_each(|&x| b.push(x));
+//! a.merge(&b);
+//! let s = Summary::from_slice(&xs);
+//! assert!((a.mean() - s.mean).abs() < 1e-12);
+//! assert!((a.variance() - s.variance).abs() < 1e-12);
+//! assert_eq!(a.count(), 8);
+//! ```
+
+/// Streaming mean/variance/extrema accumulator.
+///
+/// `variance()` is the unbiased (n-1) estimator, matching
+/// [`crate::Summary`]. An empty accumulator reports a mean and variance of
+/// zero and infinite extrema; merge with an empty accumulator is the
+/// identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean.
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Welford::new()
+    }
+}
+
+impl Welford {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Accumulates a slice in order (convenience for tests and back-fills).
+    #[must_use]
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut w = Welford::new();
+        for &x in xs {
+            w.push(x);
+        }
+        w
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        // d2 uses the *updated* mean: the numerically stable Welford form.
+        let d2 = x - self.mean;
+        self.m2 += d * d2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Combines another accumulator into this one, as if every observation
+    /// of `other` had been pushed here (up to floating-point rounding; the
+    /// exact grouping of observations into accumulators affects the last
+    /// few bits, so bit-reproducible pipelines must fix the merge order).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let na = self.n as f64;
+        let nb = other.n as f64;
+        let n = na + nb;
+        let delta = other.mean - self.mean;
+        self.mean += delta * nb / n;
+        self.m2 += other.m2 + delta * delta * na * nb / n;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// True when no observations have been accumulated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Running mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 for fewer than two observations).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.n > 1 {
+            self.m2 / (self.n as f64 - 1.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Half-width of the confidence interval on the mean, `z · s / √n`
+    /// (e.g. `z = 1.96` for 95%). Infinite for fewer than two observations,
+    /// so width-based stopping rules never fire prematurely.
+    #[must_use]
+    pub fn ci_half_width(&self, z: f64) -> f64 {
+        if self.n < 2 {
+            f64::INFINITY
+        } else {
+            z * self.std() / (self.n as f64).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::Summary;
+    use crate::sampler::Sampler;
+
+    #[test]
+    fn streaming_matches_summary() {
+        let mut s = Sampler::from_seed(17);
+        let xs: Vec<f64> = (0..500).map(|_| s.normal(3.0, 2.0)).collect();
+        let w = Welford::from_slice(&xs);
+        let sum = Summary::from_slice(&xs);
+        assert_eq!(w.count(), 500);
+        assert!((w.mean() - sum.mean).abs() < 1e-12 * sum.mean.abs());
+        assert!((w.variance() - sum.variance).abs() < 1e-12 * sum.variance);
+        assert_eq!(w.min(), sum.min);
+        assert_eq!(w.max(), sum.max);
+    }
+
+    #[test]
+    fn merge_matches_from_slice_summary() {
+        // The Welford::merge contract: any partitioning of a sample into
+        // sub-accumulators merges to the moments of the whole sample.
+        let mut s = Sampler::from_seed(23);
+        let xs: Vec<f64> = (0..377).map(|_| s.normal(-1.0, 0.7)).collect();
+        let sum = Summary::from_slice(&xs);
+        for split in [1, 10, 188, 376] {
+            let mut a = Welford::from_slice(&xs[..split]);
+            let b = Welford::from_slice(&xs[split..]);
+            a.merge(&b);
+            assert_eq!(a.count() as usize, xs.len());
+            assert!((a.mean() - sum.mean).abs() < 1e-12, "split {split}");
+            assert!(
+                (a.variance() - sum.variance).abs() < 1e-12 * sum.variance,
+                "split {split}: {} vs {}",
+                a.variance(),
+                sum.variance
+            );
+            assert_eq!(a.min(), sum.min);
+            assert_eq!(a.max(), sum.max);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let w0 = Welford::from_slice(&[1.0, 2.0, 3.0]);
+        let mut w = w0;
+        w.merge(&Welford::new());
+        assert_eq!(w, w0);
+        let mut e = Welford::new();
+        e.merge(&w0);
+        assert_eq!(e, w0);
+    }
+
+    #[test]
+    fn empty_and_single_point_edge_cases() {
+        let e = Welford::new();
+        assert!(e.is_empty());
+        assert_eq!(e.variance(), 0.0);
+        assert!(e.ci_half_width(1.96).is_infinite());
+        let mut w = Welford::new();
+        w.push(42.0);
+        assert_eq!(w.mean(), 42.0);
+        assert_eq!(w.variance(), 0.0);
+        assert!(w.ci_half_width(1.96).is_infinite());
+        assert_eq!(w.min(), 42.0);
+        assert_eq!(w.max(), 42.0);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let mut s = Sampler::from_seed(5);
+        let mut w = Welford::new();
+        for _ in 0..100 {
+            w.push(s.normal(0.0, 1.0));
+        }
+        let wide = w.ci_half_width(1.96);
+        for _ in 0..9900 {
+            w.push(s.normal(0.0, 1.0));
+        }
+        let narrow = w.ci_half_width(1.96);
+        assert!(narrow < wide / 5.0, "{narrow} vs {wide}");
+    }
+}

@@ -9,7 +9,8 @@
 use statvs::circuits::cells::InverterSizing;
 use statvs::circuits::delay::{DelayBench, GateKind};
 use statvs::stats::histogram::Histogram;
-use statvs::stats::Summary;
+use statvs::stats::{Sampler, Summary};
+use statvs::vscore::mc::{McFactory, ParallelRunner};
 use statvs::vscore::pipeline::{extract_statistical_vs_model, ExtractionConfig};
 
 const N_SAMPLES: usize = 150;
@@ -24,39 +25,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sz = InverterSizing::from_nm(600.0, 300.0, 40.0);
 
     for family in ["vs (statistical)", "bsim (golden kit)"] {
-        let mut delays = Vec::with_capacity(N_SAMPLES);
-        // One elaborated bench per family: trials swap freshly drawn
-        // devices into the live session instead of rebuilding the netlist.
-        let mut bench: Option<DelayBench> = None;
-        for trial in 0..N_SAMPLES {
-            // One independent mismatch draw per transistor per trial.
-            let mut factory = if family.starts_with("vs") {
-                statvs::vscore::mc::McFactory::vs(
-                    report.nmos.fit.params,
-                    report.pmos.fit.params,
-                    report.nmos.extracted,
-                    report.pmos.extracted,
-                    statvs::stats::Sampler::from_seed(100 + trial as u64),
-                )
-            } else {
-                statvs::vscore::mc::McFactory::bsim(
-                    report.kit.nmos.params,
-                    report.kit.pmos.params,
-                    report.nmos.truth,
-                    report.pmos.truth,
-                    statvs::stats::Sampler::from_seed(100 + trial as u64),
-                )
-            };
-            let b = match bench.as_mut() {
-                Some(b) => {
-                    b.resample(&mut factory);
-                    b
-                }
-                None => bench.insert(DelayBench::fo3(GateKind::Inverter, sz, VDD, &mut factory)),
-            };
-            let dt = b.default_dt();
-            delays.push(b.measure_delay(dt)?);
+        // A factory template per family; each Monte Carlo sample re-arms it
+        // with that sample's deterministically derived stream.
+        let template = if family.starts_with("vs") {
+            McFactory::vs(
+                report.nmos.fit.params,
+                report.pmos.fit.params,
+                report.nmos.extracted,
+                report.pmos.extracted,
+                Sampler::from_seed(0),
+            )
+        } else {
+            McFactory::bsim(
+                report.kit.nmos.params,
+                report.kit.pmos.params,
+                report.nmos.truth,
+                report.pmos.truth,
+                Sampler::from_seed(0),
+            )
+        };
+        // Shard samples across every available core: each worker
+        // elaborates its own bench once, then swaps freshly drawn devices
+        // into the live session per sample instead of rebuilding netlists.
+        let outcome = ParallelRunner::new(100).run_scalar(
+            N_SAMPLES,
+            |_, setup| {
+                let mut f = template.clone();
+                f.set_sampler(setup.clone());
+                Ok::<_, statvs::spice::SpiceError>(DelayBench::fo3(
+                    GateKind::Inverter,
+                    sz,
+                    VDD,
+                    &mut f,
+                ))
+            },
+            |bench, sampler, _| {
+                let mut f = template.clone();
+                f.set_sampler(sampler.clone());
+                bench.resample(&mut f);
+                let dt = bench.default_dt();
+                bench.measure_delay(dt)
+            },
+        )?;
+        if outcome.failures > 0 {
+            println!("({} functional failures skipped)", outcome.failures);
         }
+        if outcome.is_empty() {
+            return Err(format!("{family}: every Monte Carlo sample failed").into());
+        }
+        let delays = outcome.into_values();
         let s = Summary::from_slice(&delays);
         println!(
             "\n{family}: mean {:.2} ps, σ {:.3} ps ({:.1}% of mean), skew {:+.2}",

@@ -34,6 +34,16 @@
 //! and each sample's Newton solve warm-starts from the previous sample's
 //! operating point.
 //!
+//! Samples shard across cores through `vscore::mc::ParallelRunner`: each
+//! worker owns its own elaborated session (`spice::Session::replicate`),
+//! each sample draws from a stream derived purely from the seed and the
+//! sample index, and per-worker results merge through the streaming
+//! `stats::Welford` accumulator — deterministic (bit-identical sample
+//! sets and moments) for any worker count, with optional early stopping
+//! on confidence-interval width. `ARCHITECTURE.md` at the repo root
+//! diagrams the crate graph, the session lifecycle, and the parallel
+//! Monte Carlo data flow.
+//!
 //! # Quickstart
 //!
 //! See `examples/quickstart.rs` for the end-to-end flow: calibrate a golden
