@@ -74,22 +74,25 @@ impl ExperimentContext {
 
     /// A [`ParallelRunner`] seeded from the context seed and an experiment
     /// salt. Worker count defaults to the machine's available parallelism;
-    /// the `STATVS_MC_THREADS` environment variable overrides it. Every
-    /// worker count draws the same mismatch samples; warm-started bench
-    /// state can shift measured values by last-bit amounts between counts,
-    /// so pin the variable when byte-stable artifacts matter.
+    /// the `STATVS_MC_THREADS` environment variable overrides it (an
+    /// invalid value is *not* silently ignored: a warning goes to stderr
+    /// and the default is used). Every worker count draws the same mismatch
+    /// samples; warm-started bench state can shift measured values by
+    /// last-bit amounts between counts, so pin the variable when
+    /// byte-stable artifacts matter.
     pub fn runner(&self, salt: u64) -> ParallelRunner {
         let runner = ParallelRunner::new(
             self.seed
                 .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                 .wrapping_add(salt),
         );
-        match std::env::var("STATVS_MC_THREADS")
-            .ok()
-            .and_then(|s| s.parse().ok())
-        {
-            Some(n) => runner.workers(n),
-            None => runner,
+        match parse_mc_threads(std::env::var("STATVS_MC_THREADS").ok().as_deref()) {
+            Ok(Some(n)) => runner.workers(n),
+            Ok(None) => runner,
+            Err(msg) => {
+                eprintln!("warning: {msg}; using machine parallelism");
+                runner
+            }
         }
     }
 
@@ -104,5 +107,43 @@ impl ExperimentContext {
         };
         f.set_sampler(sampler);
         f
+    }
+}
+
+/// Parses a `STATVS_MC_THREADS` override: `Ok(None)` when unset,
+/// `Ok(Some(n))` for a positive integer (surrounding whitespace allowed),
+/// and a human-readable `Err` for anything else — a typo like `fourr` or
+/// `0` must not silently fall back to machine parallelism.
+fn parse_mc_threads(raw: Option<&str>) -> Result<Option<usize>, String> {
+    let Some(s) = raw else { return Ok(None) };
+    match s.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "STATVS_MC_THREADS must be a positive worker count, got {s:?}"
+        )),
+        Ok(n) => Ok(Some(n)),
+        Err(e) => Err(format!("invalid STATVS_MC_THREADS value {s:?}: {e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_mc_threads;
+
+    #[test]
+    fn thread_override_parses_positive_integers() {
+        assert_eq!(parse_mc_threads(None), Ok(None));
+        assert_eq!(parse_mc_threads(Some("1")), Ok(Some(1)));
+        assert_eq!(parse_mc_threads(Some("16")), Ok(Some(16)));
+        assert_eq!(parse_mc_threads(Some("  4 ")), Ok(Some(4)));
+    }
+
+    #[test]
+    fn thread_override_rejects_garbage_loudly() {
+        // The PR-2 regression: "fourr" silently ran at machine parallelism.
+        assert!(parse_mc_threads(Some("fourr")).is_err());
+        assert!(parse_mc_threads(Some("")).is_err());
+        assert!(parse_mc_threads(Some("4.0")).is_err());
+        assert!(parse_mc_threads(Some("-2")).is_err());
+        assert!(parse_mc_threads(Some("0")).is_err());
     }
 }

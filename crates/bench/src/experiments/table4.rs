@@ -79,7 +79,10 @@ fn run_workload(
             .map(|o| o.len()),
         _ => {
             // The paper's "SRAM AC": small-signal sweep of the read-
-            // disturb transfer, 25 log-spaced points per sample.
+            // disturb transfer, 26 log-spaced points per sample, on the
+            // batched AC path — each worker's ReadDisturbBench warm-starts
+            // consecutive samples' operating points through
+            // Session::ac_batch and reuses one AcWorkspace.
             let sram_freqs = spice::ac::log_sweep(1e6, 1e11, 5);
             let sz = SramSizing::default();
             runner

@@ -447,7 +447,12 @@ impl SnmBench {
 }
 
 /// A persistent read-disturb AC bench on the full 6T cell: elaborated once,
-/// resampled in place per Monte Carlo trial.
+/// resampled in place per Monte Carlo trial, swept through the session's
+/// batched AC path ([`Session::ac_batch`]) — consecutive
+/// `resample`→[`ReadDisturbBench::run`] iterations warm-start the operating
+/// point from the previous sample and reuse one AC workspace, amortizing
+/// the guessed DC solve and all linearization/complex-system allocation
+/// across the batch.
 #[derive(Debug)]
 pub struct ReadDisturbBench {
     session: Session,
@@ -499,14 +504,16 @@ impl ReadDisturbBench {
     }
 
     /// Per-frequency transfer magnitudes from the bit line into the low
-    /// storage node (see [`read_disturb_ac`]).
+    /// storage node (see [`read_disturb_ac`]), via the batched AC path:
+    /// the first call selects the "l low" state from the guess, subsequent
+    /// calls warm-start from the previous sample's operating point.
     ///
     /// # Errors
     ///
     /// Propagates operating-point and AC-solve failures.
     pub fn run(&mut self, freqs: &[f64]) -> Result<Vec<f64>, SpiceError> {
         let guess = [(self.l, 0.0), (self.r, self.vdd)];
-        let ac = self.session.ac_owned("VBL", freqs, &guess)?;
+        let ac = self.session.ac_batch("VBL", freqs, &guess)?;
         Ok(ac.magnitudes(self.l))
     }
 }

@@ -4,15 +4,23 @@
 //! capacitance matrices `(G, C)`, then solves `(G + jωC) x = b` across a
 //! frequency sweep with a unit-magnitude excitation on one voltage source —
 //! the analysis the paper's Table IV runs on the SRAM cell ("SRAM AC").
-//! Run it through [`crate::session::Analysis::Ac`]; the [`Circuit`] methods
-//! below are deprecated one-shot shims.
+//!
+//! Run it through [`crate::session::Analysis::Ac`] (or the
+//! [`crate::Session::ac`]/[`crate::Session::ac_owned`] wrappers); Monte
+//! Carlo loops that resample devices between sweeps should use
+//! [`crate::Session::ac_batch`], which warm-starts the operating point from
+//! the previous sample. Either way the heavy lifting happens in an
+//! [`AcWorkspace`]: one pair of real `(G, C)` matrices refilled in place
+//! per linearization ([`Circuit::linearize_into`]), and one complex matrix,
+//! one factorization, and one right-hand side reused for every frequency
+//! point ([`CMatrix::assign_gc`] + [`numerics::complex::CLu`]) — the sweep
+//! hot loop performs no allocation beyond the returned solution vectors.
 
 use crate::elements::Element;
 use crate::error::SpiceError;
 use crate::netlist::{Circuit, NodeId};
-use crate::session::Session;
 use mosfet::Bias;
-use numerics::complex::{CMatrix, C64};
+use numerics::complex::{CLu, CMatrix, C64};
 use numerics::Matrix;
 
 /// Perturbation step for small-signal linearization (V).
@@ -22,8 +30,11 @@ const FD_STEP: f64 = 1e-6;
 #[derive(Debug, Clone)]
 pub struct AcResult {
     freqs: Vec<f64>,
-    /// One complex unknown vector per frequency point.
-    solutions: Vec<Vec<C64>>,
+    /// Unknown vectors of all frequency points, concatenated (point `k`
+    /// occupies `k*n..(k+1)*n`) — one allocation per sweep.
+    solutions: Vec<C64>,
+    /// Unknowns per frequency point.
+    n: usize,
 }
 
 impl AcResult {
@@ -39,7 +50,7 @@ impl AcResult {
     pub fn voltages(&self, node: NodeId) -> Vec<C64> {
         match node.unknown() {
             None => vec![C64::ZERO; self.freqs.len()],
-            Some(i) => self.solutions.iter().map(|x| x[i]).collect(),
+            Some(i) => self.solutions.chunks_exact(self.n).map(|x| x[i]).collect(),
         }
     }
 
@@ -54,62 +65,6 @@ impl AcResult {
     pub fn phases(&self, node: NodeId) -> Vec<f64> {
         self.voltages(node).into_iter().map(C64::arg).collect()
     }
-
-    /// Deprecated alias of [`AcResult::voltages`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "renamed to voltages (trace accessors are plural)"
-    )]
-    #[must_use]
-    pub fn voltage(&self, node: NodeId) -> Vec<C64> {
-        self.voltages(node)
-    }
-
-    /// Deprecated alias of [`AcResult::magnitudes`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "renamed to magnitudes (trace accessors are plural)"
-    )]
-    #[must_use]
-    pub fn magnitude(&self, node: NodeId) -> Vec<f64> {
-        self.magnitudes(node)
-    }
-
-    /// Deprecated alias of [`AcResult::phases`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "renamed to phases (trace accessors are plural)"
-    )]
-    #[must_use]
-    pub fn phase(&self, node: NodeId) -> Vec<f64> {
-        self.phases(node)
-    }
-}
-
-/// Solves a linearized system across a frequency sweep with a unit
-/// excitation on the `src_idx`-th voltage source. Shared by the session
-/// engine and the legacy shims.
-pub(crate) fn sweep_linearized(
-    lin: &Linearized,
-    src_idx: usize,
-    freqs: &[f64],
-) -> Result<AcResult, SpiceError> {
-    let n = lin.g.rows();
-    let mut b = vec![C64::ZERO; n];
-    b[lin.nn + src_idx] = C64::ONE;
-    let mut solutions = Vec::with_capacity(freqs.len());
-    for &f in freqs {
-        let omega = 2.0 * std::f64::consts::PI * f;
-        let m = CMatrix::from_gc(&lin.g, &lin.c, omega);
-        let x = m.solve(&b).map_err(|e| SpiceError::SingularSystem {
-            context: format!("AC point at {f:.3e} Hz: {e}"),
-        })?;
-        solutions.push(x);
-    }
-    Ok(AcResult {
-        freqs: freqs.to_vec(),
-        solutions,
-    })
 }
 
 /// Small-signal matrices at an operating point.
@@ -122,14 +77,49 @@ pub struct Linearized {
     nn: usize,
 }
 
+impl Linearized {
+    /// Allocates zeroed small-signal matrices sized for `circuit` — the
+    /// storage [`Circuit::linearize_into`] refills per operating point.
+    #[must_use]
+    pub fn for_circuit(circuit: &Circuit) -> Self {
+        let n = circuit.n_unknowns();
+        Linearized {
+            g: Matrix::zeros(n, n),
+            c: Matrix::zeros(n, n),
+            nn: circuit.node_count() - 1,
+        }
+    }
+}
+
 impl Circuit {
     /// Linearizes every element at the operating-point unknown vector
     /// `x_op` (as returned by [`crate::dc::DcResult::raw`]).
     pub fn linearize(&self, x_op: &[f64]) -> Linearized {
+        let mut lin = Linearized::for_circuit(self);
+        self.linearize_into(x_op, &mut lin);
+        lin
+    }
+
+    /// [`Circuit::linearize`] into existing storage — no allocation. The
+    /// Monte Carlo hot path: one [`Linearized`] is refilled per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lin` was not sized for this circuit (see
+    /// [`Linearized::for_circuit`]).
+    pub fn linearize_into(&self, x_op: &[f64], lin: &mut Linearized) {
         let nn = self.node_count() - 1;
         let n = self.n_unknowns();
-        let mut g = Matrix::zeros(n, n);
-        let mut c = Matrix::zeros(n, n);
+        assert!(
+            lin.g.rows() == n && lin.c.rows() == n && lin.nn == nn,
+            "linearize_into: storage sized for order {} (nn {}), circuit has {n} ({nn})",
+            lin.g.rows(),
+            lin.nn,
+        );
+        lin.g.fill_zero();
+        lin.c.fill_zero();
+        let g = &mut lin.g;
+        let c = &mut lin.c;
         let volt = |node: NodeId| node.unknown().map_or(0.0, |i| x_op[i]);
         let stamp_g = |gm: &mut Matrix, a: Option<usize>, b: Option<usize>, v: f64| {
             if let Some(i) = a {
@@ -147,10 +137,10 @@ impl Circuit {
         for e in self.elements() {
             match e {
                 Element::Resistor { a, b, r, .. } => {
-                    stamp_g(&mut g, a.unknown(), b.unknown(), 1.0 / r);
+                    stamp_g(g, a.unknown(), b.unknown(), 1.0 / r);
                 }
                 Element::Capacitor { a, b, c: cap, .. } => {
-                    stamp_g(&mut c, a.unknown(), b.unknown(), *cap);
+                    stamp_g(c, a.unknown(), b.unknown(), *cap);
                 }
                 Element::Vsource { pos, neg, .. } => {
                     let row = nn + v_idx;
@@ -277,56 +267,130 @@ impl Circuit {
         for i in 0..nn {
             g[(i, i)] += 1e-12;
         }
-        Linearized { g, c, nn }
+    }
+}
+
+/// Reusable AC sweep scratch: real `(G, C)` linearization storage plus the
+/// complex system `(G + jωC)`, its LU factorization, and the right-hand
+/// side, all allocated once and refilled per operating point / frequency.
+///
+/// [`crate::Session`] caches one of these and routes every
+/// [`crate::session::Analysis::Ac`] request (and [`crate::Session::ac_batch`])
+/// through it; build one directly when driving sweeps from your own
+/// operating points.
+///
+/// # Example
+///
+/// ```
+/// use spice::ac::AcWorkspace;
+/// use spice::{Circuit, Session, Waveform};
+///
+/// # fn main() -> Result<(), spice::SpiceError> {
+/// // An RC low-pass: |H(fc)| = 1/sqrt(2) at the corner.
+/// let mut c = Circuit::new();
+/// let vin = c.node("in");
+/// let out = c.node("out");
+/// c.vsource("V1", vin, Circuit::GROUND, Waveform::dc(0.0));
+/// c.resistor("R1", vin, out, 1e3);
+/// c.capacitor("C1", out, Circuit::GROUND, 1e-9);
+/// let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-9);
+///
+/// let mut s = Session::elaborate(c.clone())?;
+/// let op = s.dc_owned()?;
+/// let mut ws = AcWorkspace::for_circuit(&c);
+/// let res = ws.sweep(&c, op.raw(), "V1", &[fc])?;
+/// assert!((res.magnitudes(out)[0] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+/// // Re-sweeping reuses every buffer — no further allocation of matrices.
+/// let _again = ws.sweep(&c, op.raw(), "V1", &[fc / 10.0, fc, fc * 10.0])?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcWorkspace {
+    lin: Linearized,
+    /// Assembled `G + jωC` for the current frequency point.
+    m: CMatrix,
+    /// Reused complex LU storage (initialized on the first point).
+    lu: Option<CLu>,
+    /// Unit-excitation right-hand side.
+    b: Vec<C64>,
+    /// Solution scratch for the current point.
+    x: Vec<C64>,
+}
+
+impl AcWorkspace {
+    /// Allocates a workspace sized for `circuit`.
+    #[must_use]
+    pub fn for_circuit(circuit: &Circuit) -> Self {
+        let n = circuit.n_unknowns();
+        AcWorkspace {
+            lin: Linearized::for_circuit(circuit),
+            m: CMatrix::zeros(n),
+            lu: None,
+            b: vec![C64::ZERO; n],
+            x: vec![C64::ZERO; n],
+        }
     }
 
-    /// Runs an AC sweep: solves the operating point, linearizes, applies a
-    /// unit AC magnitude to the voltage source named `source`, and solves
-    /// at each frequency.
+    /// Linearizes `circuit` at `x_op`, applies a unit AC excitation to the
+    /// voltage source named `source`, and solves at every frequency —
+    /// refilling this workspace's storage instead of allocating.
     ///
     /// # Errors
     ///
-    /// Fails if the operating point cannot be found, the source is missing,
-    /// the frequency list is empty/non-positive, or a frequency point is
-    /// singular.
-    #[deprecated(
-        since = "0.2.0",
-        note = "elaborate a spice::Session once and call Session::ac"
-    )]
-    pub fn ac_sweep(&self, source: &str, freqs: &[f64]) -> Result<AcResult, SpiceError> {
-        Session::elaborate(self.clone())?.ac_owned(source, freqs, &[])
-    }
-
-    /// [`Circuit::ac_sweep`] around a caller-supplied operating point —
-    /// needed for bistable circuits where the caller selects the state via
-    /// a guessed DC solve.
+    /// Fails if the source is missing, the frequency list is
+    /// empty/non-positive, or a frequency point is singular.
     ///
-    /// # Errors
+    /// # Panics
     ///
-    /// Same as [`Circuit::ac_sweep`], minus operating-point search.
-    #[deprecated(
-        since = "0.2.0",
-        note = "elaborate a spice::Session once and call Session::ac_with_guess \
-                (the session solves the guessed operating point itself)"
-    )]
-    pub fn ac_sweep_from_op(
-        &self,
+    /// Panics if the workspace was sized for a different circuit layout
+    /// (see [`AcWorkspace::for_circuit`]).
+    pub fn sweep(
+        &mut self,
+        circuit: &Circuit,
+        x_op: &[f64],
         source: &str,
         freqs: &[f64],
-        op: &crate::dc::DcResult,
     ) -> Result<AcResult, SpiceError> {
         if freqs.is_empty() || freqs.iter().any(|&f| f <= 0.0) {
             return Err(SpiceError::InvalidArgument {
                 context: "AC sweep needs positive frequencies".into(),
             });
         }
-        let src_idx = self.vsource_index(source)?;
-        let lin = self.linearize(op.raw());
-        sweep_linearized(&lin, src_idx, freqs)
+        let src_idx = circuit.vsource_index(source)?;
+        circuit.linearize_into(x_op, &mut self.lin);
+        self.b.iter_mut().for_each(|v| *v = C64::ZERO);
+        self.b[self.lin.nn + src_idx] = C64::ONE;
+        let n = self.b.len();
+        let mut solutions = Vec::with_capacity(freqs.len() * n);
+        for &f in freqs {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            self.m.assign_gc(&self.lin.g, &self.lin.c, omega);
+            let singular = |e| SpiceError::SingularSystem {
+                context: format!("AC point at {f:.3e} Hz: {e}"),
+            };
+            let lu = match self.lu.as_mut() {
+                Some(lu) => {
+                    lu.refactor(&self.m).map_err(singular)?;
+                    lu
+                }
+                None => self.lu.insert(CLu::factor(&self.m).map_err(singular)?),
+            };
+            lu.solve_into(&self.b, &mut self.x).map_err(singular)?;
+            solutions.extend_from_slice(&self.x);
+        }
+        Ok(AcResult {
+            freqs: freqs.to_vec(),
+            solutions,
+            n,
+        })
     }
 }
 
-/// Logarithmically spaced frequency points (decade sweep).
+/// Logarithmically spaced frequency points (decade sweep), starting at
+/// `f_start` and always ending exactly at `f_stop` — for non-integer decade
+/// spans the last regular point past `f_stop` is replaced by `f_stop`
+/// itself, so the sweep covers its full range.
 ///
 /// # Panics
 ///
@@ -335,15 +399,20 @@ pub fn log_sweep(f_start: f64, f_stop: f64, points_per_decade: usize) -> Vec<f64
     assert!(f_start > 0.0 && f_stop > f_start && points_per_decade > 0);
     let decades = (f_stop / f_start).log10();
     let n = (decades * points_per_decade as f64).ceil() as usize + 1;
-    (0..n)
+    let mut freqs: Vec<f64> = (0..n)
         .map(|i| f_start * 10f64.powf(i as f64 / points_per_decade as f64))
-        .filter(|&f| f <= f_stop * 1.0001)
-        .collect()
+        // Strictly below f_stop with a relative guard, so an integer-decade
+        // span does not emit a rounding-level near-duplicate of the stop.
+        .filter(|&f| f < f_stop * (1.0 - 1e-9))
+        .collect();
+    freqs.push(f_stop);
+    freqs
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
     use crate::waveform::Waveform;
     use mosfet::{vs::VsModel, Geometry};
 
@@ -417,6 +486,26 @@ mod tests {
         let f = log_sweep(1e3, 1e6, 10);
         assert_eq!(f.len(), 31);
         assert!((f[10] / f[0] - 10.0).abs() < 1e-9);
+        // Integer decade span: ends exactly at the stop, no near-duplicate.
+        assert_eq!(*f.last().unwrap(), 1e6);
+        assert!(f[29] < 1e6 * 0.95);
+    }
+
+    #[test]
+    fn log_sweep_reaches_stop_on_non_integer_spans() {
+        // Regression: 1e3 -> 5e5 spans 2.699 decades; the old endpoint
+        // filter dropped the final generated point and topped out at
+        // ~3.98e5 Hz, never reaching the requested stop.
+        let f = log_sweep(1e3, 5e5, 10);
+        assert_eq!(f[0], 1e3);
+        assert_eq!(*f.last().unwrap(), 5e5);
+        for w in f.windows(2) {
+            assert!(w[1] > w[0], "not ascending: {} -> {}", w[0], w[1]);
+        }
+        // The regular grid is intact below the clamped endpoint.
+        assert!((f[10] / f[0] - 10.0).abs() < 1e-9);
+        // A fractional-decade stop lands between the last two grid points.
+        assert!(f[f.len() - 2] < 5e5 && f[f.len() - 2] > 3.9e5);
     }
 
     #[test]

@@ -1,14 +1,10 @@
-//! DC result types and the legacy one-shot operating-point/sweep shims.
+//! DC result types.
 //!
 //! The solver itself lives in [`crate::session::Session`]; elaborate a
 //! session once and run [`crate::session::Analysis::Dc`] /
-//! [`crate::session::Analysis::DcSweep`] requests against it. The
-//! [`Circuit`] methods below survive as deprecated shims that build a
-//! throwaway session per call.
+//! [`crate::session::Analysis::DcSweep`] requests against it.
 
-use crate::error::SpiceError;
-use crate::netlist::{Circuit, NodeId};
-use crate::session::Session;
+use crate::netlist::NodeId;
 
 /// A solved DC operating point.
 ///
@@ -33,7 +29,8 @@ impl DcResult {
     }
 
     /// Branch current of the `k`-th voltage source (by addition order, see
-    /// [`Circuit::vsource_index`]). SPICE convention: positive current flows
+    /// [`crate::Circuit::vsource_index`]). SPICE convention: positive
+    /// current flows
     /// *into* the positive terminal (so a supply delivering power reports a
     /// negative current).
     #[must_use]
@@ -72,57 +69,10 @@ impl SweepResult {
     }
 }
 
-impl Circuit {
-    /// Solves the DC operating point.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpiceError::NoConvergence`] when all continuation
-    /// strategies fail, or netlist/singularity errors from assembly.
-    #[deprecated(
-        since = "0.2.0",
-        note = "elaborate a spice::Session once and call Session::dc — it reuses \
-                the workspace and warm starts across solves"
-    )]
-    pub fn dc_op(&self) -> Result<DcResult, SpiceError> {
-        Session::elaborate(self.clone())?.dc_owned()
-    }
-
-    /// Solves the DC operating point starting from an initial node-voltage
-    /// guess. Useful for bistable circuits (SRAM, latches): the guess
-    /// selects which stable state Newton converges to.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Circuit::dc_op`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "elaborate a spice::Session once and call Session::dc_with_guess"
-    )]
-    pub fn dc_op_with_guess(&self, guess: &[(NodeId, f64)]) -> Result<DcResult, SpiceError> {
-        Session::elaborate(self.clone())?.dc_owned_with_guess(guess)
-    }
-
-    /// Sweeps the DC value of voltage source `source` over `values`,
-    /// re-solving with warm starts. The source's waveform is restored
-    /// afterwards (the circuit is cloned internally).
-    ///
-    /// # Errors
-    ///
-    /// Fails when the source does not exist, the sweep is empty, or any
-    /// point fails to converge.
-    #[deprecated(
-        since = "0.2.0",
-        note = "elaborate a spice::Session once and call Session::dc_sweep"
-    )]
-    pub fn dc_sweep(&self, source: &str, values: &[f64]) -> Result<SweepResult, SpiceError> {
-        Session::elaborate(self.clone())?.dc_sweep_owned(source, values)
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::netlist::Circuit;
+    use crate::session::Session;
     use crate::waveform::Waveform;
 
     #[test]
@@ -198,22 +148,5 @@ mod tests {
         let op1 = s.dc_owned().unwrap();
         let op2 = s.dc_owned_with_guess(&[(a, -5.0)]).unwrap();
         assert!((op1.voltage(a) - op2.voltage(a)).abs() < 1e-9);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn legacy_shims_still_answer() {
-        let mut c = Circuit::new();
-        let a = c.node("a");
-        let m = c.node("m");
-        c.vsource("V1", a, Circuit::GROUND, Waveform::dc(1.0));
-        c.resistor("R1", a, m, 2e3);
-        c.resistor("R2", m, Circuit::GROUND, 1e3);
-        let op = c.dc_op().unwrap();
-        assert!((op.voltage(m) - 1.0 / 3.0).abs() < 1e-6);
-        let sweep = c.dc_sweep("V1", &[0.0, 1.0]).unwrap();
-        assert_eq!(sweep.points.len(), 2);
-        // The shim clones: the original circuit keeps its waveform.
-        assert!((c.dc_op().unwrap().voltage(a) - 1.0).abs() < 1e-9);
     }
 }

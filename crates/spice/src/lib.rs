@@ -17,8 +17,12 @@
 //!    [`ResultStore`], or use the `*_owned` shortcuts in hot loops.
 //! 4. **Resample in place** for Monte Carlo: [`Session::swap_devices`] /
 //!    [`Session::swap_all_mosfets`] replace MOSFET instances without
-//!    re-parsing or re-elaborating, and the next solve warm-starts from the
-//!    previous sample's operating point.
+//!    re-parsing or re-elaborating, the next solve warm-starts from the
+//!    previous sample's operating point, and stored results of the
+//!    pre-swap circuit are invalidated. AC Monte Carlo batches go through
+//!    [`Session::ac_batch`], which also amortizes the guessed
+//!    operating-point solve and the [`ac::AcWorkspace`] scratch across
+//!    samples.
 //!
 //! Analyses: nonlinear DC operating point (damped Newton-Raphson with gmin
 //! and source-stepping continuation), warm-started DC sweeps (butterfly
@@ -56,9 +60,9 @@
 //! # }
 //! ```
 //!
-//! The pre-0.2 one-shot methods (`Circuit::dc_op`, `Circuit::dc_sweep`,
-//! `Circuit::tran`, `Circuit::ac_sweep`) remain as deprecated shims for one
-//! release; each call elaborates a throwaway session.
+//! The pre-0.2 one-shot methods on `Circuit` (`dc_op`, `dc_sweep`, `tran`,
+//! `ac_sweep`, and the singular trace accessors) were deprecated in 0.2
+//! and removed in 0.3; elaborate a [`Session`] instead.
 //!
 //! Sessions are `Send`, and [`Session::replicate`] re-elaborates the same
 //! topology into an independent session — the setup step of the parallel

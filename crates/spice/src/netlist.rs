@@ -12,8 +12,11 @@ pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
     /// Index of this node's voltage among the MNA unknowns, or `None` for
-    /// ground.
-    pub(crate) fn unknown(self) -> Option<usize> {
+    /// ground — the mapping into raw unknown vectors such as
+    /// [`crate::dc::DcResult::raw`] and the solution rows of the
+    /// [`crate::ac::Linearized`] matrices.
+    #[must_use]
+    pub fn unknown(self) -> Option<usize> {
         if self.0 == 0 {
             None
         } else {

@@ -11,15 +11,15 @@
 //! * [`Session::swap_devices`] / [`Session::swap_all_mosfets`] resample
 //!   MOSFET instances *in place* — the Monte Carlo fast path: no re-parse,
 //!   no re-elaboration, and the next DC solve warm-starts from the previous
-//!   sample's operating point;
+//!   sample's operating point (stored results of the pre-swap circuit are
+//!   invalidated);
+//! * [`Session::ac_batch`] runs resample→sweep AC Monte Carlo batches,
+//!   amortizing the guessed operating-point solve and reusing one cached
+//!   [`AcWorkspace`] across all samples;
 //! * [`Session::set_source`] retargets a stimulus (setup/hold searches,
 //!   sweeps) without rebuilding the netlist.
-//!
-//! The legacy one-shot methods on [`Circuit`] (`dc_op`, `dc_sweep`, `tran`,
-//! `ac_sweep`) remain as deprecated shims that elaborate a throwaway
-//! session per call.
 
-use crate::ac::{sweep_linearized, AcResult};
+use crate::ac::{AcResult, AcWorkspace};
 use crate::dc::{DcResult, SweepResult};
 use crate::elements::Element;
 use crate::engine::{newton, Integrator, Mode, TranState, Workspace};
@@ -237,6 +237,11 @@ impl AnalysisResult {
 /// lookups binary-search. Long-lived Monte Carlo sessions should either use
 /// the `*_owned` methods on [`Session`] (which bypass the store) or call
 /// [`ResultStore::clear`] periodically.
+///
+/// In-place circuit mutation ([`Session::swap_device`] and friends,
+/// [`Session::set_source`]) invalidates the store: results recorded before
+/// the mutation describe a circuit that no longer exists, so their ids stop
+/// resolving ([`ResultStore::get`] returns `None`; ids are never reused).
 #[derive(Debug, Clone, Default)]
 pub struct ResultStore {
     runs: Vec<(RunId, AnalysisResult)>,
@@ -348,6 +353,9 @@ pub struct Session {
     /// Transient dynamic-state double buffer, reused across runs.
     state: TranState,
     state_scratch: TranState,
+    /// AC sweep scratch (linearization + complex system), allocated on the
+    /// first AC request and reused for every sweep after that.
+    ac_ws: Option<AcWorkspace>,
 }
 
 impl Session {
@@ -381,6 +389,7 @@ impl Session {
             warm: None,
             state: TranState::default(),
             state_scratch: TranState::default(),
+            ac_ws: None,
         })
     }
 
@@ -638,16 +647,29 @@ impl Session {
     /// Replaces the waveform of an existing voltage source (sweeps, setup
     /// and hold searches) without re-elaboration.
     ///
+    /// Results stored before the change describe a circuit that no longer
+    /// exists, so the [`ResultStore`] is invalidated: their [`RunId`]s stop
+    /// resolving (see [`Session::swap_device`]).
+    ///
     /// # Errors
     ///
     /// Returns [`SpiceError::BadNetlist`] when the source is missing.
     pub fn set_source(&mut self, name: &str, wave: Waveform) -> Result<(), SpiceError> {
-        self.circuit.set_vsource(name, wave)
+        self.circuit.set_vsource(name, wave)?;
+        self.store.clear();
+        Ok(())
     }
 
     /// Replaces the compact model of one MOSFET instance in place. The
     /// node/branch layout, workspace, and LU scratch all stay valid; the
     /// next DC solve warm-starts from the previous operating point.
+    ///
+    /// Results stored before the swap were computed on a circuit that no
+    /// longer exists; keeping them readable would silently mix samples, so
+    /// the [`ResultStore`] is invalidated — stale [`RunId`]s stop resolving
+    /// ([`ResultStore::get`] returns `None`). Extract anything you need
+    /// (e.g. via [`ResultStore::take`]) before mutating, or use the
+    /// `*_owned` methods, whose results the store never holds.
     ///
     /// # Errors
     ///
@@ -666,6 +688,7 @@ impl Session {
         match &mut self.circuit.elements_mut()[idx] {
             Element::Mosfet { model: slot, .. } => {
                 *slot = model;
+                self.store.clear();
                 Ok(())
             }
             _ => unreachable!("mos_by_name only indexes MOSFETs"),
@@ -673,6 +696,7 @@ impl Session {
     }
 
     /// Replaces several MOSFET models in place; returns the number swapped.
+    /// Stored results are invalidated, as for [`Session::swap_device`].
     ///
     /// # Errors
     ///
@@ -694,7 +718,8 @@ impl Session {
     /// Resamples every MOSFET in the circuit: `f` receives each instance's
     /// name and current model and returns the replacement. Returns the
     /// number of devices swapped. This is the circuit-level Monte Carlo
-    /// inner loop — pair it with a mismatch-sampling factory.
+    /// inner loop — pair it with a mismatch-sampling factory. Stored
+    /// results are invalidated, as for [`Session::swap_device`].
     pub fn swap_all_mosfets<F>(&mut self, mut f: F) -> usize
     where
         F: FnMut(&str, &dyn MosfetModel) -> Box<dyn MosfetModel>,
@@ -705,6 +730,9 @@ impl Session {
                 *model = f(name, model.as_ref());
                 n += 1;
             }
+        }
+        if n > 0 {
+            self.store.clear();
         }
         n
     }
@@ -999,23 +1027,153 @@ impl Session {
     }
 
     /// AC small-signal sweep at the (possibly guess-selected) operating
-    /// point.
+    /// point, through the cached [`AcWorkspace`].
     fn run_ac(
         &mut self,
         source: &str,
         freqs: &[f64],
         guess: Option<&[(NodeId, f64)]>,
     ) -> Result<AcResult, SpiceError> {
+        self.validate_ac_args(source, freqs)?;
+        let x_op = self.solve_dc_vec(guess)?;
+        self.sweep_ac(source, freqs, &x_op)
+    }
+
+    /// Rejects bad AC arguments *before* any operating-point work, so a
+    /// typo'd source name or empty frequency list costs no Newton solve
+    /// and leaves the warm-start state untouched. (The [`AcWorkspace`]
+    /// re-checks on its own public path.)
+    fn validate_ac_args(&self, source: &str, freqs: &[f64]) -> Result<(), SpiceError> {
         if freqs.is_empty() || freqs.iter().any(|&f| f <= 0.0) {
             return Err(SpiceError::InvalidArgument {
                 context: "AC sweep needs positive frequencies".into(),
             });
         }
-        let src_idx = self.circuit.vsource_index(source)?;
-        let x_op = self.solve_dc_vec(guess)?;
-        let lin = self.circuit.linearize(&x_op);
-        sweep_linearized(&lin, src_idx, freqs)
+        self.circuit.vsource_index(source).map(|_| ())
     }
+
+    /// Runs one AC sweep of a resample→sweep Monte Carlo batch: like
+    /// [`Session::ac_owned`] with `guess`, but the operating point
+    /// warm-starts from the previous solve whenever one exists, falling
+    /// back to the guessed continuation ladder only when plain Newton
+    /// fails. After [`Session::swap_devices`] the new operating point is a
+    /// small perturbation of the previous sample's, so consecutive calls
+    /// amortize the expensive guessed solve across the whole batch (the
+    /// linearization and complex-system storage are reused too, via the
+    /// session's cached [`AcWorkspace`]).
+    ///
+    /// The first call (or the first after
+    /// [`Session::invalidate_warm_start`]) behaves exactly like
+    /// [`Session::ac_owned`]: `guess` selects the state of bistable
+    /// circuits. Later calls keep honouring the guess: if the warm solve
+    /// converges to a *different* stable state than the guess selects
+    /// (an extreme mismatch draw flipped a marginal cell), the warm start
+    /// is discarded and the solve re-pins the basin from the guess — the
+    /// result never silently depends on the sample order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::ac_owned`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mosfet::{vs::VsModel, Geometry};
+    /// use spice::{Circuit, Session, Waveform};
+    ///
+    /// # fn main() -> Result<(), spice::SpiceError> {
+    /// // A diode-connected NMOS under a 1 kΩ load: one stable state, so
+    /// // the guess is empty; the second sweep warm-starts.
+    /// let mut c = Circuit::new();
+    /// let vdd = c.node("vdd");
+    /// let d = c.node("d");
+    /// c.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(0.9));
+    /// c.resistor("RL", vdd, d, 1e3);
+    /// let nom = || VsModel::nominal_nmos_40nm(Geometry::from_nm(300.0, 40.0));
+    /// c.mosfet("MN", d, d, Circuit::GROUND, Circuit::GROUND, Box::new(nom()));
+    /// let mut s = Session::elaborate(c)?;
+    /// let first = s.ac_batch("VDD", &[1e9], &[])?;
+    /// s.swap_device("MN", Box::new(nom()))?; // Monte Carlo resample
+    /// let second = s.ac_batch("VDD", &[1e9], &[])?;
+    /// let (a, b) = (first.magnitudes(d)[0], second.magnitudes(d)[0]);
+    /// assert!((a - b).abs() < 1e-9 * a);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn ac_batch(
+        &mut self,
+        source: &str,
+        freqs: &[f64],
+        guess: &[(NodeId, f64)],
+    ) -> Result<AcResult, SpiceError> {
+        self.validate_ac_args(source, freqs)?;
+        let x_op = self.solve_dc_warm_or_guess(guess)?;
+        self.sweep_ac(source, freqs, &x_op)
+    }
+
+    /// Warm-or-guess DC solve backing [`Session::ac_batch`]: plain Newton
+    /// from the previous operating point when one exists, otherwise (or on
+    /// failure, or when the warm solution lands in a different stable
+    /// state than `guess` selects) the full guessed path of
+    /// [`Session::dc_with_guess`].
+    fn solve_dc_warm_or_guess(&mut self, guess: &[(NodeId, f64)]) -> Result<Vec<f64>, SpiceError> {
+        if let Some(w) = self.warm.clone() {
+            let dc = Mode::Dc {
+                gmin: 0.0,
+                source_scale: 1.0,
+            };
+            if let Ok(x) = newton(&self.circuit, &w, &dc, &mut self.ws) {
+                if basin_matches(&x, guess) {
+                    self.warm = Some(x.clone());
+                    return Ok(x);
+                }
+                // Converged, but in the wrong stable state: the previous
+                // sample's basin no longer corresponds to the guess (e.g.
+                // an extreme draw flipped a marginal cell). Fall through
+                // and re-pin from the guess, so batch results never depend
+                // on sample order.
+            }
+            // Stale warm start (e.g. an extreme mismatch draw): retry from
+            // the caller's guess as a cold ac_with_guess would.
+            self.warm = None;
+        }
+        self.solve_dc_vec(if guess.is_empty() { None } else { Some(guess) })
+    }
+
+    /// Sweeps the cached [`AcWorkspace`] at a solved operating point.
+    fn sweep_ac(
+        &mut self,
+        source: &str,
+        freqs: &[f64],
+        x_op: &[f64],
+    ) -> Result<AcResult, SpiceError> {
+        let ws = self
+            .ac_ws
+            .get_or_insert_with(|| AcWorkspace::for_circuit(&self.circuit));
+        ws.sweep(&self.circuit, x_op, source, freqs)
+    }
+}
+
+/// True when the solved unknown vector `x` lies in the stable state the
+/// guess selects: every guessed node must sit within half the guess span
+/// (max minus min guessed value) of its guessed voltage. A flipped latch
+/// node is a full span away, a merely disturbed one (e.g. the read-upset
+/// low node of an SRAM cell) well under half. A guess naming fewer than
+/// two distinct values carries no basin information and always matches.
+fn basin_matches(x: &[f64], guess: &[(NodeId, f64)]) -> bool {
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(_, v) in guess {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = hi - lo;
+    if !(span > 0.0) {
+        return true;
+    }
+    guess.iter().all(|&(node, v)| match node.unknown() {
+        Some(i) => (x[i] - v).abs() <= 0.5 * span,
+        None => true,
+    })
 }
 
 #[cfg(test)]
@@ -1250,6 +1408,136 @@ mod tests {
         let v2 = res2.voltages(out);
         for (a, b) in v.iter().zip(&v2) {
             assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn swap_invalidates_stored_results() {
+        let (c, out) = inverter(0.9, 0.45);
+        let mut s = Session::elaborate(c).unwrap();
+        let id = s.run(Analysis::dc()).unwrap();
+        assert!(s.results().dc(id).is_some());
+        // In-place mutation: the stored run described a different circuit.
+        s.swap_device(
+            "MN",
+            Box::new(VsModel::nominal_nmos_40nm(Geometry::from_nm(150.0, 40.0))),
+        )
+        .unwrap();
+        assert!(
+            s.results().get(id).is_none(),
+            "stale RunId must not resolve"
+        );
+        assert!(s.results().is_empty());
+        // Ids keep increasing across the invalidation.
+        let id2 = s.run(Analysis::dc()).unwrap();
+        assert!(id2 > id);
+        assert!(s.results().dc(id2).is_some());
+        // swap_all_mosfets and set_source invalidate too.
+        s.swap_all_mosfets(|_, old| old.clone_box());
+        assert!(s.results().get(id2).is_none());
+        let id3 = s.run(Analysis::dc()).unwrap();
+        s.set_source("VIN", Waveform::dc(0.4)).unwrap();
+        assert!(s.results().get(id3).is_none());
+        let _ = out;
+    }
+
+    /// An asymmetric cross-coupled inverter pair (latch): two stable
+    /// states with distinct small-signal transfers.
+    fn latch() -> (Circuit, NodeId, NodeId) {
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource("VDD", vdd, Circuit::GROUND, Waveform::dc(0.9));
+        let nmos = |w| Box::new(VsModel::nominal_nmos_40nm(Geometry::from_nm(w, 40.0)));
+        let pmos = |w| Box::new(VsModel::nominal_pmos_40nm(Geometry::from_nm(w, 40.0)));
+        // Inverter 1 (input a, output b) is stronger than inverter 2.
+        c.mosfet("MP1", b, a, vdd, vdd, pmos(600.0));
+        c.mosfet("MN1", b, a, Circuit::GROUND, Circuit::GROUND, nmos(300.0));
+        c.mosfet("MP2", a, b, vdd, vdd, pmos(300.0));
+        c.mosfet("MN2", a, b, Circuit::GROUND, Circuit::GROUND, nmos(150.0));
+        (c, a, b)
+    }
+
+    #[test]
+    fn ac_batch_repins_basin_when_warm_state_disagrees_with_guess() {
+        let (c, a, b) = latch();
+        let freqs = [1e9];
+        // Park the session's warm start in the "a high" state...
+        let mut s = Session::elaborate(c.clone()).unwrap();
+        let op = s.dc_owned_with_guess(&[(a, 0.9), (b, 0.0)]).unwrap();
+        assert!(op.voltage(a) > 0.6, "latch must latch: {}", op.voltage(a));
+        // ...then request the opposite basin: the warm Newton solve
+        // converges (to the wrong state) and must be discarded.
+        let guess = [(a, 0.0), (b, 0.9)];
+        let got = s.ac_batch("VDD", &freqs, &guess).unwrap();
+        let mut fresh = Session::elaborate(c.clone()).unwrap();
+        let want = fresh.ac_owned("VDD", &freqs, &guess).unwrap();
+        for node in [a, b] {
+            let (x, y) = (got.magnitudes(node)[0], want.magnitudes(node)[0]);
+            assert!((x - y).abs() < 1e-9 * y.max(1e-12), "{x} vs {y}");
+        }
+        // The check is not vacuous: the two states have visibly different
+        // transfers in this asymmetric latch.
+        let mut flipped = Session::elaborate(c).unwrap();
+        let other = flipped
+            .ac_owned("VDD", &freqs, &[(a, 0.9), (b, 0.0)])
+            .unwrap();
+        assert!(
+            (other.magnitudes(a)[0] - want.magnitudes(a)[0]).abs() > 1e-3 * want.magnitudes(a)[0],
+            "states indistinguishable: the repin test proves nothing"
+        );
+    }
+
+    #[test]
+    fn bad_ac_args_rejected_before_any_solve() {
+        // A typo'd source or bad frequency list must not cost a DC solve
+        // or touch the warm-start state.
+        let (c, out) = inverter(0.9, 0.42);
+        let mut s = Session::elaborate(c).unwrap();
+        assert!(matches!(
+            s.ac_owned("VIN", &[], &[]),
+            Err(SpiceError::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            s.ac_batch("VIN", &[-1.0], &[]),
+            Err(SpiceError::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            s.ac_batch("nope", &[1e6], &[]),
+            Err(SpiceError::BadNetlist { .. })
+        ));
+        // No solve happened: the first real solve is still cold (this is
+        // observable as the warm start being unset — a dc() now must equal
+        // a fresh session's cold solve bit for bit).
+        let v = s.dc_owned().unwrap().voltage(out);
+        let (c2, out2) = inverter(0.9, 0.42);
+        let v2 = Session::elaborate(c2)
+            .unwrap()
+            .dc_owned()
+            .unwrap()
+            .voltage(out2);
+        assert_eq!(v.to_bits(), v2.to_bits());
+    }
+
+    #[test]
+    fn ac_batch_matches_guessed_ac_after_swaps() {
+        // ac_batch warm-starts the operating point across resamples; the
+        // result must match the per-call guessed path on the same devices.
+        let (c, out) = inverter(0.9, 0.42);
+        let freqs = [1e6, 1e9, 1e11];
+        let mut batched = Session::elaborate(c.clone()).unwrap();
+        let mut reference = Session::elaborate(c).unwrap();
+        for w_nm in [300.0, 280.0, 320.0, 260.0] {
+            let dev = VsModel::nominal_nmos_40nm(Geometry::from_nm(w_nm, 40.0));
+            batched.swap_device("MN", Box::new(dev.clone())).unwrap();
+            reference.swap_device("MN", Box::new(dev)).unwrap();
+            reference.invalidate_warm_start();
+            let a = batched.ac_batch("VIN", &freqs, &[]).unwrap();
+            let b = reference.ac_owned("VIN", &freqs, &[]).unwrap();
+            for (x, y) in a.magnitudes(out).iter().zip(b.magnitudes(out)) {
+                assert!((x - y).abs() < 1e-6 * y.max(1e-12), "{x} vs {y}");
+            }
         }
     }
 

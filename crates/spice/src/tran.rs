@@ -1,5 +1,4 @@
-//! Transient options/result types, dynamic-state bookkeeping, and the
-//! legacy one-shot shim.
+//! Transient options/result types and dynamic-state bookkeeping.
 //!
 //! The integration loop itself (fixed base step with waveform-breakpoint
 //! alignment, trapezoidal with backward-Euler restarts, recursive step
@@ -8,9 +7,7 @@
 
 use crate::elements::Element;
 use crate::engine::{Integrator, TranState};
-use crate::error::SpiceError;
 use crate::netlist::{Circuit, NodeId};
-use crate::session::Session;
 use mosfet::Bias;
 
 /// Options for a transient analysis ([`crate::session::Analysis::Tran`]).
@@ -110,26 +107,6 @@ impl TranResult {
     pub fn vsource_currents(&self, k: usize) -> Vec<f64> {
         self.snapshots.iter().map(|x| x[self.nn + k]).collect()
     }
-
-    /// Deprecated alias of [`TranResult::voltages`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "renamed to voltages (trace accessors are plural)"
-    )]
-    #[must_use]
-    pub fn voltage(&self, node: NodeId) -> Vec<f64> {
-        self.voltages(node)
-    }
-
-    /// Deprecated alias of [`TranResult::vsource_currents`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "renamed to vsource_currents (trace accessors are plural)"
-    )]
-    #[must_use]
-    pub fn vsource_current(&self, k: usize) -> Vec<f64> {
-        self.vsource_currents(k)
-    }
 }
 
 /// Fills `st` with the dynamic (charge-storage) state implied by the solved
@@ -223,26 +200,10 @@ pub(crate) fn update_state(
     }
 }
 
-impl Circuit {
-    /// Runs a transient analysis.
-    ///
-    /// # Errors
-    ///
-    /// Propagates DC-op failure for the initial point and reports
-    /// [`SpiceError::NoConvergence`] if a step fails even after halving.
-    #[deprecated(
-        since = "0.2.0",
-        note = "elaborate a spice::Session once and call Session::tran — it reuses \
-                the workspace, LU scratch, and dynamic-state buffers"
-    )]
-    pub fn tran(&self, opts: &TranOptions) -> Result<TranResult, SpiceError> {
-        Session::elaborate(self.clone())?.tran_owned(opts)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Session;
     use crate::waveform::Waveform;
 
     fn session(c: Circuit) -> Session {

@@ -1,12 +1,13 @@
 //! Equivalence suite: a persistent [`Session`] (warm starts, reused
-//! workspace and LU scratch, in-place device swaps) must reproduce the
-//! legacy one-shot `Circuit` analyses on real circuits — the parsed
-//! inverter-chain netlist of `examples/netlist_sim.rs` and a 6T SRAM cell —
-//! plus a property test that `swap_devices` + re-solve equals a fresh
-//! elaboration of the mutated netlist.
-#![allow(deprecated)] // the whole point is comparing against the legacy API
+//! workspace, AC scratch, in-place device swaps) must reproduce one-shot
+//! throwaway sessions — and, for AC, an independent per-point reference
+//! solver — on real circuits: the parsed inverter-chain netlist of
+//! `examples/netlist_sim.rs` and a 6T SRAM cell. Property tests cover
+//! `swap_devices` + re-solve (DC) and resample→`ac_batch` (AC) against
+//! fresh elaborations across random mismatch draws.
 
 use mosfet::{vs::VsModel, Geometry, MosfetModel, StatParam, VariationDelta};
+use numerics::complex::{CMatrix, C64};
 use spice::{parser, Circuit, NodeId, Session, TranOptions, Waveform};
 
 /// The three-stage inverter chain from `examples/netlist_sim.rs`.
@@ -40,6 +41,33 @@ const TOL_V: f64 = 1e-6;
 
 fn chain() -> Circuit {
     parser::parse(NETLIST).expect("bundled netlist parses")
+}
+
+/// One-shot reference: a fresh throwaway session per call, cold-started —
+/// what the deprecated `Circuit::*` shims used to do.
+fn one_shot(c: &Circuit) -> Session {
+    Session::elaborate(c.clone()).expect("reference circuit elaborates")
+}
+
+/// Independent per-point AC reference: linearize at `x_op`, then build and
+/// solve a fresh `G + jωC` system per frequency — the pre-workspace
+/// architecture, kept here as the oracle for the batched/workspace path.
+fn ac_reference_per_point(c: &Circuit, x_op: &[f64], source: &str, freqs: &[f64]) -> Vec<Vec<C64>> {
+    let lin = c.linearize(x_op);
+    let n = lin.g.rows();
+    let nn = c.node_count() - 1;
+    let src_idx = c.vsource_index(source).expect("source exists");
+    let mut b = vec![C64::ZERO; n];
+    b[nn + src_idx] = C64::ONE;
+    freqs
+        .iter()
+        .map(|&f| {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            CMatrix::from_gc(&lin.g, &lin.c, omega)
+                .solve(&b)
+                .expect("reference AC point solves")
+        })
+        .collect()
 }
 
 /// A 6T SRAM cell wired for READ (word line high, bit lines at Vdd),
@@ -107,9 +135,9 @@ fn all_nodes(c: &Circuit) -> Vec<NodeId> {
 }
 
 #[test]
-fn chain_dc_matches_legacy() {
+fn chain_dc_matches_one_shot() {
     let c = chain();
-    let legacy = c.dc_op().unwrap();
+    let reference = one_shot(&c).dc_owned().unwrap();
     let mut s = Session::elaborate(c.clone()).unwrap();
     // Run twice: the second solve is warm-started and must land on the
     // same operating point.
@@ -117,76 +145,100 @@ fn chain_dc_matches_legacy() {
         let op = s.dc_owned().unwrap();
         for &n in &all_nodes(&c) {
             assert!(
-                (op.voltage(n) - legacy.voltage(n)).abs() < TOL_V,
+                (op.voltage(n) - reference.voltage(n)).abs() < TOL_V,
                 "pass {pass}, node {}: {} vs {}",
                 c.node_name(n),
                 op.voltage(n),
-                legacy.voltage(n)
+                reference.voltage(n)
             );
         }
     }
 }
 
 #[test]
-fn chain_sweep_matches_legacy() {
+fn chain_sweep_matches_one_shot() {
     let c = chain();
     let values: Vec<f64> = (0..19).map(|i| VDD * i as f64 / 18.0).collect();
-    let legacy = c.dc_sweep("VIN", &values).unwrap();
+    let reference = one_shot(&c).dc_sweep_owned("VIN", &values).unwrap();
     let mut s = Session::elaborate(c.clone()).unwrap();
+    // Warm the session with an unrelated solve first.
+    let _ = s.dc_owned().unwrap();
     let out = c.find_node("out").unwrap();
     let sweep = s.dc_sweep_owned("VIN", &values).unwrap();
-    for (a, b) in sweep.voltages(out).iter().zip(legacy.voltages(out)) {
+    for (a, b) in sweep.voltages(out).iter().zip(reference.voltages(out)) {
         assert!((a - b).abs() < TOL_V, "{a} vs {b}");
     }
 }
 
 #[test]
-fn chain_tran_matches_legacy() {
+fn chain_tran_matches_one_shot() {
     let c = chain();
     let opts = TranOptions::new(1.2e-9, 3e-12);
-    let legacy = c.tran(&opts).unwrap();
+    let reference = one_shot(&c).tran_owned(&opts).unwrap();
     let mut s = Session::elaborate(c.clone()).unwrap();
     // Precede the transient with other runs so the session state is "hot".
     let _ = s.dc_owned().unwrap();
     let res = s.tran_owned(&opts).unwrap();
-    assert_eq!(res.times().len(), legacy.times().len());
+    assert_eq!(res.times().len(), reference.times().len());
     let out = c.find_node("out").unwrap();
-    for (a, b) in res.voltages(out).iter().zip(legacy.voltages(out)) {
+    for (a, b) in res.voltages(out).iter().zip(reference.voltages(out)) {
         assert!((a - b).abs() < 1e-5, "{a} vs {b}");
     }
 }
 
+// ---- AC equivalence: workspace/batched path vs per-point reference ------
+
 #[test]
-fn chain_ac_matches_legacy() {
+fn chain_ac_matches_reference_per_point() {
+    // A non-integer decade span, so the sweep exercises the clamped
+    // log_sweep endpoint too.
     let c = chain();
-    let freqs = [1e6, 1e9, 1e11];
-    let legacy = c.ac_sweep("VIN", &freqs).unwrap();
+    let freqs = spice::ac::log_sweep(1e6, 5e10, 4);
+    assert_eq!(*freqs.last().unwrap(), 5e10);
+
+    let op = one_shot(&c).dc_owned().unwrap();
+    let reference = ac_reference_per_point(&c, op.raw(), "VIN", &freqs);
+
     let mut s = Session::elaborate(c.clone()).unwrap();
-    let n1 = c.find_node("n1").unwrap();
     let ac = s.ac_owned("VIN", &freqs, &[]).unwrap();
-    for (a, b) in ac.magnitudes(n1).iter().zip(legacy.magnitudes(n1)) {
-        assert!((a - b).abs() < 1e-6 * b.max(1e-9), "{a} vs {b}");
-    }
-    for (a, b) in ac.phases(n1).iter().zip(legacy.phases(n1)) {
-        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    // Repeat through the same (now warm) workspace: identical sweep.
+    let ac2 = s.ac_owned("VIN", &freqs, &[]).unwrap();
+    for &node in &all_nodes(&c) {
+        let Some(i) = node.unknown() else { continue };
+        for (k, point) in reference.iter().enumerate() {
+            for probe in [&ac, &ac2] {
+                let got = probe.voltages(node)[k];
+                let want = point[i];
+                assert!(
+                    (got - want).abs() < 1e-9 * want.abs().max(1e-9),
+                    "node {}, {} Hz: {:?} vs {:?}",
+                    c.node_name(node),
+                    freqs[k],
+                    got,
+                    want
+                );
+            }
+        }
     }
 }
 
 #[test]
-fn sram_dc_and_ac_match_legacy() {
+fn sram_dc_and_ac_match_one_shot() {
     let deltas = [VariationDelta::default(); 6];
     let (c, l, r) = sram_cell(&deltas);
     let guess = [(l, 0.0), (r, VDD)];
-    let legacy_op = c.dc_op_with_guess(&guess).unwrap();
+    let reference_op = one_shot(&c).dc_owned_with_guess(&guess).unwrap();
     let freqs = [1e6, 1e9];
-    let legacy_ac = c.ac_sweep_from_op("VBL", &freqs, &legacy_op).unwrap();
+    let reference_ac = ac_reference_per_point(&c, reference_op.raw(), "VBL", &freqs);
 
     let mut s = Session::elaborate(c.clone()).unwrap();
     let op = s.dc_owned_with_guess(&guess).unwrap();
-    assert!((op.voltage(l) - legacy_op.voltage(l)).abs() < TOL_V);
-    assert!((op.voltage(r) - legacy_op.voltage(r)).abs() < TOL_V);
+    assert!((op.voltage(l) - reference_op.voltage(l)).abs() < TOL_V);
+    assert!((op.voltage(r) - reference_op.voltage(r)).abs() < TOL_V);
     let ac = s.ac_owned("VBL", &freqs, &guess).unwrap();
-    for (a, b) in ac.magnitudes(l).iter().zip(legacy_ac.magnitudes(l)) {
+    let li = l.unknown().unwrap();
+    for (a, point) in ac.magnitudes(l).iter().zip(&reference_ac) {
+        let b = point[li].abs();
         // The AC solution is linear in the operating point; tiny op-point
         // differences are amplified through subthreshold conductances.
         assert!((a - b).abs() < 1e-3 * b.max(1e-9), "{a} vs {b}");
@@ -211,6 +263,26 @@ impl TestRng {
     }
 }
 
+/// Random threshold-voltage deltas for all six cell devices.
+fn random_deltas(rng: &mut TestRng) -> [VariationDelta; 6] {
+    let mut deltas = [VariationDelta::default(); 6];
+    for d in &mut deltas {
+        *d = VariationDelta::single(StatParam::Vt0, rng.range(-0.04, 0.04));
+    }
+    deltas
+}
+
+/// The six `(name, model)` swaps matching [`sram_cell`]'s instances.
+fn cell_swaps(c_fresh: &Circuit) -> Vec<(String, Box<dyn MosfetModel>)> {
+    let mut swaps = Vec::new();
+    for e in c_fresh.elements() {
+        if let spice::elements::Element::Mosfet { name, model, .. } = e {
+            swaps.push((name.clone(), model.clone_box()));
+        }
+    }
+    swaps
+}
+
 /// Property: swapping devices into a live session and re-solving equals a
 /// fresh elaboration of the netlist built with those devices — across many
 /// random mismatch draws, with the session accumulating warm starts.
@@ -223,20 +295,10 @@ fn swapped_session_equals_fresh_elaboration_property() {
     let guess = [(l, 0.0), (r, VDD)];
 
     for trial in 0..12 {
-        // Random threshold-voltage mismatch on all six devices.
-        let mut deltas = [VariationDelta::default(); 6];
-        for d in &mut deltas {
-            *d = VariationDelta::single(StatParam::Vt0, rng.range(-0.04, 0.04));
-        }
+        let deltas = random_deltas(&mut rng);
         // In-place swap on the persistent session (warm-started solve)...
         let (c_fresh, _, _) = sram_cell(&deltas);
-        let mut swaps = Vec::new();
-        for e in c_fresh.elements() {
-            if let spice::elements::Element::Mosfet { name, model, .. } = e {
-                swaps.push((name.clone(), model.clone_box()));
-            }
-        }
-        assert_eq!(session.swap_devices(swaps).unwrap(), 6);
+        assert_eq!(session.swap_devices(cell_swaps(&c_fresh)).unwrap(), 6);
         let warm = session.dc_owned_with_guess(&guess).unwrap();
         // ...must match a cold fresh elaboration of the same netlist.
         let cold = Session::elaborate(c_fresh)
@@ -249,6 +311,52 @@ fn swapped_session_equals_fresh_elaboration_property() {
                 "trial {trial}: warm {} vs cold {}",
                 warm.voltage(n),
                 cold.voltage(n)
+            );
+        }
+    }
+}
+
+/// Property: the batched AC path (`swap_devices` + `ac_batch`, warm
+/// operating points, reused workspace) equals the per-point reference
+/// computed on a fresh cold elaboration of the same devices — the paper's
+/// "SRAM AC" Monte Carlo inner loop, across random mismatch draws.
+#[test]
+fn sram_ac_batch_equals_per_point_reference_across_resamples() {
+    let mut rng = TestRng(0xac_5eed);
+    let nominal = [VariationDelta::default(); 6];
+    let (c0, l, r) = sram_cell(&nominal);
+    let mut session = Session::elaborate(c0).unwrap();
+    let guess = [(l, 0.0), (r, VDD)];
+    // Non-integer decade span ending exactly at the stop frequency.
+    let freqs = spice::ac::log_sweep(1e6, 4e10, 3);
+    assert_eq!(*freqs.last().unwrap(), 4e10);
+    let li = l.unknown().unwrap();
+
+    for trial in 0..8 {
+        let deltas = random_deltas(&mut rng);
+        let (c_fresh, _, _) = sram_cell(&deltas);
+        assert_eq!(session.swap_devices(cell_swaps(&c_fresh)).unwrap(), 6);
+        let batched = session.ac_batch("VBL", &freqs, &guess).unwrap();
+
+        // Reference: cold guessed operating point + per-point solves on an
+        // independent elaboration of the same sample.
+        let cold_op = Session::elaborate(c_fresh.clone())
+            .unwrap()
+            .dc_owned_with_guess(&guess)
+            .unwrap();
+        let reference = ac_reference_per_point(&c_fresh, cold_op.raw(), "VBL", &freqs);
+
+        for (k, point) in reference.iter().enumerate() {
+            let got = batched.magnitudes(l)[k];
+            let want = point[li].abs();
+            // Warm vs cold operating points differ at the Newton tolerance;
+            // the linearization amplifies that through subthreshold
+            // conductances, hence the relative 1e-3 band (as for the DC+AC
+            // one-shot comparison above).
+            assert!(
+                (got - want).abs() < 1e-3 * want.max(1e-9),
+                "trial {trial}, {} Hz: {got} vs {want}",
+                freqs[k]
             );
         }
     }

@@ -5,8 +5,11 @@
 //! sample just to compute a mean and a variance at the end. [`Welford`]
 //! accumulates count / mean / M2 (plus min and max) one observation at a
 //! time in O(1) memory, and two accumulators combine exactly with
-//! [`Welford::merge`] (the pairwise update of Chan, Golub & LeVeque), which
-//! is how per-worker partial results become one aggregate.
+//! [`Welford::merge`] (the pairwise update of Chan, Golub & LeVeque) for
+//! sharded pipelines that fix their own combine order. Note the parallel
+//! Monte Carlo executor deliberately does *not* merge per-worker partials:
+//! it folds per-sample results in sample-index order, which is what makes
+//! its reported moments bit-identical for any worker count.
 //!
 //! # Example
 //!
