@@ -20,7 +20,7 @@ use numerics::complex::{CMatrix, C64};
 use spice::Session;
 use stats::Sampler;
 use vsbench::microbench::{maybe_write_json, measure, Measurement};
-use vscore::mc::{device_metric_samples, McFactory, ParallelRunner};
+use vscore::mc::{device_metric_samples, McFactory, P2Quantiles, ParallelRunner, WelfordSink};
 use vscore::sensitivity::{BsimBuilder, VsBuilder};
 
 fn mc_factory(seed: u64) -> McFactory {
@@ -170,20 +170,59 @@ fn main() {
         }));
     }
 
-    // ---- circuit level: parallel SRAM DC Monte Carlo --------------------
+    // ---- circuit level: parallel + streaming SRAM DC Monte Carlo --------
     // The same per-sample workload as sram_dc_sample/session_swap, sharded
     // with ParallelRunner: one replicated session per worker, per-sample
     // device swaps from deterministically derived streams, warm-started
     // solves. One measured iteration = a PAR_BATCH-sample run (including
-    // worker spawn + Session::replicate setup); the recorded entry is
+    // worker spawn + Session::replicate setup); the recorded entries are
     // normalized per sample, so aggregate throughput across threads is
     // directly comparable with the single-session baseline above.
+    //
+    // The `streaming_1t` entry runs the *identical* build/sample closures
+    // through ParallelRunner::run_streaming into realistic sinks (live
+    // Welford moments + a three-level P² quantile sketch) instead of the
+    // buffered per-sample slots. Peak sample storage drops from O(n) slots
+    // to O(workers + check_every) in-flight records; the per-sample cost
+    // must stay within noise of the buffered `parallel_1t` entry (the sink
+    // fold is nanoseconds against a ~20 µs DC solve).
     {
         const PAR_BATCH: usize = 512;
         let mut f0 = mc_factory(0);
         let devices = SramDevices::draw(sz, &mut f0);
         let (c, l, r) = circuits::sram::full_cell(&devices, 0.9);
         let master = Session::elaborate(c).expect("well-formed");
+        // One shared pair of workload closures: the buffered and streaming
+        // entries must measure exactly the same per-sample work.
+        let build = |_: usize, _: &mut Sampler| {
+            let mut s = master.replicate()?;
+            // Select the basin once per worker; samples then warm-start
+            // from the previous operating point.
+            let op = s.dc_owned_with_guess(&[(l, 0.0), (r, 0.9)])?;
+            assert!(op.voltage(r).is_finite());
+            Ok(s)
+        };
+        let sample = |session: &mut Session, sampler: &mut Sampler, _: usize| {
+            let mut f = mc_factory(0);
+            f.set_sampler(sampler.clone());
+            let SramDevices { pd, pu, pg } = SramDevices::draw(sz, &mut f);
+            let [pd0, pd1] = pd;
+            let [pu0, pu1] = pu;
+            let [pg0, pg1] = pg;
+            session
+                .swap_devices([
+                    ("PD1", pd0),
+                    ("PD2", pd1),
+                    ("PU1", pu0),
+                    ("PU2", pu1),
+                    ("PG1", pg0),
+                    ("PG2", pg1),
+                ])
+                .expect("known instances");
+            // Extreme draws may fail to converge; counted, not fatal —
+            // part of the measured workload.
+            session.dc_owned().map(|op| op.voltage(r))
+        };
         let avail = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         let mut thread_counts = vec![1, 4, avail];
         thread_counts.sort_unstable();
@@ -194,38 +233,7 @@ fn main() {
                 run_seed += 1;
                 let out = ParallelRunner::new(run_seed)
                     .workers(threads)
-                    .run(
-                        PAR_BATCH,
-                        |_, _| {
-                            let mut s = master.replicate()?;
-                            // Select the basin once per worker; samples then
-                            // warm-start from the previous operating point.
-                            let op = s.dc_owned_with_guess(&[(l, 0.0), (r, 0.9)])?;
-                            assert!(op.voltage(r).is_finite());
-                            Ok(s)
-                        },
-                        |session, sampler, _| {
-                            let mut f = mc_factory(0);
-                            f.set_sampler(sampler.clone());
-                            let SramDevices { pd, pu, pg } = SramDevices::draw(sz, &mut f);
-                            let [pd0, pd1] = pd;
-                            let [pu0, pu1] = pu;
-                            let [pg0, pg1] = pg;
-                            session
-                                .swap_devices([
-                                    ("PD1", pd0),
-                                    ("PD2", pd1),
-                                    ("PU1", pu0),
-                                    ("PU2", pu1),
-                                    ("PG1", pg0),
-                                    ("PG2", pg1),
-                                ])
-                                .expect("known instances");
-                            // Extreme draws may fail to converge; counted,
-                            // not fatal — part of the measured workload.
-                            session.dc_owned().map(|op| op.voltage(r))
-                        },
-                    )
+                    .run(PAR_BATCH, build, sample)
                     .expect("replication succeeds");
                 assert_eq!(out.len() + out.failures, PAR_BATCH);
             });
@@ -235,6 +243,22 @@ fn main() {
                 iters: m.iters * PAR_BATCH as u64,
             });
         }
+        let mut run_seed = 0u64;
+        let m = measure("sram_dc_mc_batch512/aggregate_streaming_1t", || {
+            run_seed += 1;
+            let mut sink = (WelfordSink::new(), P2Quantiles::new(&[0.01, 0.5, 0.99]));
+            let out = ParallelRunner::new(run_seed)
+                .workers(1)
+                .run_streaming(PAR_BATCH, build, sample, &mut sink)
+                .expect("replication succeeds");
+            assert_eq!(out.observed + out.failures, PAR_BATCH);
+            assert!(sink.0.moments().count() == out.observed as u64);
+        });
+        results.push(Measurement {
+            label: "sram_dc_sample/streaming_1t".to_string(),
+            secs_per_iter: m.secs_per_iter / PAR_BATCH as f64,
+            iters: m.iters * PAR_BATCH as u64,
+        });
     }
 
     // ---- circuit level: SRAM AC (the paper's Table IV workload) ---------

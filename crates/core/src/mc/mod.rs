@@ -13,8 +13,12 @@
 //! Either level shards across threads with [`ParallelRunner`] (see
 //! [`parallel`]): each worker owns its elaborated sessions, each sample
 //! draws from a stream derived purely from `(seed, sample index)`, and the
-//! outcome is bit-identical for any worker count. `ARCHITECTURE.md` at the
-//! repo root diagrams the data flow.
+//! outcome is bit-identical for any worker count. Results either buffer
+//! into an [`McOutcome`] or stream to a [`Sink`] (quantile sketch,
+//! histogram, incremental CSV, live moments) via
+//! [`ParallelRunner::run_streaming`], which holds O(workers) sample memory
+//! however long the run. `ARCHITECTURE.md` at the repo root diagrams the
+//! data flow.
 //!
 //! # Example
 //!
@@ -50,7 +54,11 @@
 
 pub mod parallel;
 
-pub use parallel::{EarlyStop, McOutcome, ParallelRunner};
+pub use parallel::{EarlyStop, McOutcome, ParallelRunner, StreamOutcome};
+// The sink vocabulary consumed by `ParallelRunner::run_streaming`, re-
+// exported so Monte Carlo call sites need a single import path.
+pub use stats::histogram::Histogram;
+pub use stats::sink::{CsvSink, P2Quantiles, Sink, VecSink, WelfordSink, WelfordWatch};
 
 use crate::metrics::DeviceMetrics;
 use crate::sensitivity::VariedModel;

@@ -33,6 +33,15 @@
 //!   [`ParallelRunner::check_every`] samples (independent of the worker
 //!   count), the stopping sample count is deterministic as well.
 //!
+//!   When the sample values themselves should not be buffered —
+//!   million-sample sweeps asking distribution questions —
+//!   [`ParallelRunner::run_streaming`] feeds every `(index, value)` record
+//!   to a [`Sink`] (quantile sketch, histogram, CSV writer, live moments)
+//!   *during* the run: workers append to per-worker shards, and the
+//!   coordinator folds the shards in ascending index order at each round
+//!   boundary, so sink state is bit-identical for any worker count while
+//!   peak sample storage stays O(workers + check_every) instead of O(n).
+//!
 //! # Example
 //!
 //! ```
@@ -69,6 +78,7 @@
 //! assert_eq!(moments.mean(), again.moments().mean());
 //! ```
 
+use stats::sink::Sink;
 use stats::{Sampler, Welford};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
@@ -119,6 +129,19 @@ impl EarlyStop {
     pub fn z(mut self, z: f64) -> Self {
         self.z = z;
         self
+    }
+
+    /// True when the accumulated moments meet the stopping criterion.
+    ///
+    /// This is *the* predicate both execution paths evaluate at round
+    /// boundaries — the buffered `run_scalar` and the streaming
+    /// `run_streaming` stay bit-identical because they share it, and
+    /// external progress loops (e.g. polling a
+    /// [`stats::sink::WelfordWatch`]) can reuse it verbatim.
+    #[must_use]
+    pub fn satisfied(&self, watched: &Welford) -> bool {
+        watched.count() >= self.min_samples as u64
+            && watched.ci_half_width(self.z) <= self.rel_half_width * watched.mean().abs()
     }
 }
 
@@ -183,6 +206,44 @@ impl McOutcome<f64> {
         }
         w
     }
+}
+
+/// Summary of a streaming Monte Carlo run — the counterpart of
+/// [`McOutcome`] when results flow to a [`Sink`] during the run instead of
+/// being buffered. The values themselves live in whatever state the sink
+/// kept; this carries the run accounting and the index-ordered moments.
+#[derive(Debug, Clone)]
+pub struct StreamOutcome {
+    /// Samples whose closure returned an error (functional failures under
+    /// extreme mismatch, non-convergence, ...).
+    pub failures: usize,
+    /// Number of sample indices actually scheduled — equals the requested
+    /// count unless an [`EarlyStop`] rule ended the run sooner.
+    pub attempted: usize,
+    /// Worker threads the run executed on.
+    pub workers: usize,
+    /// Successful samples handed to the sink.
+    pub observed: usize,
+    moments: Welford,
+}
+
+impl StreamOutcome {
+    /// Streaming moments of the observed samples, folded in sample-index
+    /// order — bit-identical to [`McOutcome::moments`] of a buffered
+    /// [`ParallelRunner::run_scalar`] of the same workload, for any worker
+    /// count. Empty for [`ParallelRunner::run_streaming_records`] runs
+    /// (generic records carry no scalar metric).
+    #[must_use]
+    pub fn moments(&self) -> Welford {
+        self.moments
+    }
+}
+
+/// Run accounting shared by the buffered and streaming execution paths.
+struct RunStats {
+    attempted: usize,
+    failures: usize,
+    workers: usize,
 }
 
 /// A deterministic, work-sharded Monte Carlo executor.
@@ -286,7 +347,101 @@ impl ParallelRunner {
         self.run_impl(n, build, sample, Some(&|x: &f64| *x))
     }
 
-    /// The sharded execution engine shared by `run` and `run_scalar`.
+    /// Runs `n` samples of a scalar experiment, streaming every successful
+    /// `(index, value)` record into `sink` *during* the run instead of
+    /// buffering it — peak sample storage is O(workers + check_every),
+    /// independent of `n`.
+    ///
+    /// Workers append records to per-worker shards; at every round boundary
+    /// (fixed multiples of [`ParallelRunner::check_every`] samples) the
+    /// coordinating thread folds the shards **in ascending sample-index
+    /// order** and hands the batch to the sink on the calling thread. The
+    /// sink therefore consumes one deterministic record sequence: its final
+    /// state — sketch markers, histogram counts, CSV bytes — is
+    /// bit-identical for any worker count, and [`StreamOutcome::moments`]
+    /// reproduces [`McOutcome::moments`] of the equivalent
+    /// [`ParallelRunner::run_scalar`] bit-exactly. The sink does not need
+    /// to be `Send`; it never leaves the calling thread.
+    ///
+    /// The configured [`EarlyStop`] rule is honoured at the same round
+    /// boundaries as `run_scalar`, so a stopped streaming run feeds the
+    /// sink exactly the sample prefix the buffered run would return.
+    /// [`Sink::finish`] is called once after the final record of a
+    /// completed (or early-stopped) run; a panic inside the sink shuts the
+    /// run down cleanly and re-raises on the calling thread, exactly like
+    /// a panic in a sample closure.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use stats::sink::P2Quantiles;
+    /// use vscore::mc::ParallelRunner;
+    ///
+    /// // Stream E[X] and the 90th percentile of X ~ N(0,1) without
+    /// // buffering a single sample value.
+    /// let mut sketch = P2Quantiles::new(&[0.9]);
+    /// let out = ParallelRunner::new(7)
+    ///     .workers(2)
+    ///     .run_streaming(
+    ///         2000,
+    ///         |_, _| Ok::<(), std::convert::Infallible>(()),
+    ///         |(), s, _| Ok(s.standard_normal()),
+    ///         &mut sketch,
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(out.observed, 2000);
+    /// assert!(out.moments().mean().abs() < 0.1);
+    /// assert!((sketch.quantile(0.9).unwrap() - 1.28).abs() < 0.15);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first worker-state `build` error (the sink is left
+    /// unfinished).
+    pub fn run_streaming<W, E, B, S, K>(
+        &self,
+        n: usize,
+        build: B,
+        sample: S,
+        sink: &mut K,
+    ) -> Result<StreamOutcome, E>
+    where
+        E: Send,
+        B: Fn(usize, &mut Sampler) -> Result<W, E> + Sync,
+        S: Fn(&mut W, &mut Sampler, usize) -> Result<f64, E> + Sync,
+        K: Sink + ?Sized,
+    {
+        self.stream_impl(n, build, sample, sink, Some(&|x: &f64| *x))
+    }
+
+    /// [`ParallelRunner::run_streaming`] for generic record types — e.g. a
+    /// scatter experiment streaming `(leakage, frequency)` pairs into a
+    /// two-column [`stats::sink::CsvSink`]. There is no scalar metric, so
+    /// [`EarlyStop`] does not apply and [`StreamOutcome::moments`] stays
+    /// empty; everything else (index-ordered fold, bit-identical sink
+    /// state, panic propagation) matches the scalar variant.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first worker-state `build` error.
+    pub fn run_streaming_records<W, T, E, B, S, K>(
+        &self,
+        n: usize,
+        build: B,
+        sample: S,
+        sink: &mut K,
+    ) -> Result<StreamOutcome, E>
+    where
+        T: Send,
+        E: Send,
+        B: Fn(usize, &mut Sampler) -> Result<W, E> + Sync,
+        S: Fn(&mut W, &mut Sampler, usize) -> Result<T, E> + Sync,
+        K: Sink<T> + ?Sized,
+    {
+        self.stream_impl(n, build, sample, sink, None)
+    }
+
+    /// Buffered execution: per-sample slots collected into an [`McOutcome`].
     fn run_impl<W, T, E, B, S>(
         &self,
         n: usize,
@@ -300,12 +455,149 @@ impl ParallelRunner {
         B: Fn(usize, &mut Sampler) -> Result<W, E> + Sync,
         S: Fn(&mut W, &mut Sampler, usize) -> Result<T, E> + Sync,
     {
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let results = Mutex::new(slots);
+        // Without a stopping rule there is nothing to evaluate between
+        // rounds, so the whole run is one round.
+        let round = match (self.early_stop, metric.is_some()) {
+            (Some(_), true) => self.check_every,
+            _ => n.max(1),
+        };
+        // Early-stop accumulator: samples below a finished round's limit
+        // never change, so each slot is folded exactly once, in index
+        // order — bit-identical to a from-scratch refold, but O(round) per
+        // check instead of O(hi).
+        let mut watched = Welford::new();
+        let stats = self.run_engine(
+            n,
+            round,
+            &build,
+            &sample,
+            &|_, i, t| results.lock().expect("no poisoned locks")[i] = Some(t),
+            &mut |lo, hi| {
+                let (Some(stop), Some(metric)) = (self.early_stop, metric) else {
+                    return false;
+                };
+                if hi >= n {
+                    return false; // final round: the run is complete anyway
+                }
+                let res = results.lock().expect("no poisoned locks");
+                for t in res[lo..hi].iter().flatten() {
+                    watched.push(metric(t));
+                }
+                stop.satisfied(&watched)
+            },
+        )?;
+        let samples = results
+            .into_inner()
+            .expect("no poisoned locks")
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.map(|t| (i, t)))
+            .collect();
+        Ok(McOutcome {
+            samples,
+            failures: stats.failures,
+            attempted: stats.attempted,
+            workers: stats.workers,
+        })
+    }
+
+    /// Streaming execution: per-worker record shards folded into a sink in
+    /// index order at every round boundary.
+    fn stream_impl<W, T, E, B, S, K>(
+        &self,
+        n: usize,
+        build: B,
+        sample: S,
+        sink: &mut K,
+        metric: Option<&dyn Fn(&T) -> f64>,
+    ) -> Result<StreamOutcome, E>
+    where
+        T: Send,
+        E: Send,
+        B: Fn(usize, &mut Sampler) -> Result<W, E> + Sync,
+        S: Fn(&mut W, &mut Sampler, usize) -> Result<T, E> + Sync,
+        K: Sink<T> + ?Sized,
+    {
+        let workers = self.workers.min(n.max(1));
+        let shards: Vec<Mutex<Vec<(usize, T)>>> =
+            (0..workers).map(|_| Mutex::new(Vec::new())).collect();
+        let mut batch: Vec<(usize, T)> = Vec::new();
+        let mut moments = Welford::new();
+        let mut observed = 0usize;
+        let stats = self.run_engine(
+            n,
+            self.check_every,
+            &build,
+            &sample,
+            &|w, i, t| shards[w].lock().expect("no poisoned locks").push((i, t)),
+            &mut |_, hi| {
+                // Fold the shards in ascending sample-index order: the sink
+                // and the watched moments see one deterministic record
+                // stream, whatever the worker count. Each worker pops
+                // indices monotonically, so the concatenation sorts in one
+                // cheap pass over ~check_every records.
+                for shard in &shards {
+                    batch.append(&mut shard.lock().expect("no poisoned locks"));
+                }
+                batch.sort_unstable_by_key(|&(i, _)| i);
+                observed += batch.len();
+                if let Some(metric) = metric {
+                    for (_, t) in &batch {
+                        moments.push(metric(t));
+                    }
+                }
+                sink.merge(&mut batch);
+                batch.clear();
+                if hi < n {
+                    if let (Some(stop), Some(_)) = (self.early_stop, metric) {
+                        return stop.satisfied(&moments);
+                    }
+                }
+                false
+            },
+        )?;
+        sink.finish();
+        Ok(StreamOutcome {
+            failures: stats.failures,
+            attempted: stats.attempted,
+            workers: stats.workers,
+            observed,
+            moments,
+        })
+    }
+
+    /// The sharded execution engine shared by every run flavor.
+    ///
+    /// Workers hand each successful sample to `emit(worker, index, value)`
+    /// from their own threads; after every round barrier the coordinator
+    /// calls `fold(lo, hi)` exactly once on the calling thread for the
+    /// now-final contiguous index range `lo..hi` — returning `true` stops
+    /// the run at that round boundary. A panic inside `fold` (a sink
+    /// panicking in `observe`, say) shuts the run down cleanly and
+    /// re-raises on the coordinating thread, exactly like a worker-closure
+    /// panic.
+    fn run_engine<W, T, E, B, S>(
+        &self,
+        n: usize,
+        round: usize,
+        build: &B,
+        sample: &S,
+        emit: &(dyn Fn(usize, usize, T) + Sync),
+        fold: &mut dyn FnMut(usize, usize) -> bool,
+    ) -> Result<RunStats, E>
+    where
+        E: Send,
+        B: Fn(usize, &mut Sampler) -> Result<W, E> + Sync,
+        S: Fn(&mut W, &mut Sampler, usize) -> Result<T, E> + Sync,
+    {
         let workers = self.workers.min(n.max(1));
         if n == 0 {
-            return Ok(McOutcome {
-                samples: Vec::new(),
-                failures: 0,
+            return Ok(RunStats {
                 attempted: 0,
+                failures: 0,
                 workers,
             });
         }
@@ -316,9 +608,6 @@ impl ParallelRunner {
         let sample_base = root.fork(0);
         let worker_base = root.fork(WORKER_STREAM_SALT);
 
-        let mut slots: Vec<Option<T>> = Vec::with_capacity(n);
-        slots.resize_with(n, || None);
-        let results = Mutex::new(slots);
         let failures = AtomicUsize::new(0);
         let next = AtomicUsize::new(0);
         let limit = AtomicUsize::new(0);
@@ -339,15 +628,9 @@ impl ParallelRunner {
             }
         };
 
-        let round = match (self.early_stop, metric.is_some()) {
-            (Some(_), true) => self.check_every,
-            _ => n,
-        };
-
         let attempted = std::thread::scope(|scope| {
             for worker_id in 0..workers {
-                let (build, sample) = (&build, &sample);
-                let (results, failures) = (&results, &failures);
+                let (failures, emit) = (&failures, &emit);
                 let (next, limit, barrier) = (&next, &limit, &barrier);
                 let (setup_err, store_panic) = (&setup_err, &store_panic);
                 let (sample_base, worker_base) = (&sample_base, &worker_base);
@@ -392,9 +675,7 @@ impl ParallelRunner {
                                         sample(st, &mut s, i)
                                     }));
                                 match r {
-                                    Ok(Ok(t)) => {
-                                        results.lock().expect("no poisoned locks")[i] = Some(t);
-                                    }
+                                    Ok(Ok(t)) => emit(worker_id, i, t),
                                     Ok(Err(_)) => {
                                         failures.fetch_add(1, Ordering::SeqCst);
                                     }
@@ -429,11 +710,6 @@ impl ParallelRunner {
                 return shutdown(0);
             }
             let mut hi = 0;
-            // Early-stop accumulator: samples below a finished round's
-            // limit never change, so each slot is folded exactly once, in
-            // index order — bit-identical to a from-scratch refold, but
-            // O(round) per check instead of O(hi).
-            let mut watched = Welford::new();
             let mut folded_to = 0;
             while hi < n {
                 hi = (hi + round).min(n);
@@ -443,19 +719,15 @@ impl ParallelRunner {
                 if panic_slot.lock().expect("no poisoned locks").is_some() {
                     return shutdown(hi);
                 }
-                if hi < n {
-                    if let (Some(stop), Some(metric)) = (self.early_stop, metric) {
-                        let res = results.lock().expect("no poisoned locks");
-                        for t in res[folded_to..hi].iter().flatten() {
-                            watched.push(metric(t));
-                        }
-                        folded_to = hi;
-                        if watched.count() >= stop.min_samples as u64
-                            && watched.ci_half_width(stop.z)
-                                <= stop.rel_half_width * watched.mean().abs()
-                        {
-                            break;
-                        }
+                let folded =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| fold(folded_to, hi)));
+                folded_to = hi;
+                match folded {
+                    Ok(true) => break,
+                    Ok(false) => {}
+                    Err(p) => {
+                        store_panic(p);
+                        return shutdown(hi);
                     }
                 }
             }
@@ -468,17 +740,9 @@ impl ParallelRunner {
         if let Some(e) = setup_err.into_inner().expect("no poisoned locks") {
             return Err(e);
         }
-        let samples = results
-            .into_inner()
-            .expect("no poisoned locks")
-            .into_iter()
-            .enumerate()
-            .filter_map(|(i, t)| t.map(|t| (i, t)))
-            .collect();
-        Ok(McOutcome {
-            samples,
-            failures: failures.into_inner(),
+        Ok(RunStats {
             attempted,
+            failures: failures.into_inner(),
             workers,
         })
     }

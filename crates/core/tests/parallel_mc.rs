@@ -5,13 +5,19 @@
 //! each sample is a pure function of its derived sampler stream. These
 //! tests pin that down on the device-level workload (stateless), on a
 //! circuit-level SRAM workload (cold-started sessions), and for the
-//! round-boundary early-stopping rule.
+//! round-boundary early-stopping rule — and extend the same contract to
+//! the streaming path: every shipped sink fed by `run_streaming` (P²
+//! sketch, histogram, CSV bytes, Welford moments) must end in bit-identical
+//! state for any worker count, under early stopping, and under panics.
 
 use circuits::sram::{full_cell, SramDevices, SramSizing};
 use mosfet::{vs::VsParams, Geometry, MismatchSpec, Polarity};
 use spice::Session;
+use stats::histogram::Histogram;
 use stats::{Sampler, Welford};
-use vscore::mc::{EarlyStop, McFactory, ParallelRunner};
+use vscore::mc::{
+    CsvSink, EarlyStop, McFactory, P2Quantiles, ParallelRunner, Sink, VecSink, WelfordSink,
+};
 use vscore::metrics::DeviceMetrics;
 use vscore::sensitivity::{VariedModel, VsBuilder};
 
@@ -244,6 +250,329 @@ fn build_panics_propagate_instead_of_deadlocking() {
         },
         |(), _, _| Ok(1.0),
     );
+}
+
+// ---------------------------------------------------------------------------
+// Streaming pipeline: run_streaming + sinks
+// ---------------------------------------------------------------------------
+
+/// Final state of every shipped sink after streaming the device-level
+/// workload: CSV bytes, P² estimates, histogram counts, Welford moments.
+struct SinkState {
+    csv: Vec<u8>,
+    p2: Vec<(f64, u64)>,
+    hist: Vec<u64>,
+    welford: Welford,
+    moments: Welford,
+    observed: usize,
+}
+
+/// Streams the stateless device-level workload through one of each shipped
+/// sink on `workers` threads.
+fn streaming_device_run(seed: u64, n: usize, workers: usize) -> SinkState {
+    let b = builder();
+    let sp = spec();
+    // Every shipped sink at once, fanned out through nested tuples. The
+    // histogram range brackets the idsat distribution; out-of-range draws
+    // clamp deterministically into the edge bins.
+    let mut sink = (
+        (
+            CsvSink::with_header(Vec::<u8>::new(), &["sample", "idsat_a"]),
+            P2Quantiles::new(&[0.1, 0.5, 0.9]),
+        ),
+        (Histogram::new(0.0, 2e-3, 32), WelfordSink::new()),
+    );
+    let out = ParallelRunner::new(seed)
+        .workers(workers)
+        .run_streaming(
+            n,
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+            |(), sampler, _| {
+                let delta = sp.sample(b.geometry(), || sampler.standard_normal());
+                Ok(DeviceMetrics::evaluate(b.build(delta).as_ref(), VDD).idsat)
+            },
+            &mut sink,
+        )
+        .expect("infallible setup");
+    let ((csv, p2), (hist, welford)) = sink;
+    SinkState {
+        csv: csv.into_inner(),
+        p2: p2
+            .estimates()
+            .into_iter()
+            .map(|(p, v)| (p, v.to_bits()))
+            .collect(),
+        hist: hist.counts().to_vec(),
+        welford: welford.moments(),
+        moments: out.moments(),
+        observed: out.observed,
+    }
+}
+
+#[test]
+fn streaming_sinks_are_bit_identical_for_any_worker_count() {
+    // The tentpole property: every shipped sink's output — raw CSV bytes
+    // included — is a pure function of (seed, n), not of the sharding.
+    for (seed, n) in [(1u64, 97), (42, 256)] {
+        let r1 = streaming_device_run(seed, n, 1);
+        assert_eq!(r1.observed, n);
+        assert!(!r1.csv.is_empty());
+        for workers in [2, 3, 7] {
+            let rw = streaming_device_run(seed, n, workers);
+            assert_eq!(
+                r1.csv, rw.csv,
+                "seed {seed}: CSV bytes differ at {workers} workers"
+            );
+            assert_eq!(
+                r1.p2, rw.p2,
+                "seed {seed}: P² marker state differs at {workers} workers"
+            );
+            assert_eq!(
+                r1.hist, rw.hist,
+                "seed {seed}: histogram counts differ at {workers} workers"
+            );
+            assert_eq!(r1.welford, rw.welford);
+            assert_eq!(r1.moments, rw.moments);
+        }
+    }
+}
+
+#[test]
+fn streaming_moments_match_buffered_run_scalar_bit_exactly() {
+    // Same workload through both execution paths: the streaming fold must
+    // reproduce the buffered moments to the last bit, and a VecSink must
+    // retain exactly the records run_scalar would have buffered.
+    let (_, buffered) = device_run(42, 256, 2);
+    let r = streaming_device_run(42, 256, 3);
+    assert_eq!(buffered.mean().to_bits(), r.moments.mean().to_bits());
+    assert_eq!(
+        buffered.variance().to_bits(),
+        r.moments.variance().to_bits()
+    );
+    assert_eq!(buffered.count(), r.moments.count());
+    assert_eq!(buffered.min().to_bits(), r.moments.min().to_bits());
+    assert_eq!(buffered.max().to_bits(), r.moments.max().to_bits());
+    // The sink-side Welford sees the same stream as the coordinator fold.
+    assert_eq!(r.welford, r.moments);
+}
+
+/// The acceptance workload: cold-started SRAM DC samples, streaming vs
+/// buffered, records retained by an explicit VecSink.
+#[test]
+fn streaming_matches_buffered_on_sram_dc() {
+    let n = 16;
+    let sz = SramSizing::default();
+    let template = McFactory::vs(
+        VsParams::nmos_40nm(),
+        VsParams::pmos_40nm(),
+        spec(),
+        spec(),
+        Sampler::from_seed(0),
+    );
+    let build = |_: usize, setup_sampler: &mut Sampler| {
+        let mut f = template.clone();
+        f.set_sampler(setup_sampler.clone());
+        let devices = SramDevices::draw(sz, &mut f);
+        let (c, l, r) = full_cell(&devices, VDD);
+        let session = Session::elaborate(c)?;
+        Ok((session, l, r))
+    };
+    let sample = |(session, l, r): &mut (Session, _, _), sampler: &mut Sampler, _: usize| {
+        let mut f = template.clone();
+        f.set_sampler(sampler.clone());
+        let SramDevices { pd, pu, pg } = SramDevices::draw(sz, &mut f);
+        let [pd0, pd1] = pd;
+        let [pu0, pu1] = pu;
+        let [pg0, pg1] = pg;
+        session.swap_devices([
+            ("PD1", pd0),
+            ("PD2", pd1),
+            ("PU1", pu0),
+            ("PU2", pu1),
+            ("PG1", pg0),
+            ("PG2", pg1),
+        ])?;
+        session.invalidate_warm_start();
+        let op = session.dc_owned_with_guess(&[(*l, 0.0), (*r, VDD)])?;
+        Ok::<f64, spice::SpiceError>(op.voltage(*r))
+    };
+    let buffered = ParallelRunner::new(99)
+        .workers(2)
+        .run(n, build, sample)
+        .expect("elaboration succeeds");
+    let mut sink = VecSink::new();
+    let streamed = ParallelRunner::new(99)
+        .workers(3)
+        .run_streaming(n, build, sample, &mut sink)
+        .expect("elaboration succeeds");
+    assert_eq!(sink.records(), buffered.samples());
+    assert_eq!(streamed.failures, buffered.failures);
+    assert_eq!(streamed.observed, buffered.len());
+    let bm = buffered.moments();
+    assert_eq!(bm.mean().to_bits(), streamed.moments().mean().to_bits());
+    assert_eq!(
+        bm.variance().to_bits(),
+        streamed.moments().variance().to_bits()
+    );
+}
+
+#[test]
+fn streaming_early_stop_matches_run_scalar_at_the_same_round_boundary() {
+    // A stopped streaming run must feed its sink exactly the sample prefix
+    // the buffered run returns, and stop at the same round, whatever the
+    // worker count.
+    let runner = |workers: usize| {
+        ParallelRunner::new(5)
+            .workers(workers)
+            .check_every(50)
+            .early_stop(EarlyStop::relative(0.05).min_samples(50))
+    };
+    let build = |_: usize, _: &mut Sampler| Ok::<(), std::convert::Infallible>(());
+    let sample = |(): &mut (), s: &mut Sampler, _: usize| Ok(10.0 + s.standard_normal());
+    let buffered = runner(1)
+        .run_scalar(100_000, build, sample)
+        .expect("infallible");
+    assert!(buffered.attempted < 100_000, "early stop fired");
+    let mut sink = (VecSink::new(), CsvSink::new(Vec::<u8>::new()));
+    let streamed = runner(3)
+        .run_streaming(100_000, build, sample, &mut sink)
+        .expect("infallible");
+    let (records, csv) = sink;
+    assert_eq!(streamed.attempted, buffered.attempted);
+    assert_eq!(records.records(), buffered.samples());
+    assert_eq!(
+        streamed.moments().mean().to_bits(),
+        buffered.moments().mean().to_bits()
+    );
+    // The CSV byte stream equals one generated from the buffered prefix.
+    let mut expected = Vec::new();
+    for &(i, x) in buffered.samples() {
+        use std::io::Write as _;
+        writeln!(expected, "{i},{x}").unwrap();
+    }
+    assert_eq!(csv.into_inner(), expected);
+}
+
+#[test]
+fn streaming_counts_failures_and_skips_them_in_the_sink() {
+    let mut sink = (VecSink::new(), WelfordSink::new());
+    let out = ParallelRunner::new(3)
+        .workers(2)
+        .run_streaming(
+            40,
+            |_, _| Ok::<(), &'static str>(()),
+            |(), _, i| {
+                if i % 4 == 0 {
+                    Err("synthetic")
+                } else {
+                    Ok(i as f64)
+                }
+            },
+            &mut sink,
+        )
+        .expect("setup is fine");
+    assert_eq!(out.failures, 10);
+    assert_eq!(out.observed, 30);
+    assert_eq!(out.attempted, 40);
+    assert!(sink.0.records().iter().all(|(i, _)| i % 4 != 0));
+    assert_eq!(sink.1.moments().count(), 30);
+}
+
+#[test]
+#[should_panic(expected = "synthetic sink panic")]
+fn sink_panics_propagate_on_the_coordinating_thread() {
+    // A sink that panics in observe must shut the run down cleanly (no
+    // deadlocked workers at the round barriers) and re-raise here, matching
+    // the closure-panic guarantee.
+    struct Exploding;
+    impl Sink for Exploding {
+        fn observe(&mut self, index: usize, _value: f64) {
+            if index >= 7 {
+                panic!("synthetic sink panic");
+            }
+        }
+    }
+    let _ = ParallelRunner::new(2)
+        .workers(3)
+        .check_every(8)
+        .run_streaming(
+            64,
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+            |(), _, _| Ok(1.0),
+            &mut Exploding,
+        );
+}
+
+#[test]
+fn streaming_setup_errors_propagate_and_leave_the_sink_unfinished() {
+    let mut sink = CsvSink::with_header(Vec::<u8>::new(), &["sample", "value"]);
+    let err = ParallelRunner::new(1)
+        .workers(4)
+        .run_streaming(
+            8,
+            |w, _| {
+                if w == 0 {
+                    Err("worker zero failed")
+                } else {
+                    Ok(())
+                }
+            },
+            |(), _, _| Ok(0.0),
+            &mut sink,
+        )
+        .unwrap_err();
+    assert_eq!(err, "worker zero failed");
+    // No records reached the sink; the header was written at construction.
+    assert_eq!(sink.into_inner(), b"sample,value\n");
+}
+
+#[test]
+fn streaming_records_are_thread_count_invariant() {
+    // The generic-record variant: (value, value²) pairs into a two-column
+    // CSV, byte-compared across worker counts.
+    let run = |workers: usize| {
+        let mut sink = CsvSink::new(Vec::<u8>::new());
+        let out = ParallelRunner::new(11)
+            .workers(workers)
+            .run_streaming_records(
+                200,
+                |_, _| Ok::<(), std::convert::Infallible>(()),
+                |(), s, _| {
+                    let x = s.standard_normal();
+                    Ok((x, x * x))
+                },
+                &mut sink,
+            )
+            .expect("infallible");
+        assert_eq!(out.observed, 200);
+        assert!(out.moments().is_empty(), "record runs carry no metric");
+        sink.into_inner()
+    };
+    let reference = run(1);
+    assert!(!reference.is_empty());
+    for workers in [2, 7] {
+        assert_eq!(reference, run(workers), "bytes differ at {workers} workers");
+    }
+}
+
+#[test]
+fn zero_samples_streaming_finishes_the_sink_empty() {
+    let mut sink = (
+        CsvSink::with_header(Vec::<u8>::new(), &["sample", "value"]),
+        WelfordSink::new(),
+    );
+    let out = ParallelRunner::new(1)
+        .run_streaming(
+            0,
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+            |(), _, _| Ok(1.0),
+            &mut sink,
+        )
+        .expect("no work");
+    assert_eq!(out.observed, 0);
+    assert_eq!(out.attempted, 0);
+    assert!(out.moments().is_empty());
+    assert_eq!(sink.0.into_inner(), b"sample,value\n");
 }
 
 #[test]

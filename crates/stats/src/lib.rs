@@ -10,6 +10,10 @@
 //! * [`descriptive`] — mean / variance / skewness / kurtosis / quantiles.
 //! * [`welford`] — streaming mean/variance accumulation with exact
 //!   [`Welford::merge`], for sharded and unbounded Monte Carlo runs.
+//! * [`sink`] — streaming result sinks (`Sink` trait, P² quantile sketch,
+//!   incremental CSV records, live-moment `WelfordSink`) consumed by the
+//!   parallel executor's `run_streaming`, so million-sample sweeps hold
+//!   O(workers) memory instead of buffering every value.
 //! * [`gaussian`] — the standard normal pdf / cdf / inverse cdf.
 //! * [`histogram`] — fixed-bin histograms with density normalization.
 //! * [`kde`] — Gaussian kernel density estimates (the smooth PDF curves in
@@ -47,8 +51,10 @@ pub mod kde;
 pub mod ks;
 pub mod qq;
 pub mod sampler;
+pub mod sink;
 pub mod welford;
 
 pub use descriptive::Summary;
 pub use sampler::Sampler;
+pub use sink::Sink;
 pub use welford::Welford;
