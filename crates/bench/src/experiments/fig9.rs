@@ -1,7 +1,9 @@
 //! Fig. 9 — 6T SRAM butterfly curves and READ/HOLD static noise margins
 //! (2500 Monte Carlo samples), including the slightly non-Gaussian HOLD SNM
-//! distribution. The SNM loops run through the streaming pipeline: a P²
-//! sketch reports the 5th-percentile yield margin in O(1) memory, fanned
+//! distribution. The SNM loops run through the streaming pipeline: a
+//! t-digest sketch reports the 5th-percentile yield margin in O(δ) memory —
+//! and, being mergeable, lets independent shards of a scaled-up run
+//! combine their tail estimates (see `examples/fleet_merge.rs`) — fanned
 //! out next to the explicit sample buffer the KDE/QQ curves need.
 
 use super::ExpResult;
@@ -11,7 +13,7 @@ use circuits::sram::{SnmBench, SnmMode, SramSizing};
 use stats::kde::Kde;
 use stats::qq::QqPlot;
 use stats::Summary;
-use vscore::mc::{P2Quantiles, VecSink};
+use vscore::mc::{TDigest, VecSink};
 
 /// Regenerates butterfly curves and SNM distributions.
 pub fn run(ctx: &ExperimentContext) -> ExpResult {
@@ -61,11 +63,12 @@ pub fn run(ctx: &ExperimentContext) -> ExpResult {
             // rolling to the next trial) — the initial devices are
             // overwritten by the first sample anyway.
             //
-            // SNM records stream into a P² sketch for the 5th-percentile
-            // yield figure (O(1) memory at any sample count) next to an
-            // explicit VecSink — the KDE curve, QQ plot, and skewness are
-            // genuinely whole-sample statistics.
-            let mut sink = (VecSink::new(), P2Quantiles::new(&[0.05]));
+            // SNM records stream into a t-digest for the 5th-percentile
+            // yield figure (O(δ) memory at any sample count, and mergeable
+            // with other runs' digests) next to an explicit VecSink — the
+            // KDE curve, QQ plot, and skewness are genuinely whole-sample
+            // statistics.
+            let mut sink = (VecSink::new(), TDigest::new(100.0));
             let out = ctx.runner(0x54a8).run_streaming(
                 n,
                 |_, setup| {

@@ -17,8 +17,12 @@
 //! into an [`McOutcome`] or stream to a [`Sink`] (quantile sketch,
 //! histogram, incremental CSV, live moments) via
 //! [`ParallelRunner::run_streaming`], which holds O(workers) sample memory
-//! however long the run. `ARCHITECTURE.md` at the repo root diagrams the
-//! data flow.
+//! however long the run. Beyond one process,
+//! [`ParallelRunner::run_streaming_range`] executes a disjoint shard of
+//! the index space so independent processes/machines combine their
+//! [`MergeableSink`] sketches ([`TDigest`], [`Histogram`],
+//! [`WelfordSink`]) afterwards. `ARCHITECTURE.md` at the repo root
+//! diagrams the data flow.
 //!
 //! # Example
 //!
@@ -58,7 +62,10 @@ pub use parallel::{EarlyStop, McOutcome, ParallelRunner, StreamOutcome};
 // The sink vocabulary consumed by `ParallelRunner::run_streaming`, re-
 // exported so Monte Carlo call sites need a single import path.
 pub use stats::histogram::Histogram;
-pub use stats::sink::{CsvSink, P2Quantiles, Sink, VecSink, WelfordSink, WelfordWatch};
+pub use stats::sink::{
+    CodecError, CsvSink, MergeableSink, P2Quantiles, Sink, VecSink, WelfordSink, WelfordWatch,
+};
+pub use stats::tdigest::TDigest;
 
 use crate::metrics::DeviceMetrics;
 use crate::sensitivity::VariedModel;

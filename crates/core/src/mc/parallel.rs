@@ -41,6 +41,12 @@
 //!   coordinator folds the shards in ascending index order at each round
 //!   boundary, so sink state is bit-identical for any worker count while
 //!   peak sample storage stays O(workers + check_every) instead of O(n).
+//! * **Fleet partitioning.** [`ParallelRunner::run_streaming_range`] runs
+//!   one disjoint slice of the sample index space — the same pure
+//!   `(seed, i)` streams, the same index-ordered fold — so N *processes or
+//!   machines* each execute a shard of one experiment and merge their
+//!   [`stats::sink::MergeableSink`] states (t-digest, histogram, Welford)
+//!   afterwards, independent of how the space was partitioned.
 //!
 //! # Example
 //!
@@ -411,7 +417,15 @@ impl ParallelRunner {
         S: Fn(&mut W, &mut Sampler, usize) -> Result<f64, E> + Sync,
         K: Sink + ?Sized,
     {
-        self.stream_impl(n, build, sample, sink, Some(&|x: &f64| *x))
+        self.stream_impl(
+            0,
+            n,
+            build,
+            sample,
+            sink,
+            Some(&|x: &f64| *x),
+            self.early_stop,
+        )
     }
 
     /// [`ParallelRunner::run_streaming`] for generic record types — e.g. a
@@ -438,7 +452,101 @@ impl ParallelRunner {
         S: Fn(&mut W, &mut Sampler, usize) -> Result<T, E> + Sync,
         K: Sink<T> + ?Sized,
     {
-        self.stream_impl(n, build, sample, sink, None)
+        self.stream_impl(0, n, build, sample, sink, None, None)
+    }
+
+    /// Executes the disjoint shard `offset .. offset + len` of a larger
+    /// experiment's sample index space, streaming into `sink` — the
+    /// fleet-scale primitive: N processes or machines each run one shard
+    /// of the same `(seed, total)` experiment, serialize their
+    /// [`stats::sink::MergeableSink`] states, and an aggregator merges
+    /// them.
+    ///
+    /// Sample `i` draws from exactly the same pure `(seed, i)` stream as
+    /// in a single [`ParallelRunner::run_streaming`] over the whole index
+    /// space, and the shard's records fold into the sink in ascending
+    /// index order — so the union of shard streams *is* the single-run
+    /// stream, however the space is partitioned. Merged sketch guarantees
+    /// (partitioned-and-merged vs single-run state): exact for
+    /// [`stats::histogram::Histogram`] bin counts and for every
+    /// count/min/max; [`stats::Welford`] moments to floating-point
+    /// rounding (≲1e-12 relative — grouping pushes into shards moves the
+    /// last bits, see [`stats::Welford::merge`]); [`stats::TDigest`]
+    /// quantiles within the digest's documented rank-error bound. The
+    /// determinism suite (`crates/core/tests/parallel_mc.rs`) pins all
+    /// three, including through the byte round-trip.
+    ///
+    /// The configured [`EarlyStop`] rule is **ignored**: a shard observes
+    /// only its slice of the samples, so a locally-evaluated CI rule would
+    /// make the executed sample set depend on the partitioning — exactly
+    /// what fleet merging must rule out. (Run accounting in the returned
+    /// [`StreamOutcome`] is shard-local: `attempted` counts this shard's
+    /// indices.)
+    ///
+    /// # Example
+    ///
+    /// Three shards of one experiment, merged, against the single run:
+    ///
+    /// ```
+    /// use stats::sink::MergeableSink;
+    /// use stats::TDigest;
+    /// use vscore::mc::ParallelRunner;
+    ///
+    /// let runner = ParallelRunner::new(9);
+    /// let sample = |(): &mut (), s: &mut stats::Sampler, _i: usize| {
+    ///     Ok::<_, std::convert::Infallible>(s.standard_normal())
+    /// };
+    /// let mut merged = TDigest::new(100.0);
+    /// for (offset, len) in [(0, 1000), (1000, 500), (1500, 1500)] {
+    ///     let mut shard = TDigest::new(100.0);
+    ///     runner
+    ///         .run_streaming_range(offset, len, |_, _| Ok(()), sample, &mut shard)
+    ///         .unwrap();
+    ///     // In a real fleet the bytes cross a process/machine boundary.
+    ///     merged.merge_from(&TDigest::from_bytes(&shard.to_bytes()).unwrap());
+    /// }
+    /// let mut single = TDigest::new(100.0);
+    /// runner
+    ///     .run_streaming(3000, |_, _| Ok(()), sample, &mut single)
+    ///     .unwrap();
+    /// assert_eq!(merged.count(), single.count());
+    /// assert_eq!(merged.min(), single.min()); // extrema merge exactly
+    /// let (m, s) = (
+    ///     merged.quantile(0.95).unwrap(),
+    ///     single.quantile(0.95).unwrap(),
+    /// );
+    /// assert!((m - s).abs() < 0.1); // within the documented rank error
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first worker-state `build` error (the sink is left
+    /// unfinished).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len` overflows `usize` or reaches
+    /// `usize::MAX` (reserved as the engine's shutdown sentinel) — shard
+    /// specifications that cannot index a sample space are a caller bug.
+    pub fn run_streaming_range<W, E, B, S, K>(
+        &self,
+        offset: usize,
+        len: usize,
+        build: B,
+        sample: S,
+        sink: &mut K,
+    ) -> Result<StreamOutcome, E>
+    where
+        E: Send,
+        B: Fn(usize, &mut Sampler) -> Result<W, E> + Sync,
+        S: Fn(&mut W, &mut Sampler, usize) -> Result<f64, E> + Sync,
+        K: Sink + ?Sized,
+    {
+        let end = offset
+            .checked_add(len)
+            .filter(|&end| end < usize::MAX)
+            .expect("shard range must end below usize::MAX (the sample index space)");
+        self.stream_impl(offset, end, build, sample, sink, Some(&|x: &f64| *x), None)
     }
 
     /// Buffered execution: per-sample slots collected into an [`McOutcome`].
@@ -470,6 +578,7 @@ impl ParallelRunner {
         // check instead of O(hi).
         let mut watched = Welford::new();
         let stats = self.run_engine(
+            0,
             n,
             round,
             &build,
@@ -504,15 +613,20 @@ impl ParallelRunner {
         })
     }
 
-    /// Streaming execution: per-worker record shards folded into a sink in
-    /// index order at every round boundary.
+    /// Streaming execution over the sample index range `start..end`:
+    /// per-worker record shards folded into a sink in index order at every
+    /// round boundary. `stop` is the early-stopping rule to honour (`None`
+    /// for generic records and for partitioned shards, which must not let
+    /// local state decide the executed sample set).
     fn stream_impl<W, T, E, B, S, K>(
         &self,
-        n: usize,
+        start: usize,
+        end: usize,
         build: B,
         sample: S,
         sink: &mut K,
         metric: Option<&dyn Fn(&T) -> f64>,
+        stop: Option<EarlyStop>,
     ) -> Result<StreamOutcome, E>
     where
         T: Send,
@@ -521,14 +635,15 @@ impl ParallelRunner {
         S: Fn(&mut W, &mut Sampler, usize) -> Result<T, E> + Sync,
         K: Sink<T> + ?Sized,
     {
-        let workers = self.workers.min(n.max(1));
+        let workers = self.workers.min((end - start).max(1));
         let shards: Vec<Mutex<Vec<(usize, T)>>> =
             (0..workers).map(|_| Mutex::new(Vec::new())).collect();
         let mut batch: Vec<(usize, T)> = Vec::new();
         let mut moments = Welford::new();
         let mut observed = 0usize;
         let stats = self.run_engine(
-            n,
+            start,
+            end,
             self.check_every,
             &build,
             &sample,
@@ -551,8 +666,8 @@ impl ParallelRunner {
                 }
                 sink.merge(&mut batch);
                 batch.clear();
-                if hi < n {
-                    if let (Some(stop), Some(_)) = (self.early_stop, metric) {
+                if hi < end {
+                    if let (Some(stop), Some(_)) = (stop, metric) {
                         return stop.satisfied(&moments);
                     }
                 }
@@ -569,7 +684,10 @@ impl ParallelRunner {
         })
     }
 
-    /// The sharded execution engine shared by every run flavor.
+    /// The sharded execution engine shared by every run flavor, executing
+    /// the sample index range `start..end` (a full run passes `start = 0`;
+    /// a fleet shard passes its offset — sample `i` draws the same pure
+    /// `(seed, i)` stream either way).
     ///
     /// Workers hand each successful sample to `emit(worker, index, value)`
     /// from their own threads; after every round barrier the coordinator
@@ -581,7 +699,8 @@ impl ParallelRunner {
     /// panic.
     fn run_engine<W, T, E, B, S>(
         &self,
-        n: usize,
+        start: usize,
+        end: usize,
         round: usize,
         build: &B,
         sample: &S,
@@ -593,8 +712,9 @@ impl ParallelRunner {
         B: Fn(usize, &mut Sampler) -> Result<W, E> + Sync,
         S: Fn(&mut W, &mut Sampler, usize) -> Result<T, E> + Sync,
     {
-        let workers = self.workers.min(n.max(1));
-        if n == 0 {
+        let len = end - start;
+        let workers = self.workers.min(len.max(1));
+        if len == 0 {
             return Ok(RunStats {
                 attempted: 0,
                 failures: 0,
@@ -609,7 +729,7 @@ impl ParallelRunner {
         let worker_base = root.fork(WORKER_STREAM_SALT);
 
         let failures = AtomicUsize::new(0);
-        let next = AtomicUsize::new(0);
+        let next = AtomicUsize::new(start);
         let limit = AtomicUsize::new(0);
         // Workers + the coordinating thread.
         let barrier = Barrier::new(workers + 1);
@@ -707,12 +827,12 @@ impl ParallelRunner {
             if setup_err.lock().expect("no poisoned locks").is_some()
                 || panic_slot.lock().expect("no poisoned locks").is_some()
             {
-                return shutdown(0);
+                return shutdown(start);
             }
-            let mut hi = 0;
-            let mut folded_to = 0;
-            while hi < n {
-                hi = (hi + round).min(n);
+            let mut hi = start;
+            let mut folded_to = start;
+            while hi < end {
+                hi = (hi + round).min(end);
                 limit.store(hi, Ordering::SeqCst);
                 barrier.wait(); // round start
                 barrier.wait(); // round end: all samples < hi are final
@@ -741,7 +861,7 @@ impl ParallelRunner {
             return Err(e);
         }
         Ok(RunStats {
-            attempted,
+            attempted: attempted - start,
             failures: failures.into_inner(),
             workers,
         })

@@ -16,7 +16,8 @@ use spice::Session;
 use stats::histogram::Histogram;
 use stats::{Sampler, Welford};
 use vscore::mc::{
-    CsvSink, EarlyStop, McFactory, P2Quantiles, ParallelRunner, Sink, VecSink, WelfordSink,
+    CsvSink, EarlyStop, McFactory, MergeableSink, P2Quantiles, ParallelRunner, Sink, TDigest,
+    VecSink, WelfordSink,
 };
 use vscore::metrics::DeviceMetrics;
 use vscore::sensitivity::{VariedModel, VsBuilder};
@@ -587,4 +588,256 @@ fn zero_samples_is_empty_outcome() {
     assert!(out.is_empty());
     assert_eq!(out.attempted, 0);
     assert!(out.moments().is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fleet partitioning: run_streaming_range + mergeable sinks
+// ---------------------------------------------------------------------------
+
+/// The fleet sink set: one of each mergeable sketch.
+type FleetSinks = ((TDigest, Histogram), WelfordSink);
+
+fn fleet_sinks() -> FleetSinks {
+    (
+        (TDigest::new(100.0), Histogram::new(0.0, 2e-3, 32)),
+        WelfordSink::new(),
+    )
+}
+
+/// Runs the sample index shard `offset..offset + len` of the stateless
+/// device-level workload on `workers` threads, returning the sink states.
+fn fleet_shard(seed: u64, offset: usize, len: usize, workers: usize) -> FleetSinks {
+    let b = builder();
+    let sp = spec();
+    let mut sink = fleet_sinks();
+    ParallelRunner::new(seed)
+        .workers(workers)
+        .run_streaming_range(
+            offset,
+            len,
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+            |(), sampler, _| {
+                let delta = sp.sample(b.geometry(), || sampler.standard_normal());
+                Ok(DeviceMetrics::evaluate(b.build(delta).as_ref(), VDD).idsat)
+            },
+            &mut sink,
+        )
+        .expect("infallible setup");
+    sink
+}
+
+/// Merges shard sink states into fleet aggregates, pushing every sketch
+/// through its byte round-trip first (the wire a real fleet would cross).
+fn merge_through_bytes(shards: Vec<FleetSinks>) -> (TDigest, Histogram, Welford) {
+    let mut digest = TDigest::new(100.0);
+    let mut hist = Histogram::new(0.0, 2e-3, 32);
+    let mut moments = WelfordSink::new();
+    for ((d, h), w) in shards {
+        digest.merge_from(&TDigest::from_bytes(&d.to_bytes()).expect("digest round trip"));
+        MergeableSink::merge_from(
+            &mut hist,
+            &Histogram::from_bytes(&MergeableSink::to_bytes(&h)).expect("histogram round trip"),
+        );
+        moments.merge_from(&WelfordSink::from_bytes(&w.to_bytes()).expect("welford round trip"));
+    }
+    (digest, hist, moments.moments())
+}
+
+/// The acceptance property: n samples as one run vs three disjoint
+/// `run_streaming_range` shards, merged through the byte round-trip.
+/// Histogram state and Welford count/extrema are bit-identical; Welford
+/// moments agree to floating-point rounding (grouping pushes into shards
+/// legitimately moves the last bits — see `Welford::merge`); t-digest
+/// quantiles stay within the documented rank-error bound.
+#[test]
+fn partitioned_shards_merge_to_the_single_run_state() {
+    let (seed, n) = (23u64, 450);
+    // Unequal shards at awkward offsets, each on a different worker count
+    // (shard-internal sharding must not leak into the merged state).
+    let shards = vec![
+        fleet_shard(seed, 0, 170, 1),
+        fleet_shard(seed, 170, 63, 2),
+        fleet_shard(seed, 233, n - 233, 3),
+    ];
+    let (digest, hist, moments) = merge_through_bytes(shards);
+
+    // Single-run reference over the same index space, plus the buffered
+    // sample values for exact empirical quantiles.
+    let mut single = fleet_sinks();
+    let b = builder();
+    let sp = spec();
+    let out = ParallelRunner::new(seed)
+        .workers(2)
+        .run_streaming(
+            n,
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+            |(), sampler, _| {
+                let delta = sp.sample(b.geometry(), || sampler.standard_normal());
+                Ok(DeviceMetrics::evaluate(b.build(delta).as_ref(), VDD).idsat)
+            },
+            &mut single,
+        )
+        .expect("infallible setup");
+    let ((single_digest, single_hist), single_welford) = single;
+    assert_eq!(out.observed, n);
+
+    // Histogram: integer counts — bit-identical.
+    assert_eq!(hist.counts(), single_hist.counts());
+    assert_eq!(hist.total(), single_hist.total());
+
+    // Welford: count and extrema exact; moments to rounding.
+    let single_m = single_welford.moments();
+    assert_eq!(moments.count(), single_m.count());
+    assert_eq!(moments.min().to_bits(), single_m.min().to_bits());
+    assert_eq!(moments.max().to_bits(), single_m.max().to_bits());
+    assert!((moments.mean() - single_m.mean()).abs() <= 1e-12 * single_m.mean().abs());
+    assert!((moments.variance() - single_m.variance()).abs() <= 1e-12 * single_m.variance());
+
+    // t-digest: counts and extrema exact; quantiles within the documented
+    // bound of the single-run digest (both are within the pinned bound of
+    // the exact empirical quantile, checked against the buffered values).
+    assert_eq!(digest.count(), single_digest.count());
+    assert_eq!(digest.min().to_bits(), single_digest.min().to_bits());
+    assert_eq!(digest.max().to_bits(), single_digest.max().to_bits());
+    let values: Vec<f64> = ParallelRunner::new(seed)
+        .workers(2)
+        .run_scalar(
+            n,
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+            |(), sampler, _| {
+                let delta = sp.sample(b.geometry(), || sampler.standard_normal());
+                Ok(DeviceMetrics::evaluate(b.build(delta).as_ref(), VDD).idsat)
+            },
+        )
+        .expect("infallible setup")
+        .into_values();
+    let sigma = single_m.std();
+    for p in [0.05, 0.25, 0.5, 0.75, 0.95] {
+        let exact = stats::descriptive::quantile(&values, p);
+        let m = digest.quantile(p).expect("non-empty digest");
+        let s = single_digest.quantile(p).expect("non-empty digest");
+        // n = 450 is far below the n = 4000 pin, so allow the small-sample
+        // rank error headroom on top of the asymptotic bound.
+        let tol = 0.1 * sigma;
+        assert!(
+            (m - exact).abs() <= tol,
+            "merged digest p{p}: {m:.6e} vs exact {exact:.6e} (sigma {sigma:.2e})"
+        );
+        assert!(
+            (m - s).abs() <= tol,
+            "merged vs single digest p{p}: {m:.6e} vs {s:.6e}"
+        );
+    }
+}
+
+/// Merged state must not depend on *how* the index space was partitioned.
+#[test]
+fn merged_state_is_invariant_to_the_partitioning() {
+    let seed = 7u64; // both partitions cover indices 0..300
+    let coarse = vec![fleet_shard(seed, 0, 100, 2), fleet_shard(seed, 100, 200, 1)];
+    let fine = vec![
+        fleet_shard(seed, 0, 37, 1),
+        fleet_shard(seed, 37, 63, 3),
+        fleet_shard(seed, 100, 100, 2),
+        fleet_shard(seed, 200, 100, 1),
+    ];
+    let (dc, hc, mc) = merge_through_bytes(coarse);
+    let (df, hf, mf) = merge_through_bytes(fine);
+    assert_eq!(hc.counts(), hf.counts(), "histogram depends on the split");
+    assert_eq!(hc.total(), hf.total());
+    assert_eq!(mc.count(), mf.count());
+    assert_eq!(mc.min().to_bits(), mf.min().to_bits());
+    assert_eq!(mc.max().to_bits(), mf.max().to_bits());
+    assert!((mc.mean() - mf.mean()).abs() <= 1e-12 * mf.mean().abs());
+    assert_eq!(dc.count(), df.count());
+    let sigma = mf.std();
+    for p in [0.1, 0.5, 0.9] {
+        let a = dc.quantile(p).unwrap();
+        let b = df.quantile(p).unwrap();
+        assert!(
+            (a - b).abs() <= 0.1 * sigma,
+            "digest split-sensitivity at p{p}: {a:.6e} vs {b:.6e}"
+        );
+    }
+}
+
+/// A shard draws exactly the global `(seed, i)` streams: its records are
+/// the corresponding slice of the full run's record sequence, bit for bit.
+#[test]
+fn range_shards_draw_the_global_sample_streams() {
+    let (seed, n) = (91u64, 120);
+    let b = builder();
+    let sp = spec();
+    let sample = |(): &mut (), sampler: &mut Sampler, _i: usize| {
+        let delta = sp.sample(b.geometry(), || sampler.standard_normal());
+        Ok::<_, std::convert::Infallible>(
+            DeviceMetrics::evaluate(b.build(delta).as_ref(), VDD).idsat,
+        )
+    };
+    let mut full = VecSink::new();
+    ParallelRunner::new(seed)
+        .workers(2)
+        .run_streaming(n, |_, _| Ok(()), sample, &mut full)
+        .expect("infallible setup");
+    let mut shard = VecSink::new();
+    let out = ParallelRunner::new(seed)
+        .workers(3)
+        .run_streaming_range(40, 50, |_, _| Ok(()), sample, &mut shard)
+        .expect("infallible setup");
+    assert_eq!(out.attempted, 50);
+    assert_eq!(out.observed, 50);
+    let full_slice: Vec<(usize, u64)> = full.records()[40..90]
+        .iter()
+        .map(|&(i, v)| (i, v.to_bits()))
+        .collect();
+    let shard_records: Vec<(usize, u64)> = shard
+        .records()
+        .iter()
+        .map(|&(i, v)| (i, v.to_bits()))
+        .collect();
+    assert_eq!(full_slice, shard_records);
+    // The shard's own moments fold in index order too.
+    assert_eq!(out.moments().count(), 50);
+}
+
+/// A shard must execute its whole slice even when the runner carries an
+/// early-stopping rule: a locally evaluated CI stop would make the
+/// executed sample set depend on the partitioning.
+#[test]
+fn range_shards_ignore_early_stop() {
+    let mut sink = WelfordSink::new();
+    let out = ParallelRunner::new(5)
+        .workers(2)
+        .check_every(8)
+        .early_stop(EarlyStop::relative(0.5).min_samples(4))
+        .run_streaming_range(
+            16,
+            96,
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+            |(), sampler, _| Ok(10.0 + 0.01 * sampler.standard_normal()),
+            &mut sink,
+        )
+        .expect("infallible setup");
+    assert_eq!(out.attempted, 96, "shard stopped early");
+    assert_eq!(out.observed, 96);
+    assert_eq!(sink.moments().count(), 96);
+}
+
+/// Degenerate shards behave like degenerate runs: nothing executes, the
+/// sink still finishes.
+#[test]
+fn zero_length_shard_finishes_the_sink_empty() {
+    let mut sink = WelfordSink::new();
+    let out = ParallelRunner::new(3)
+        .run_streaming_range(
+            1000,
+            0,
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+            |(), _, _| Ok(1.0),
+            &mut sink,
+        )
+        .expect("no work");
+    assert_eq!(out.attempted, 0);
+    assert_eq!(out.observed, 0);
+    assert!(sink.moments().is_empty());
 }

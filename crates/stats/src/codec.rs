@@ -1,0 +1,168 @@
+//! Compact self-describing byte encoding for mergeable sketch state.
+//!
+//! Every serializable sketch writes a two-byte header — an ASCII type tag
+//! and a format version — followed by little-endian `u64`/`f64` fields.
+//! The format carries no external dependencies and is the wire shape of
+//! [`crate::sink::MergeableSink::to_bytes`]: a shard process serializes
+//! its sketch, ships the bytes anywhere, and the aggregator reconstructs
+//! and merges. Decoding validates the header, the length, and the type's
+//! own invariants, so a corrupted or mismatched payload fails loudly with
+//! a [`CodecError`] instead of merging garbage.
+
+use std::fmt;
+
+/// Why a sketch payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the advertised fields did.
+    Truncated,
+    /// The leading type tag did not match the requested sketch type.
+    Tag {
+        /// The tag the decoder expected (an ASCII mnemonic).
+        expected: u8,
+        /// The tag actually found, if the payload was non-empty.
+        found: Option<u8>,
+    },
+    /// The format version is newer than this build understands.
+    Version(u8),
+    /// A field violated the sketch type's invariants.
+    Invalid(&'static str),
+    /// Extra bytes followed the advertised fields.
+    Trailing,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "sketch payload is truncated"),
+            CodecError::Tag { expected, found } => match found {
+                Some(t) => write!(
+                    f,
+                    "sketch tag mismatch: expected '{}', found '{}'",
+                    *expected as char, *t as char
+                ),
+                None => write!(
+                    f,
+                    "empty sketch payload (expected tag '{}')",
+                    *expected as char
+                ),
+            },
+            CodecError::Version(v) => write!(f, "unsupported sketch format version {v}"),
+            CodecError::Invalid(what) => write!(f, "invalid sketch payload: {what}"),
+            CodecError::Trailing => write!(f, "trailing bytes after sketch payload"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Current (and only) format version for every sketch tag.
+pub(crate) const VERSION: u8 = 1;
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// Writes the `[tag, version]` header.
+pub(crate) fn put_header(out: &mut Vec<u8>, tag: u8) {
+    out.push(tag);
+    out.push(VERSION);
+}
+
+/// A bounds-checked cursor over a sketch payload.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Validates the `[tag, version]` header and positions the cursor
+    /// after it.
+    pub(crate) fn with_header(bytes: &'a [u8], tag: u8) -> Result<Self, CodecError> {
+        let found = bytes.first().copied();
+        if found != Some(tag) {
+            return Err(CodecError::Tag {
+                expected: tag,
+                found,
+            });
+        }
+        match bytes.get(1) {
+            Some(&VERSION) => Ok(Reader { bytes, pos: 2 }),
+            Some(&v) => Err(CodecError::Version(v)),
+            None => Err(CodecError::Truncated),
+        }
+    }
+
+    pub(crate) fn take_u64(&mut self) -> Result<u64, CodecError> {
+        let end = self.pos.checked_add(8).ok_or(CodecError::Truncated)?;
+        let chunk = self.bytes.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
+    }
+
+    pub(crate) fn take_f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Fails unless the cursor consumed the payload exactly.
+    pub(crate) fn finish(self) -> Result<(), CodecError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(CodecError::Trailing)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_fields() {
+        let mut out = Vec::new();
+        put_header(&mut out, b'X');
+        put_u64(&mut out, 42);
+        put_f64(&mut out, -0.5);
+        let mut r = Reader::with_header(&out, b'X').unwrap();
+        assert_eq!(r.take_u64().unwrap(), 42);
+        assert_eq!(r.take_f64().unwrap().to_bits(), (-0.5f64).to_bits());
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn header_and_length_violations_are_loud() {
+        let mut out = Vec::new();
+        put_header(&mut out, b'X');
+        put_u64(&mut out, 1);
+        assert!(matches!(
+            Reader::with_header(&out, b'Y'),
+            Err(CodecError::Tag {
+                expected: b'Y',
+                found: Some(b'X')
+            })
+        ));
+        assert!(matches!(
+            Reader::with_header(&[], b'X'),
+            Err(CodecError::Tag { found: None, .. })
+        ));
+        assert_eq!(
+            Reader::with_header(&[b'X', 9], b'X'),
+            Err(CodecError::Version(9))
+        );
+        let mut r = Reader::with_header(&out, b'X').unwrap();
+        r.take_u64().unwrap();
+        assert_eq!(r.take_u64(), Err(CodecError::Truncated));
+        let mut r = Reader::with_header(&out, b'X').unwrap();
+        let _ = r.take_u64();
+        // `finish` before the end is fine; after a partial read it is not.
+        r.finish().unwrap();
+        let r = Reader::with_header(&out, b'X').unwrap();
+        assert_eq!(r.finish(), Err(CodecError::Trailing));
+    }
+}

@@ -71,6 +71,57 @@ impl Histogram {
         self.total += 1;
     }
 
+    /// Adds every observation of `other` into this histogram, bin by bin.
+    /// Counts are integers, so the result is exactly the histogram of the
+    /// combined sample — merging shards is associative, commutative, and
+    /// bit-identical to a single-pass histogram over all the data.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both histograms share the exact same range and bin
+    /// count: bins of differently configured histograms do not align, and
+    /// silently resampling them would corrupt the counts.
+    pub fn absorb(&mut self, other: &Histogram) {
+        assert!(
+            self.lo.to_bits() == other.lo.to_bits()
+                && self.hi.to_bits() == other.hi.to_bits()
+                && self.counts.len() == other.counts.len(),
+            "histogram configurations differ: [{}, {}] x{} vs [{}, {}] x{}",
+            self.lo,
+            self.hi,
+            self.counts.len(),
+            other.lo,
+            other.hi,
+            other.counts.len()
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Lower edge of the binned range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge of the binned range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Rebuilds a histogram from serialized parts (the byte codec of
+    /// `stats::sink::MergeableSink`); the caller has validated the range,
+    /// bin count, and that `counts` sums to `total`.
+    pub(crate) fn from_parts(lo: f64, hi: f64, counts: Vec<u64>, total: u64) -> Self {
+        Histogram {
+            lo,
+            hi,
+            counts,
+            total,
+        }
+    }
+
     /// Raw bin counts.
     pub fn counts(&self) -> &[u64] {
         &self.counts
@@ -154,6 +205,33 @@ mod tests {
     #[should_panic]
     fn zero_bins_panics() {
         Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn absorb_matches_single_pass_exactly() {
+        let xs: Vec<f64> = (0..90).map(|i| f64::from(i) / 9.0).collect();
+        let mut whole = Histogram::new(0.0, 10.0, 7);
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut merged = Histogram::new(0.0, 10.0, 7);
+        for chunk in xs.chunks(31) {
+            let mut shard = Histogram::new(0.0, 10.0, 7);
+            for &x in chunk {
+                shard.add(x);
+            }
+            merged.absorb(&shard);
+        }
+        assert_eq!(merged.counts(), whole.counts());
+        assert_eq!(merged.total(), whole.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram configurations differ")]
+    fn absorb_rejects_mismatched_bins() {
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        let b = Histogram::new(0.0, 1.0, 5);
+        a.absorb(&b);
     }
 
     #[test]

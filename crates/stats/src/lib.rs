@@ -13,7 +13,11 @@
 //! * [`sink`] — streaming result sinks (`Sink` trait, P² quantile sketch,
 //!   incremental CSV records, live-moment `WelfordSink`) consumed by the
 //!   parallel executor's `run_streaming`, so million-sample sweeps hold
-//!   O(workers) memory instead of buffering every value.
+//!   O(workers) memory instead of buffering every value; plus the
+//!   [`sink::MergeableSink`] trait (merge + byte round-trip) that lets
+//!   independent runs combine their sketches.
+//! * [`tdigest`] — the mergeable t-digest quantile sketch (Dunning &
+//!   Ertl), the fleet-scale replacement for the single-stream P² sketch.
 //! * [`gaussian`] — the standard normal pdf / cdf / inverse cdf.
 //! * [`histogram`] — fixed-bin histograms with density normalization.
 //! * [`kde`] — Gaussian kernel density estimates (the smooth PDF curves in
@@ -41,6 +45,7 @@
 //! assert!((sum.std - 2.0).abs() < 0.2);
 //! ```
 
+mod codec;
 pub mod corners;
 pub mod correlation;
 pub mod descriptive;
@@ -52,9 +57,11 @@ pub mod ks;
 pub mod qq;
 pub mod sampler;
 pub mod sink;
+pub mod tdigest;
 pub mod welford;
 
 pub use descriptive::Summary;
 pub use sampler::Sampler;
-pub use sink::Sink;
+pub use sink::{MergeableSink, Sink};
+pub use tdigest::TDigest;
 pub use welford::Welford;

@@ -26,8 +26,36 @@
 //!   [`WelfordSink::watch`] handle for live progress reporting.
 //! * [`VecSink`] — explicit opt-in buffering, for consumers (KDE, QQ
 //!   plots) that genuinely need the empirical sample.
+//! * [`crate::tdigest::TDigest`] — the mergeable t-digest quantile sketch
+//!   (see the table below).
 //! * `(A, B)` — a tuple of sinks fans every record out to both, so one run
 //!   can feed a CSV file, a sketch, and live moments at once.
+//!
+//! # Which sinks are mergeable
+//!
+//! Streaming collapses a run's memory; *merging* collapses a fleet's.
+//! Combining independent runs — N processes or machines each executing a
+//! disjoint shard via `ParallelRunner::run_streaming_range` in
+//! `vscore::mc` — needs sink states that combine after the fact.
+//! [`MergeableSink`] marks the sinks where that is well-defined and adds
+//! the byte round-trip for shipping state between processes:
+//!
+//! | sink | mergeable | guarantee when shards merge |
+//! |------|-----------|-----------------------------|
+//! | [`crate::tdigest::TDigest`] | yes | quantiles within the digest's documented rank-error bound of a single run over all the data |
+//! | [`Histogram`] | yes | bit-identical to the single-run histogram (integer bin counts add exactly) |
+//! | [`WelfordSink`] | yes | count/min/max bit-identical; mean/variance exact up to floating-point rounding (≲1e-12 relative — see [`Welford::merge`]) |
+//! | [`P2Quantiles`] | **no** | — |
+//! | [`CsvSink`] | no (concatenate the files out of band) | — |
+//! | [`VecSink`] | no (append the buffers) | — |
+//!
+//! `P2Quantiles` is *streaming but not mergeable by construction*: its
+//! five marker heights per level are a function of one observation
+//! *sequence*, and there is no operation that combines two runs' markers
+//! into the markers of the interleaved stream. Single-run pipelines keep
+//! using P² (slightly tighter central-quantile accuracy per byte);
+//! anything that must combine runs — fleet-scale tail estimates above
+//! all — uses [`crate::tdigest::TDigest`].
 //!
 //! # Example
 //!
@@ -65,11 +93,15 @@
 //! assert!((exceed.hits as f64 / 5000.0 - 0.159).abs() < 0.02);
 //! ```
 
+use crate::codec::{put_f64, put_header, put_u64, Reader};
 use crate::descriptive::quantile_sorted;
 use crate::histogram::Histogram;
+use crate::tdigest::{Centroid, TDigest};
 use crate::welford::Welford;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
+
+pub use crate::codec::CodecError;
 
 /// A streaming consumer of Monte Carlo results.
 ///
@@ -130,6 +162,229 @@ impl<T: Copy, A: Sink<T>, B: Sink<T>> Sink<T> for (A, B) {
 impl Sink for Histogram {
     fn observe(&mut self, _index: usize, value: f64) {
         self.add(value);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mergeable sinks
+// ---------------------------------------------------------------------------
+
+/// A [`Sink`] whose final state combines with another instance's — the
+/// fleet-aggregation contract.
+///
+/// N processes (or machines) each run a disjoint shard of one experiment's
+/// sample index space (`ParallelRunner::run_streaming_range` in
+/// `vscore::mc`), serialize their sink state with
+/// [`MergeableSink::to_bytes`], and ship the bytes to an aggregator that
+/// reconstructs ([`MergeableSink::from_bytes`]) and folds them
+/// ([`MergeableSink::merge_from`]). Because every sample's value is a pure
+/// function of `(seed, index)`, the merged state is independent of how the
+/// index space was partitioned; see the module-level table for each
+/// implementation's exactness guarantee.
+///
+/// `merge_from` is distinct from [`Sink::merge`]: the latter folds a batch
+/// of *records* during a run, this folds another sink's *accumulated
+/// state* after runs complete.
+///
+/// # Example
+///
+/// Two shards sketch disjoint halves of one experiment; the second ships
+/// its digest through bytes and merges into the first:
+///
+/// ```
+/// use stats::sink::{MergeableSink, Sink};
+/// use stats::tdigest::TDigest;
+/// use stats::Sampler;
+///
+/// let mut s = Sampler::from_seed(3);
+/// let mut a = TDigest::new(100.0);
+/// let mut b = TDigest::new(100.0);
+/// for i in 0..4000 {
+///     let x = s.standard_normal();
+///     if i < 2000 {
+///         a.observe(i, x);
+///     } else {
+///         b.observe(i, x);
+///     }
+/// }
+/// a.finish();
+/// b.finish();
+/// let wire = b.to_bytes(); // ship anywhere
+/// a.merge_from(&TDigest::from_bytes(&wire).unwrap());
+/// assert_eq!(a.count(), 4000);
+/// // P(X <= 1.645) = 95% for a standard normal.
+/// assert!((a.quantile(0.95).unwrap() - 1.645).abs() < 0.1);
+/// ```
+pub trait MergeableSink: Sink + Sized {
+    /// Folds another sink's accumulated state into this one, as if every
+    /// observation behind `other` had streamed here.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic when the two states are structurally
+    /// incompatible (e.g. [`Histogram`]s with different binning) — merging
+    /// across configurations would corrupt the state silently.
+    fn merge_from(&mut self, other: &Self);
+
+    /// Serializes the state into the compact self-describing byte format
+    /// (a `[tag, version]` header followed by little-endian fields; no
+    /// external dependencies). The round trip through
+    /// [`MergeableSink::from_bytes`] reconstructs the state bit-for-bit.
+    #[must_use]
+    fn to_bytes(&self) -> Vec<u8>;
+
+    /// Reconstructs a state serialized by [`MergeableSink::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Fails loudly ([`CodecError`]) on a wrong type tag, an unsupported
+    /// format version, a truncated/oversized payload, or decoded fields
+    /// that violate the type's invariants — a corrupt shard must never
+    /// merge quietly.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError>;
+}
+
+/// Byte tag `'T'`: compression, count, skipped, min, max, centroid count,
+/// then `(mean, weight)` pairs (buffered observations are flushed first).
+impl MergeableSink for TDigest {
+    fn merge_from(&mut self, other: &Self) {
+        TDigest::merge_from(self, other);
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let centroids = self.centroids();
+        let mut out = Vec::with_capacity(2 + 8 * 6 + 16 * centroids.len());
+        put_header(&mut out, b'T');
+        put_f64(&mut out, self.compression());
+        put_u64(&mut out, self.count());
+        put_u64(&mut out, self.skipped());
+        put_f64(&mut out, self.min());
+        put_f64(&mut out, self.max());
+        put_u64(&mut out, centroids.len() as u64);
+        for c in &centroids {
+            put_f64(&mut out, c.mean);
+            put_f64(&mut out, c.weight);
+        }
+        out
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::with_header(bytes, b'T')?;
+        let compression = r.take_f64()?;
+        if !compression.is_finite() || compression < 10.0 {
+            return Err(CodecError::Invalid("compression must be finite and >= 10"));
+        }
+        let count = r.take_u64()?;
+        let skipped = r.take_u64()?;
+        let min = r.take_f64()?;
+        let max = r.take_f64()?;
+        let n = r.take_u64()? as usize;
+        // Each centroid needs 16 payload bytes; reject an advertised count
+        // the payload cannot possibly carry before allocating for it.
+        if n > bytes.len() / 16 + 1 {
+            return Err(CodecError::Truncated);
+        }
+        let mut centroids = Vec::with_capacity(n);
+        let mut weight_sum = 0.0;
+        let mut prev = f64::NEG_INFINITY;
+        for _ in 0..n {
+            let mean = r.take_f64()?;
+            let weight = r.take_f64()?;
+            if !mean.is_finite() || !weight.is_finite() || weight <= 0.0 {
+                return Err(CodecError::Invalid(
+                    "centroid fields must be finite, weight > 0",
+                ));
+            }
+            if mean < prev {
+                return Err(CodecError::Invalid("centroid means must ascend"));
+            }
+            prev = mean;
+            weight_sum += weight;
+            centroids.push(Centroid { mean, weight });
+        }
+        r.finish()?;
+        if count == 0 {
+            if !centroids.is_empty() {
+                return Err(CodecError::Invalid("empty digest with centroids"));
+            }
+        } else {
+            // The digest only ever pushes finite observations, so the
+            // extrema of a non-empty digest are finite and ordered.
+            if !min.is_finite() || !max.is_finite() || min > max {
+                return Err(CodecError::Invalid(
+                    "extrema must be finite with min <= max",
+                ));
+            }
+            // Centroid weights are sums of unit observations — exact in
+            // f64 far beyond any realistic count — so the total must match.
+            if (weight_sum - count as f64).abs() > 1e-6 * (count as f64).max(1.0) {
+                return Err(CodecError::Invalid("centroid weights do not sum to count"));
+            }
+        }
+        Ok(TDigest::from_parts(
+            compression,
+            centroids,
+            count,
+            skipped,
+            min,
+            max,
+        ))
+    }
+}
+
+/// Byte tag `'H'`: lo, hi, total, bin count, then the bin counts. Merging
+/// requires the exact same binning (see [`Histogram::absorb`]) and is
+/// bit-exact: integer counts add.
+impl MergeableSink for Histogram {
+    fn merge_from(&mut self, other: &Self) {
+        self.absorb(other);
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let counts = self.counts();
+        let mut out = Vec::with_capacity(2 + 8 * 4 + 8 * counts.len());
+        put_header(&mut out, b'H');
+        put_f64(&mut out, self.lo());
+        put_f64(&mut out, self.hi());
+        put_u64(&mut out, self.total());
+        put_u64(&mut out, counts.len() as u64);
+        for &c in counts {
+            put_u64(&mut out, c);
+        }
+        out
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::with_header(bytes, b'H')?;
+        let lo = r.take_f64()?;
+        let hi = r.take_f64()?;
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return Err(CodecError::Invalid(
+                "histogram range must be finite, lo < hi",
+            ));
+        }
+        let total = r.take_u64()?;
+        let n = r.take_u64()? as usize;
+        if n == 0 {
+            return Err(CodecError::Invalid("histogram needs at least one bin"));
+        }
+        if n > bytes.len() / 8 + 1 {
+            return Err(CodecError::Truncated);
+        }
+        let mut counts = Vec::with_capacity(n);
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let c = r.take_u64()?;
+            sum = sum
+                .checked_add(c)
+                .ok_or(CodecError::Invalid("bin counts overflow"))?;
+            counts.push(c);
+        }
+        r.finish()?;
+        if sum != total {
+            return Err(CodecError::Invalid("bin counts do not sum to total"));
+        }
+        Ok(Histogram::from_parts(lo, hi, counts, total))
     }
 }
 
@@ -550,6 +805,29 @@ impl Sink for WelfordSink {
     }
 }
 
+/// Byte tag `'W'`: delegates to [`Welford::to_bytes`] /
+/// [`Welford::from_bytes`] (42 bytes, bit-exact round trip); merging is
+/// [`Welford::merge`] — count/min/max combine exactly, mean/variance up to
+/// floating-point rounding. A reconstructed sink starts without a watch
+/// handle; call [`WelfordSink::watch`] again if live progress is needed.
+impl MergeableSink for WelfordSink {
+    fn merge_from(&mut self, other: &Self) {
+        self.w.merge(&other.w);
+        self.publish();
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        self.w.to_bytes()
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        Ok(WelfordSink {
+            w: Welford::from_bytes(bytes)?,
+            shared: None,
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Vec sink
 // ---------------------------------------------------------------------------
@@ -807,6 +1085,184 @@ mod tests {
             h.observe(i, i as f64 + 0.5);
         }
         assert_eq!(h.counts(), &[2, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn tdigest_bytes_round_trip_is_bit_exact() {
+        let mut s = Sampler::from_seed(6);
+        let mut d = TDigest::new(100.0);
+        for i in 0..5000 {
+            d.observe(i, s.normal(2.0, 0.5));
+        }
+        d.finish();
+        let wire = d.to_bytes();
+        let back = TDigest::from_bytes(&wire).unwrap();
+        assert_eq!(back.count(), d.count());
+        assert_eq!(back.skipped(), d.skipped());
+        assert_eq!(back.min().to_bits(), d.min().to_bits());
+        assert_eq!(back.max().to_bits(), d.max().to_bits());
+        for p in [0.01, 0.05, 0.5, 0.95, 0.99] {
+            assert_eq!(
+                back.quantile(p).unwrap().to_bits(),
+                d.quantile(p).unwrap().to_bits(),
+                "byte round trip changed the estimate at p = {p}"
+            );
+        }
+        // Round trip again: serialization is a fixed point.
+        assert_eq!(back.to_bytes(), wire);
+    }
+
+    #[test]
+    fn tdigest_unflushed_buffer_serializes_flushed() {
+        // to_bytes on a digest with buffered observations must flush them
+        // into centroids first (without mutating the source).
+        let mut d = TDigest::new(100.0);
+        for x in [5.0, 1.0, 3.0] {
+            d.push(x);
+        }
+        let back = TDigest::from_bytes(&d.to_bytes()).unwrap();
+        assert_eq!(back.count(), 3);
+        assert_eq!(back.min(), 1.0);
+        assert_eq!(back.max(), 5.0);
+        assert_eq!(d.quantile(0.5), Some(3.0), "source digest unchanged");
+    }
+
+    #[test]
+    fn histogram_bytes_round_trip_and_merge_are_exact() {
+        let mut s = Sampler::from_seed(14);
+        let xs: Vec<f64> = (0..800).map(|_| s.normal(0.0, 1.0)).collect();
+        let mut whole = Histogram::new(-4.0, 4.0, 32);
+        for &x in &xs {
+            whole.add(x);
+        }
+        let mut merged = Histogram::new(-4.0, 4.0, 32);
+        for chunk in xs.chunks(300) {
+            let mut shard = Histogram::new(-4.0, 4.0, 32);
+            for &x in chunk {
+                shard.add(x);
+            }
+            // Ship through bytes, reconstruct, merge.
+            let back = Histogram::from_bytes(&shard.to_bytes()).unwrap();
+            assert_eq!(back.counts(), shard.counts());
+            assert_eq!(back.lo().to_bits(), shard.lo().to_bits());
+            merged.merge_from(&back);
+        }
+        assert_eq!(merged.counts(), whole.counts());
+        assert_eq!(merged.total(), whole.total());
+    }
+
+    #[test]
+    fn welford_sink_bytes_round_trip_is_bit_exact_and_merges() {
+        let mut s = Sampler::from_seed(15);
+        let xs: Vec<f64> = (0..333).map(|_| s.normal(-2.0, 0.4)).collect();
+        let mut a = WelfordSink::new();
+        let mut b = WelfordSink::new();
+        for (i, &x) in xs.iter().enumerate() {
+            if i < 100 {
+                a.observe(i, x);
+            } else {
+                b.observe(i, x);
+            }
+        }
+        let back = WelfordSink::from_bytes(&b.to_bytes()).unwrap();
+        assert_eq!(back.moments(), b.moments(), "round trip is bit-exact");
+        a.merge_from(&back);
+        let m = a.moments();
+        let direct = Welford::from_slice(&xs);
+        assert_eq!(m.count(), direct.count());
+        assert_eq!(m.min(), direct.min());
+        assert_eq!(m.max(), direct.max());
+        assert!((m.mean() - direct.mean()).abs() <= 1e-12 * direct.mean().abs());
+        assert!((m.variance() - direct.variance()).abs() <= 1e-12 * direct.variance());
+    }
+
+    #[test]
+    fn merge_from_publishes_to_the_watch() {
+        let mut a = WelfordSink::new();
+        let watch = a.watch();
+        let mut b = WelfordSink::new();
+        for i in 0..10 {
+            b.observe(i, f64::from(i as u8));
+        }
+        a.merge_from(&b);
+        assert_eq!(watch.snapshot().count(), 10);
+    }
+
+    #[test]
+    fn welford_nan_state_round_trips() {
+        // Welford deliberately does not filter observations, so a stream
+        // carrying a NaN produces NaN moments — an encoder-producible
+        // state the decoder must accept (only structurally impossible
+        // payloads are rejected).
+        let mut sink = WelfordSink::new();
+        sink.observe(0, 1.0);
+        sink.observe(1, f64::NAN);
+        sink.observe(2, 3.0);
+        let m = sink.moments();
+        assert!(m.mean().is_nan());
+        let back = WelfordSink::from_bytes(&sink.to_bytes()).expect("NaN state must decode");
+        assert_eq!(back.moments().count(), m.count());
+        assert_eq!(back.moments().mean().to_bits(), m.mean().to_bits());
+        assert_eq!(back.moments().min().to_bits(), m.min().to_bits());
+    }
+
+    #[test]
+    fn tdigest_rejects_non_finite_extrema() {
+        let mut d = TDigest::new(100.0);
+        for x in [1.0, 2.0, 3.0] {
+            d.push(x);
+        }
+        let wire = MergeableSink::to_bytes(&d);
+        // min lives at payload bytes 26..34 (tag, version, compression,
+        // count, skipped precede it); an infinite minimum is a state
+        // push() can never create.
+        let mut tampered = wire.clone();
+        tampered[26..34].copy_from_slice(&f64::NEG_INFINITY.to_bits().to_le_bytes());
+        assert!(matches!(
+            TDigest::from_bytes(&tampered),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_payloads_fail_loudly() {
+        let mut d = TDigest::new(100.0);
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0] {
+            d.push(x);
+        }
+        let wire = MergeableSink::to_bytes(&d);
+        // Wrong type: a histogram decoder must reject a digest payload.
+        assert!(matches!(
+            Histogram::from_bytes(&wire),
+            Err(CodecError::Tag { expected: b'H', .. })
+        ));
+        // Truncation anywhere in the payload is detected.
+        assert!(TDigest::from_bytes(&wire[..wire.len() - 3]).is_err());
+        // Trailing garbage is detected.
+        let mut long = wire.clone();
+        long.push(0);
+        assert!(matches!(
+            TDigest::from_bytes(&long),
+            Err(CodecError::Trailing)
+        ));
+        // A tampered count no longer matches the centroid weights.
+        let mut tampered = wire.clone();
+        tampered[10] ^= 1; // low byte of `count`
+        assert!(matches!(
+            TDigest::from_bytes(&tampered),
+            Err(CodecError::Invalid(_))
+        ));
+        // Welford: negative m2 is rejected.
+        let mut w = Welford::new();
+        w.push(1.0);
+        w.push(2.0);
+        let mut bytes = w.to_bytes();
+        let bad_m2 = (-1.0f64).to_bits().to_le_bytes();
+        bytes[18..26].copy_from_slice(&bad_m2);
+        assert!(matches!(
+            Welford::from_bytes(&bytes),
+            Err(CodecError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -166,6 +166,64 @@ impl Welford {
             z * self.std() / (self.n as f64).sqrt()
         }
     }
+
+    /// Serializes the accumulator into the compact self-describing byte
+    /// format of [`crate::sink::MergeableSink`] (tag `'W'`): 42 bytes,
+    /// exact — [`Welford::from_bytes`] reconstructs the state
+    /// bit-for-bit, so a shard can ship its moments to an aggregator and
+    /// [`Welford::merge`] there as if it had never left the process.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use crate::codec::{put_f64, put_header, put_u64};
+        let mut out = Vec::with_capacity(42);
+        put_header(&mut out, b'W');
+        put_u64(&mut out, self.n);
+        put_f64(&mut out, self.mean);
+        put_f64(&mut out, self.m2);
+        put_f64(&mut out, self.min);
+        put_f64(&mut out, self.max);
+        out
+    }
+
+    /// Reconstructs an accumulator serialized by [`Welford::to_bytes`],
+    /// bit-exactly.
+    ///
+    /// Every state the accumulator itself can reach decodes — including
+    /// NaN moments from a stream that carried NaN observations ([`Welford`]
+    /// deliberately does not filter values; pair it with a sketch's
+    /// `skipped()` tally when streams may be degenerate). Only
+    /// structurally impossible payloads are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a wrong type tag, an unsupported version, a truncated or
+    /// oversized payload, a negative `m2` (a sum of squares can be NaN
+    /// under NaN inputs, never negative), or a nonempty state on a zero
+    /// count.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, crate::codec::CodecError> {
+        use crate::codec::{CodecError, Reader};
+        let mut r = Reader::with_header(bytes, b'W')?;
+        let w = Welford {
+            n: r.take_u64()?,
+            mean: r.take_f64()?,
+            m2: r.take_f64()?,
+            min: r.take_f64()?,
+            max: r.take_f64()?,
+        };
+        r.finish()?;
+        if w.m2 < 0.0 {
+            return Err(CodecError::Invalid("negative m2"));
+        }
+        if w.n == 0
+            && (w.mean != 0.0
+                || w.m2 != 0.0
+                || w.min != f64::INFINITY
+                || w.max != f64::NEG_INFINITY)
+        {
+            return Err(CodecError::Invalid("empty accumulator with nonzero state"));
+        }
+        Ok(w)
+    }
 }
 
 #[cfg(test)]

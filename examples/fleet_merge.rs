@@ -1,0 +1,134 @@
+//! Fleet-scale Monte Carlo aggregation: disjoint shards of one experiment
+//! run independently (here sequentially, in a fleet on N processes or
+//! machines), serialize their mergeable sketches to bytes, and an
+//! aggregator reconstructs and merges them — then the merged tail
+//! quantiles are compared against a single run over the same sample space.
+//!
+//! The partition changes nothing: sample `i` always draws from the pure
+//! `(seed, i)` stream, so histogram counts and Welford count/extrema merge
+//! *bit-identically*, moments agree to floating-point rounding, and the
+//! t-digest's tail quantiles stay within its documented rank-error bound
+//! (`crates/core/tests/parallel_mc.rs` pins all three properties).
+//!
+//! Run with `cargo run --release --example fleet_merge`.
+
+use statvs::mosfet::{vs::VsParams, Geometry, MismatchSpec, Polarity};
+use statvs::stats::sink::MergeableSink;
+use statvs::stats::{Sampler, TDigest, Welford};
+use statvs::vscore::mc::{Histogram, ParallelRunner, WelfordSink};
+use statvs::vscore::metrics::DeviceMetrics;
+use statvs::vscore::sensitivity::{VariedModel, VsBuilder};
+
+/// One shard's (or the single run's) sink set: tail sketch, distribution
+/// shape, moments.
+type Sinks = ((TDigest, Histogram), WelfordSink);
+
+const SEED: u64 = 2013;
+const TOTAL: usize = 12_000;
+
+fn sinks() -> Sinks {
+    (
+        // The histogram range brackets the Idsat distribution; out-of-range
+        // draws clamp deterministically into the edge bins.
+        (TDigest::new(100.0), Histogram::new(0.0, 2e-3, 40)),
+        WelfordSink::new(),
+    )
+}
+
+/// Runs the sample index shard `offset..offset + len` of the shared
+/// experiment: σ(Idsat) of a mismatch-sampled 600 nm / 40 nm NMOS device.
+fn run_shard(offset: usize, len: usize) -> Result<Sinks, std::convert::Infallible> {
+    let builder = VsBuilder {
+        params: VsParams::nmos_40nm(),
+        polarity: Polarity::Nmos,
+        geom: Geometry::from_nm(600.0, 40.0),
+    };
+    let spec = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+    let sample = move |(): &mut (), sampler: &mut Sampler, _i: usize| {
+        let delta = spec.sample(builder.geometry(), || sampler.standard_normal());
+        Ok::<_, std::convert::Infallible>(
+            DeviceMetrics::evaluate(builder.build(delta).as_ref(), 0.9).idsat,
+        )
+    };
+    let mut s = sinks();
+    ParallelRunner::new(SEED).run_streaming_range(offset, len, |_, _| Ok(()), sample, &mut s)?;
+    Ok(s)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- the "fleet": three unequal shards of one 12k-sample experiment ---
+    let shards = [(0usize, 5000usize), (5000, 3000), (8000, 4000)];
+    let mut digest = TDigest::new(100.0);
+    let mut hist = Histogram::new(0.0, 2e-3, 40);
+    let mut welford = WelfordSink::new();
+    let mut shipped = 0usize;
+    for &(offset, len) in &shards {
+        let ((d, h), w) = run_shard(offset, len)?;
+        // Each sketch crosses a (simulated) process boundary as bytes.
+        let d_wire = d.to_bytes();
+        let h_wire = MergeableSink::to_bytes(&h);
+        let w_wire = w.to_bytes();
+        shipped += d_wire.len() + h_wire.len() + w_wire.len();
+        digest.merge_from(&TDigest::from_bytes(&d_wire)?);
+        MergeableSink::merge_from(&mut hist, &Histogram::from_bytes(&h_wire)?);
+        welford.merge_from(&WelfordSink::from_bytes(&w_wire)?);
+        println!(
+            "shard {offset:>5}..{:<5}  n = {:<5}  wire = {:>4} B",
+            offset + len,
+            len,
+            d_wire.len() + h_wire.len() + w_wire.len()
+        );
+    }
+    let merged: Welford = welford.moments();
+
+    // --- single-run reference over the same index space ---
+    let ((ref_digest, ref_hist), ref_welford) = run_shard(0, TOTAL)?;
+    let reference = ref_welford.moments();
+
+    println!(
+        "\n{} samples in {} shards, {} B of sketch state shipped in total",
+        TOTAL,
+        shards.len(),
+        shipped
+    );
+    println!(
+        "histogram counts merged bit-identically: {}",
+        hist.counts() == ref_hist.counts() && hist.total() == ref_hist.total()
+    );
+    println!(
+        "moments: merged mean {:.6e} A vs single-run {:.6e} A (count {} / {})",
+        merged.mean(),
+        reference.mean(),
+        merged.count(),
+        reference.count()
+    );
+    println!(
+        "extrema merge exactly: min {} max {}",
+        merged.min() == reference.min(),
+        merged.max() == reference.max()
+    );
+
+    println!("\nIdsat tail quantiles, merged fleet digest vs single-run digest:");
+    println!(
+        "{:>8}  {:>14}  {:>14}  {:>12}",
+        "level", "merged (µA)", "single (µA)", "delta (σ)"
+    );
+    let sigma = reference.std();
+    for p in [0.001, 0.01, 0.05, 0.5, 0.95, 0.99, 0.999] {
+        let m = digest.quantile(p).expect("non-empty digest");
+        let s = ref_digest.quantile(p).expect("non-empty digest");
+        println!(
+            "{:>8.3}  {:>14.3}  {:>14.3}  {:>12.4}",
+            p,
+            m * 1e6,
+            s * 1e6,
+            (m - s) / sigma
+        );
+    }
+    println!(
+        "\ndigest state: {} centroids (compression 100), exact n = {}",
+        digest.centroid_count(),
+        digest.count()
+    );
+    Ok(())
+}

@@ -1,0 +1,176 @@
+//! Markdown link check over the repo-root documentation.
+//!
+//! CI runs this as its own step so documentation links cannot rot
+//! silently: every inline `[text](target)` link in the checked files must
+//! point at an existing file (relative targets), a resolvable heading
+//! anchor (`#fragment` targets, GitHub slug rules), or be an absolute URL
+//! (shape-checked only — CI has no business depending on external hosts
+//! being up).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// The documentation surface the check walks. Extend when a new top-level
+/// document appears.
+const DOCS: &[&str] = &["README.md", "ARCHITECTURE.md", "ROADMAP.md", "CHANGES.md"];
+
+/// Extracts inline markdown link targets, skipping fenced code blocks and
+/// inline code spans (example text legitimately contains `](`-ish noise).
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut fenced = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            fenced = !fenced;
+            continue;
+        }
+        if fenced {
+            continue;
+        }
+        // Strip inline code spans before scanning for links.
+        let mut cleaned = String::with_capacity(line.len());
+        let mut in_code = false;
+        for c in line.chars() {
+            if c == '`' {
+                in_code = !in_code;
+            } else if !in_code {
+                cleaned.push(c);
+            }
+        }
+        let bytes = cleaned.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            if bytes[i] == b']' && bytes[i + 1] == b'(' {
+                let start = i + 2;
+                if let Some(rel_end) = cleaned[start..].find(')') {
+                    targets.push(cleaned[start..start + rel_end].to_string());
+                    i = start + rel_end;
+                }
+            }
+            i += 1;
+        }
+    }
+    targets
+}
+
+/// GitHub's heading-anchor slug: lowercase, spaces to hyphens, everything
+/// but alphanumerics / hyphens / underscores dropped.
+fn slug(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' {
+                Some('-')
+            } else if c == '-' || c == '_' {
+                Some(c)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// All heading anchors a markdown file exposes.
+fn anchors(markdown: &str) -> Vec<String> {
+    let mut fenced = false;
+    markdown
+        .lines()
+        .filter(|line| {
+            if line.trim_start().starts_with("```") {
+                fenced = !fenced;
+                return false;
+            }
+            !fenced && line.starts_with('#')
+        })
+        .map(|line| slug(line.trim_start_matches('#')))
+        .collect()
+}
+
+#[test]
+fn root_markdown_links_resolve() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut errors = Vec::new();
+    let mut checked = 0usize;
+    for doc in DOCS {
+        let path = root.join(doc);
+        let text = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{doc} must exist at the repo root: {e}"));
+        for target in link_targets(&text) {
+            checked += 1;
+            if target.starts_with("http://") || target.starts_with("https://") {
+                if !target.contains('.') {
+                    errors.push(format!("{doc}: malformed URL `{target}`"));
+                }
+                continue;
+            }
+            if target.starts_with("mailto:") || target.is_empty() {
+                continue;
+            }
+            let (file_part, fragment) = match target.split_once('#') {
+                Some((f, frag)) => (f, Some(frag)),
+                None => (target.as_str(), None),
+            };
+            // Resolve the file part against the doc's directory (all the
+            // checked docs live at the root, so that is the root).
+            let resolved: PathBuf = if file_part.is_empty() {
+                path.clone()
+            } else {
+                root.join(file_part)
+            };
+            if !resolved.exists() {
+                errors.push(format!("{doc}: `{target}` -> missing file {file_part}"));
+                continue;
+            }
+            if let Some(frag) = fragment {
+                if resolved.extension().is_some_and(|e| e == "md") {
+                    let dest = fs::read_to_string(&resolved).expect("readable markdown");
+                    if !anchors(&dest).iter().any(|a| a == frag) {
+                        errors.push(format!(
+                            "{doc}: `{target}` -> no heading anchor `#{frag}` in {}",
+                            Path::new(file_part)
+                                .file_name()
+                                .map_or(doc.to_string(), |f| f.to_string_lossy().into_owned())
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        checked > 0,
+        "the link extractor found no links at all — extraction is likely broken"
+    );
+    assert!(
+        errors.is_empty(),
+        "broken documentation links:\n{}",
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn slug_matches_github_rules() {
+    assert_eq!(slug(" Crate graph"), "crate-graph");
+    assert_eq!(
+        slug(" Fleet aggregation (crates `stats` → `vscore`)"),
+        "fleet-aggregation-crates-stats--vscore"
+    );
+    assert_eq!(
+        slug(" Session lifecycle (crate `spice`)"),
+        "session-lifecycle-crate-spice"
+    );
+}
+
+#[test]
+fn extractor_sees_links_and_skips_code() {
+    let md = "see [A](ARCHITECTURE.md) and [B](ROADMAP.md#open-items)\n\
+              ```text\nnot [a](link.md)\n```\n\
+              `inline [c](code.md)` but [D](README.md)\n";
+    let t = link_targets(md);
+    assert_eq!(
+        t,
+        vec!["ARCHITECTURE.md", "ROADMAP.md#open-items", "README.md"]
+    );
+}
