@@ -1,0 +1,322 @@
+//! A hand-rolled HTTP/1.1 request/response layer on `std` I/O.
+//!
+//! `statvs serve` keeps the repo's zero-dependency stance, so this module
+//! implements exactly the slice of HTTP/1.1 the wire protocol needs: parse
+//! one request (request line, headers, `Content-Length` body) from a
+//! stream, write one response, close the connection (`Connection: close`
+//! on every response — the protocol is one exchange per connection).
+//!
+//! Every limit is explicit and every violation is a typed [`HttpError`]
+//! the connection handler turns into a structured JSON error envelope:
+//! oversized bodies are `413`, malformed framing is `400`, and nothing in
+//! this module panics on hostile input.
+
+use std::io::{BufRead, Write};
+
+/// Upper bound on one header line (and the request line), bytes.
+const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Upper bound on the number of header lines.
+const MAX_HEADERS: usize = 64;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// The request method, uppercase as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// The path component of the request target, percent-decoding *not*
+    /// applied (the protocol's paths are plain ASCII).
+    pub path: String,
+    /// The raw query string after `?`, if any.
+    pub query: Option<String>,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lowercase name.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read. Each variant maps onto one HTTP
+/// status so the connection handler can always answer with an envelope.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// The client closed the connection before sending a full request.
+    ConnectionClosed,
+    /// Malformed framing: bad request line, bad header, bad
+    /// `Content-Length`, unsupported transfer encoding. Maps to `400`.
+    BadRequest(&'static str),
+    /// The declared or actual body exceeds the configured cap. Maps to
+    /// `413`.
+    PayloadTooLarge,
+    /// The underlying socket failed (timeout, reset); the connection is
+    /// unusable, no response is possible.
+    Io(std::io::ErrorKind),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed before a full request"),
+            HttpError::BadRequest(what) => write!(f, "malformed request: {what}"),
+            HttpError::PayloadTooLarge => write!(f, "request body exceeds the configured limit"),
+            HttpError::Io(kind) => write!(f, "socket error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Reads one line terminated by `\n`, rejecting lines that exceed the
+/// limit (a client streaming an unbounded header must not make the server
+/// buffer it).
+fn read_line<R: BufRead>(reader: &mut R) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Err(HttpError::ConnectionClosed);
+                }
+                return Err(HttpError::BadRequest("truncated line"));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map_err(|_| HttpError::BadRequest("non-UTF-8 header data"));
+                }
+                if line.len() >= MAX_LINE_BYTES {
+                    return Err(HttpError::BadRequest("header line too long"));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(HttpError::Io(e.kind())),
+        }
+    }
+}
+
+/// Reads and parses one request from the stream.
+///
+/// `max_body` caps the accepted `Content-Length`; larger declarations
+/// fail with [`HttpError::PayloadTooLarge`] *before* any body bytes are
+/// buffered.
+///
+/// # Errors
+///
+/// See [`HttpError`]; the caller maps each variant onto a response (or
+/// drops the connection for I/O errors).
+pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Request, HttpError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(HttpError::BadRequest("empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(HttpError::BadRequest("missing HTTP version"))?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest("malformed request line"));
+    }
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::BadRequest("unsupported HTTP version"));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest("request target must be a path"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::BadRequest("too many headers"));
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(HttpError::BadRequest("header line without ':'"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::BadRequest("malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method,
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+
+    if let Some(te) = request.header("transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return Err(HttpError::BadRequest("unsupported transfer encoding"));
+        }
+    }
+    if let Some(raw) = request.header("content-length") {
+        let declared: usize = raw
+            .parse()
+            .map_err(|_| HttpError::BadRequest("malformed Content-Length"))?;
+        if declared > max_body {
+            return Err(HttpError::PayloadTooLarge);
+        }
+        let mut body = vec![0u8; declared];
+        let mut filled = 0;
+        while filled < declared {
+            match reader.read(&mut body[filled..]) {
+                Ok(0) => return Err(HttpError::BadRequest("body shorter than Content-Length")),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(HttpError::Io(e.kind())),
+            }
+        }
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// The reason phrase for the status codes the protocol emits.
+#[must_use]
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one complete JSON response and flushes. Every response carries
+/// `Connection: close`: the protocol is one exchange per connection, so
+/// framing can never desynchronize.
+///
+/// # Errors
+///
+/// Propagates socket write errors (the caller just drops the connection).
+pub fn write_json_response<W: Write>(
+    stream: &mut W,
+    status: u16,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len(),
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Request, HttpError> {
+        read_request(&mut BufReader::new(raw), 1024)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw =
+            b"POST /experiments?x=1 HTTP/1.1\r\nHost: localhost\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/experiments");
+        assert_eq!(req.query.as_deref(), Some("x=1"));
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_a_bare_get() {
+        let req = parse(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.query.is_none());
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_framing() {
+        assert!(matches!(parse(b""), Err(HttpError::ConnectionClosed)));
+        assert!(matches!(
+            parse(b"GET\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/2\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"GET http://x HTTP/1.1\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nbad header\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_declarations_fail_before_buffering() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::PayloadTooLarge)));
+    }
+
+    #[test]
+    fn response_has_complete_framing() {
+        let mut out = Vec::new();
+        write_json_response(&mut out, 200, "{\"ok\":true}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+}

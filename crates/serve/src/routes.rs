@@ -1,0 +1,587 @@
+//! Route dispatch: maps parsed HTTP requests onto the run store, job
+//! queue, and template registry, and renders every outcome — success or
+//! failure — as a deterministic JSON envelope.
+//!
+//! The protocol surface:
+//!
+//! - `POST /experiments` — validate a spec, register a queued run, return
+//!   `202` with the run id.
+//! - `GET /runs/{id}` — the run's lifecycle snapshot; finished runs carry
+//!   moments plus hex-encoded mergeable-sketch bytes.
+//! - `GET /circuits` — the template registry.
+//! - `GET /healthz` — liveness plus queue/pool gauges.
+//!
+//! Spec validation is strict: unknown fields are rejected, not ignored,
+//! so a typo'd `"samlpes"` fails loudly instead of silently running a
+//! default-sized experiment.
+
+use crate::error::ApiError;
+use crate::http::Request;
+use crate::json::{num, obj, s, Json};
+use crate::store::{hex_encode, ExperimentSpec, RunRecord, RunResult, RunStatus};
+use crate::ServerCtx;
+
+/// Largest accepted shard offset: far beyond any real fleet partition,
+/// small enough that `offset + len` can never approach `usize` overflow.
+const MAX_OFFSET: u64 = 1 << 40;
+/// Histogram bin-count cap.
+const MAX_BINS: u64 = 4096;
+
+/// Handles one request end to end; infallible by construction — every
+/// error path folds into its envelope here.
+#[must_use]
+pub fn handle(req: &Request, ctx: &ServerCtx) -> (u16, Json) {
+    match dispatch(req, ctx) {
+        Ok(reply) => reply,
+        Err(e) => (e.status, e.to_json()),
+    }
+}
+
+fn dispatch(req: &Request, ctx: &ServerCtx) -> Result<(u16, Json), ApiError> {
+    let method = req.method.as_str();
+    let path = req.path.as_str();
+    match (method, path) {
+        ("GET", "/healthz") => Ok((200, healthz(ctx))),
+        ("GET", "/circuits") => Ok((200, circuits(ctx))),
+        ("POST", "/experiments") => post_experiment(req, ctx),
+        (_, "/healthz" | "/circuits" | "/experiments") => {
+            Err(ApiError::method_not_allowed(method, path))
+        }
+        _ if path.starts_with("/runs/") => {
+            if method != "GET" {
+                return Err(ApiError::method_not_allowed(method, path));
+            }
+            get_run(path, ctx)
+        }
+        _ => Err(ApiError::not_found(format!("no route for {path}"))),
+    }
+}
+
+fn healthz(ctx: &ServerCtx) -> Json {
+    let pools = ctx
+        .engine
+        .pool_sizes()
+        .into_iter()
+        .map(|(id, idle)| (id, num(idle as f64)))
+        .collect();
+    obj(vec![
+        ("status", s("ok")),
+        ("runs", num(ctx.store.len() as f64)),
+        ("queue_depth", num(ctx.queue.depth() as f64)),
+        ("workers", num(ctx.workers as f64)),
+        ("idle_sessions", obj(pools)),
+    ])
+}
+
+fn circuits(ctx: &ServerCtx) -> Json {
+    let list = ctx
+        .engine
+        .templates()
+        .map(|t| {
+            let (lo, hi, bins) = t.default_histogram;
+            obj(vec![
+                ("id", s(t.id)),
+                ("description", s(t.description)),
+                (
+                    "analyses",
+                    Json::Arr(t.analyses.iter().map(|a| s(a)).collect()),
+                ),
+                ("unit", s(t.unit)),
+                (
+                    "default_histogram",
+                    obj(vec![
+                        ("lo", num(lo)),
+                        ("hi", num(hi)),
+                        ("bins", num(bins as f64)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    obj(vec![("circuits", Json::Arr(list))])
+}
+
+fn post_experiment(req: &Request, ctx: &ServerCtx) -> Result<(u16, Json), ApiError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+    let body =
+        Json::parse(text).map_err(|e| ApiError::bad_request(format!("invalid JSON: {e}")))?;
+    let spec = parse_spec(&body, ctx)?;
+    let id = ctx.store.create(spec.clone());
+    if let Err(e) = ctx.queue.push(id) {
+        // The record exists but will never run; make its state honest.
+        ctx.store.fail(id, format!("rejected at submission: {e}"));
+        return Err(e);
+    }
+    Ok((
+        202,
+        obj(vec![(
+            "run",
+            obj(vec![
+                ("id", num(id as f64)),
+                ("status", s(RunStatus::Queued.as_str())),
+                ("circuit", s(&spec.circuit)),
+                ("analysis", s(&spec.analysis)),
+                ("seed", num(spec.seed as f64)),
+                (
+                    "shard",
+                    obj(vec![
+                        ("offset", num(spec.offset as f64)),
+                        ("len", num(spec.len as f64)),
+                    ]),
+                ),
+            ]),
+        )]),
+    ))
+}
+
+fn get_run(path: &str, ctx: &ServerCtx) -> Result<(u16, Json), ApiError> {
+    let raw = &path["/runs/".len()..];
+    let id: u64 = raw
+        .parse()
+        .map_err(|_| ApiError::bad_request(format!("`{raw}` is not a run id")))?;
+    let record = ctx
+        .store
+        .get(id)
+        .ok_or_else(|| ApiError::not_found(format!("no run with id {id}")))?;
+    Ok((200, obj(vec![("run", run_json(&record))])))
+}
+
+/// Renders one run record; shared by `GET /runs/{id}` and tests.
+fn run_json(record: &RunRecord) -> Json {
+    let spec = &record.spec;
+    let mut members = vec![
+        ("id", num(record.id as f64)),
+        ("status", s(record.status.as_str())),
+        ("circuit", s(&spec.circuit)),
+        ("analysis", s(&spec.analysis)),
+        ("seed", num(spec.seed as f64)),
+        (
+            "shard",
+            obj(vec![
+                ("offset", num(spec.offset as f64)),
+                ("len", num(spec.len as f64)),
+            ]),
+        ),
+    ];
+    if let Some(error) = &record.error {
+        members.push(("error", s(error)));
+    }
+    if let Some(result) = &record.result {
+        members.push(("result", result_json(result)));
+    }
+    obj(members)
+}
+
+fn result_json(result: &RunResult) -> Json {
+    let mut sketches = vec![("encoding", s("hex"))];
+    if let Some(bytes) = &result.welford_bytes {
+        sketches.push(("welford", s(&hex_encode(bytes))));
+    }
+    if let Some(bytes) = &result.histogram_bytes {
+        sketches.push(("histogram", s(&hex_encode(bytes))));
+    }
+    if let Some(bytes) = &result.tdigest_bytes {
+        sketches.push(("tdigest", s(&hex_encode(bytes))));
+    }
+    obj(vec![
+        ("observed", num(result.observed as f64)),
+        ("failures", num(result.failures as f64)),
+        (
+            "moments",
+            obj(vec![
+                ("count", num(result.count as f64)),
+                ("mean", num(result.mean)),
+                ("variance", num(result.variance)),
+            ]),
+        ),
+        ("sketches", obj(sketches)),
+    ])
+}
+
+/// Validates a `POST /experiments` body into an [`ExperimentSpec`].
+///
+/// # Errors
+///
+/// `400` envelopes naming the offending field for every violation.
+fn parse_spec(body: &Json, ctx: &ServerCtx) -> Result<ExperimentSpec, ApiError> {
+    let Json::Obj(members) = body else {
+        return Err(ApiError::bad_request("experiment spec must be an object"));
+    };
+    const KNOWN: &[&str] = &[
+        "circuit",
+        "analysis",
+        "seed",
+        "samples",
+        "shard",
+        "sinks",
+        "histogram",
+        "tdigest",
+    ];
+    for (key, _) in members {
+        if !KNOWN.contains(&key.as_str()) {
+            return Err(ApiError::bad_request(format!("unknown spec field `{key}`")));
+        }
+    }
+
+    let circuit = body
+        .get("circuit")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad_request("`circuit` (string) is required"))?;
+    let template = ctx.engine.template(circuit).ok_or_else(|| {
+        ApiError::bad_request(format!("unknown circuit `{circuit}` (see GET /circuits)"))
+    })?;
+
+    let analysis = match body.get("analysis") {
+        None => template.analyses[0].to_string(),
+        Some(v) => {
+            let a = v
+                .as_str()
+                .ok_or_else(|| ApiError::bad_request("`analysis` must be a string"))?;
+            if !template.analyses.contains(&a) {
+                return Err(ApiError::bad_request(format!(
+                    "circuit `{circuit}` does not support analysis `{a}`"
+                )));
+            }
+            a.to_string()
+        }
+    };
+
+    let seed = match body.get("seed") {
+        None => 0,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| ApiError::bad_request("`seed` must be a non-negative integer"))?,
+    };
+
+    let (offset, len) = parse_shard(body, ctx.max_samples)?;
+
+    let (want_welford, want_histogram, want_tdigest) = parse_sinks(body)?;
+
+    let histogram = match body.get("histogram") {
+        None => template.default_histogram,
+        Some(v) => parse_histogram(v)?,
+    };
+    let tdigest_compression = match body.get("tdigest") {
+        None => 100.0,
+        Some(v) => parse_tdigest(v)?,
+    };
+
+    Ok(ExperimentSpec {
+        circuit: circuit.to_string(),
+        analysis,
+        seed,
+        offset,
+        len,
+        want_welford,
+        want_histogram,
+        want_tdigest,
+        histogram,
+        tdigest_compression,
+    })
+}
+
+fn parse_shard(body: &Json, max_samples: usize) -> Result<(usize, usize), ApiError> {
+    let samples = body.get("samples");
+    let shard = body.get("shard");
+    let (offset, len) = match (samples, shard) {
+        (Some(_), Some(_)) => {
+            return Err(ApiError::bad_request(
+                "give either `samples` or `shard`, not both",
+            ));
+        }
+        (None, None) => {
+            return Err(ApiError::bad_request(
+                "one of `samples` (integer) or `shard` ({offset, len}) is required",
+            ));
+        }
+        (Some(n), None) => {
+            let n = n
+                .as_u64()
+                .ok_or_else(|| ApiError::bad_request("`samples` must be a non-negative integer"))?;
+            (0, n)
+        }
+        (None, Some(v)) => {
+            let Json::Obj(members) = v else {
+                return Err(ApiError::bad_request("`shard` must be an object"));
+            };
+            for (key, _) in members {
+                if key != "offset" && key != "len" {
+                    return Err(ApiError::bad_request(format!(
+                        "unknown shard field `{key}`"
+                    )));
+                }
+            }
+            let offset = v
+                .get("offset")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ApiError::bad_request("`shard.offset` (integer) is required"))?;
+            let len = v
+                .get("len")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| ApiError::bad_request("`shard.len` (integer) is required"))?;
+            (offset, len)
+        }
+    };
+    if len == 0 {
+        return Err(ApiError::bad_request("shard length must be at least 1"));
+    }
+    if len > max_samples as u64 {
+        return Err(ApiError::bad_request(format!(
+            "shard length {len} exceeds the server's {max_samples}-sample cap"
+        )));
+    }
+    if offset > MAX_OFFSET {
+        return Err(ApiError::bad_request(format!(
+            "shard offset {offset} exceeds the {MAX_OFFSET} cap"
+        )));
+    }
+    Ok((offset as usize, len as usize))
+}
+
+fn parse_sinks(body: &Json) -> Result<(bool, bool, bool), ApiError> {
+    let Some(v) = body.get("sinks") else {
+        return Ok((true, true, true));
+    };
+    let items = v
+        .as_arr()
+        .ok_or_else(|| ApiError::bad_request("`sinks` must be an array of sink names"))?;
+    let (mut welford, mut histogram, mut tdigest) = (false, false, false);
+    for item in items {
+        match item.as_str() {
+            Some("welford") => welford = true,
+            Some("histogram") => histogram = true,
+            Some("tdigest") => tdigest = true,
+            _ => {
+                return Err(ApiError::bad_request(
+                    "`sinks` entries must be \"welford\", \"histogram\", or \"tdigest\"",
+                ));
+            }
+        }
+    }
+    if !(welford || histogram || tdigest) {
+        return Err(ApiError::bad_request("`sinks` must name at least one sink"));
+    }
+    Ok((welford, histogram, tdigest))
+}
+
+fn parse_histogram(v: &Json) -> Result<(f64, f64, usize), ApiError> {
+    let Json::Obj(members) = v else {
+        return Err(ApiError::bad_request("`histogram` must be an object"));
+    };
+    for (key, _) in members {
+        if !matches!(key.as_str(), "lo" | "hi" | "bins") {
+            return Err(ApiError::bad_request(format!(
+                "unknown histogram field `{key}`"
+            )));
+        }
+    }
+    let lo = v
+        .get("lo")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ApiError::bad_request("`histogram.lo` (number) is required"))?;
+    let hi = v
+        .get("hi")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ApiError::bad_request("`histogram.hi` (number) is required"))?;
+    let bins = v
+        .get("bins")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| ApiError::bad_request("`histogram.bins` (integer) is required"))?;
+    if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+        return Err(ApiError::bad_request(
+            "`histogram` bounds must be finite with lo < hi",
+        ));
+    }
+    if bins == 0 || bins > MAX_BINS {
+        return Err(ApiError::bad_request(format!(
+            "`histogram.bins` must be in 1..={MAX_BINS}"
+        )));
+    }
+    Ok((lo, hi, bins as usize))
+}
+
+fn parse_tdigest(v: &Json) -> Result<f64, ApiError> {
+    let Json::Obj(members) = v else {
+        return Err(ApiError::bad_request("`tdigest` must be an object"));
+    };
+    for (key, _) in members {
+        if key != "compression" {
+            return Err(ApiError::bad_request(format!(
+                "unknown tdigest field `{key}`"
+            )));
+        }
+    }
+    let compression = v
+        .get("compression")
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ApiError::bad_request("`tdigest.compression` (number) is required"))?;
+    if !compression.is_finite() || !(10.0..=10_000.0).contains(&compression) {
+        return Err(ApiError::bad_request(
+            "`tdigest.compression` must be in 10..=10000",
+        ));
+    }
+    Ok(compression)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ServerConfig;
+
+    fn ctx() -> ServerCtx {
+        ServerCtx::new(&ServerConfig::default()).expect("engine builds")
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        Request {
+            method: method.to_string(),
+            path: path.to_string(),
+            query: None,
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn error_code(body: &Json) -> String {
+        body.get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str)
+            .expect("error envelope")
+            .to_string()
+    }
+
+    #[test]
+    fn healthz_and_circuits_respond() {
+        let ctx = ctx();
+        let (status, body) = handle(&request("GET", "/healthz", ""), &ctx);
+        assert_eq!(status, 200);
+        assert_eq!(body.get("status").and_then(Json::as_str), Some("ok"));
+        let (status, body) = handle(&request("GET", "/circuits", ""), &ctx);
+        assert_eq!(status, 200);
+        let circuits = body.get("circuits").and_then(Json::as_arr).unwrap();
+        assert_eq!(circuits.len(), 2);
+        assert_eq!(
+            circuits[0].get("id").and_then(Json::as_str),
+            Some("sram6t_dc")
+        );
+    }
+
+    #[test]
+    fn post_registers_a_queued_run() {
+        let ctx = ctx();
+        let body = r#"{"circuit": "device_idsat", "seed": 9, "samples": 50}"#;
+        let (status, reply) = handle(&request("POST", "/experiments", body), &ctx);
+        assert_eq!(status, 202, "{}", reply.to_text());
+        let run = reply.get("run").unwrap();
+        assert_eq!(run.get("id").and_then(Json::as_u64), Some(1));
+        assert_eq!(run.get("status").and_then(Json::as_str), Some("queued"));
+        assert_eq!(ctx.queue.depth(), 1);
+        // The record is immediately resolvable.
+        let (status, reply) = handle(&request("GET", "/runs/1", ""), &ctx);
+        assert_eq!(status, 200);
+        let run = reply.get("run").unwrap();
+        assert_eq!(run.get("status").and_then(Json::as_str), Some("queued"));
+        assert_eq!(
+            run.get("shard")
+                .and_then(|s| s.get("len"))
+                .and_then(Json::as_u64),
+            Some(50)
+        );
+    }
+
+    #[test]
+    fn malformed_specs_get_structured_400s() {
+        let ctx = ctx();
+        for (body, needle) in [
+            ("not json", "invalid JSON"),
+            ("[1,2]", "must be an object"),
+            ("{}", "`circuit`"),
+            (r#"{"circuit": "nope", "samples": 5}"#, "unknown circuit"),
+            (r#"{"circuit": "sram6t_dc"}"#, "`samples`"),
+            (
+                r#"{"circuit": "sram6t_dc", "samples": 5, "shard": {"offset": 0, "len": 5}}"#,
+                "not both",
+            ),
+            (r#"{"circuit": "sram6t_dc", "samples": 0}"#, "at least 1"),
+            (r#"{"circuit": "sram6t_dc", "samples": 99999999}"#, "cap"),
+            (
+                r#"{"circuit": "sram6t_dc", "samples": 5, "samlpes": 1}"#,
+                "unknown spec field",
+            ),
+            (
+                r#"{"circuit": "sram6t_dc", "samples": 5, "sinks": ["median"]}"#,
+                "sinks",
+            ),
+            (
+                r#"{"circuit": "sram6t_dc", "samples": 5, "histogram": {"lo": 1, "hi": 0, "bins": 4}}"#,
+                "lo < hi",
+            ),
+            (
+                r#"{"circuit": "sram6t_dc", "samples": 5, "tdigest": {"compression": 1}}"#,
+                "compression",
+            ),
+            (
+                r#"{"circuit": "sram6t_dc", "samples": 5, "analysis": "tran"}"#,
+                "does not support",
+            ),
+            (
+                r#"{"circuit": "sram6t_dc", "samples": 5, "seed": -1}"#,
+                "`seed`",
+            ),
+        ] {
+            let (status, reply) = handle(&request("POST", "/experiments", body), &ctx);
+            assert_eq!(status, 400, "body {body:?} gave {}", reply.to_text());
+            assert_eq!(error_code(&reply), "bad_request");
+            let message = reply
+                .get("error")
+                .and_then(|e| e.get("message"))
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string();
+            assert!(
+                message.contains(needle),
+                "{body:?}: message {message:?} lacks {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_routes_and_methods_are_enveloped() {
+        let ctx = ctx();
+        let (status, reply) = handle(&request("GET", "/nope", ""), &ctx);
+        assert_eq!(status, 404);
+        assert_eq!(error_code(&reply), "not_found");
+        let (status, reply) = handle(&request("DELETE", "/healthz", ""), &ctx);
+        assert_eq!(status, 405);
+        assert_eq!(error_code(&reply), "method_not_allowed");
+        let (status, reply) = handle(&request("POST", "/runs/1", ""), &ctx);
+        assert_eq!(status, 405);
+        assert_eq!(error_code(&reply), "method_not_allowed");
+        let (status, reply) = handle(&request("GET", "/runs/99", ""), &ctx);
+        assert_eq!(status, 404);
+        assert_eq!(error_code(&reply), "not_found");
+        let (status, reply) = handle(&request("GET", "/runs/abc", ""), &ctx);
+        assert_eq!(status, 400);
+        assert_eq!(error_code(&reply), "bad_request");
+    }
+
+    #[test]
+    fn full_queue_rejects_with_503_and_fails_the_record() {
+        let cfg = ServerConfig {
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        };
+        let ctx = ServerCtx::new(&cfg).expect("engine builds");
+        let body = r#"{"circuit": "device_idsat", "samples": 5}"#;
+        let (status, _) = handle(&request("POST", "/experiments", body), &ctx);
+        assert_eq!(status, 202);
+        let (status, reply) = handle(&request("POST", "/experiments", body), &ctx);
+        assert_eq!(status, 503);
+        assert_eq!(error_code(&reply), "queue_full");
+        // The second record exists but is honestly marked failed.
+        let (_, reply) = handle(&request("GET", "/runs/2", ""), &ctx);
+        let run = reply.get("run").unwrap();
+        assert_eq!(run.get("status").and_then(Json::as_str), Some("failed"));
+    }
+}

@@ -1,0 +1,424 @@
+//! Run lifecycle state: experiment specs, run records, the bounded job
+//! queue, and the byte↔hex codec the wire protocol uses for sketch
+//! payloads.
+//!
+//! The store is the only mutable state the server shares between its
+//! connection threads and its worker threads: an `Arc<Mutex<_>>` map of
+//! run id → [`RunRecord`]. Records move `queued → running → done|failed`
+//! and are never removed — a run id handed to a client stays resolvable
+//! for the server's lifetime.
+
+use crate::error::ApiError;
+use crate::pool::SinkSet;
+use stats::sink::MergeableSink;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+
+/// A validated experiment: which template to run, which shard of the
+/// sample index space, and which sketch payloads to return.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Template id (see `GET /circuits`).
+    pub circuit: String,
+    /// Analysis kind; the built-in templates support `"dc"`.
+    pub analysis: String,
+    /// Base RNG seed. Shards of one experiment share the seed and
+    /// partition the index range.
+    pub seed: u64,
+    /// First sample index of this shard.
+    pub offset: usize,
+    /// Number of samples in this shard.
+    pub len: usize,
+    /// Return the Welford moment-sketch bytes.
+    pub want_welford: bool,
+    /// Return the fixed-bin histogram bytes.
+    pub want_histogram: bool,
+    /// Return the t-digest quantile-sketch bytes.
+    pub want_tdigest: bool,
+    /// Histogram `(lo, hi, bins)` — must match across shards that will be
+    /// merged (the fallible merge path rejects mismatches).
+    pub histogram: (f64, f64, usize),
+    /// t-digest compression — must likewise match across merged shards.
+    pub tdigest_compression: f64,
+}
+
+/// Where a run is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing the shard.
+    Running,
+    /// Finished; the result is available.
+    Done,
+    /// Execution failed; the error message is available.
+    Failed,
+}
+
+impl RunStatus {
+    /// The wire name of the status.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RunStatus::Queued => "queued",
+            RunStatus::Running => "running",
+            RunStatus::Done => "done",
+            RunStatus::Failed => "failed",
+        }
+    }
+}
+
+/// What a finished shard produced: the scalar report plus the requested
+/// sketch byte payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Samples that produced a metric value.
+    pub observed: u64,
+    /// Samples whose solve failed (counted, not fatal).
+    pub failures: u64,
+    /// Streaming moment summary: observation count.
+    pub count: u64,
+    /// Streaming mean of the metric.
+    pub mean: f64,
+    /// Streaming sample variance of the metric.
+    pub variance: f64,
+    /// Serialized [`stats::Welford`] state, when requested.
+    pub welford_bytes: Option<Vec<u8>>,
+    /// Serialized [`stats::histogram::Histogram`] state, when requested.
+    pub histogram_bytes: Option<Vec<u8>>,
+    /// Serialized [`stats::TDigest`] state, when requested.
+    pub tdigest_bytes: Option<Vec<u8>>,
+}
+
+impl RunResult {
+    /// Assembles the result from a finished shard's sink bundle.
+    #[must_use]
+    pub fn collect(observed: u64, failures: u64, spec: &ExperimentSpec, sinks: SinkSet) -> Self {
+        let moments = sinks.welford.moments();
+        RunResult {
+            observed,
+            failures,
+            count: moments.count(),
+            mean: moments.mean(),
+            variance: moments.variance(),
+            welford_bytes: spec.want_welford.then(|| sinks.welford.to_bytes()),
+            histogram_bytes: sinks.histogram.as_ref().map(MergeableSink::to_bytes),
+            tdigest_bytes: sinks.tdigest.as_ref().map(MergeableSink::to_bytes),
+        }
+    }
+}
+
+/// One run's full record: the spec it was created from, where it is in
+/// its lifecycle, and its outcome.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Server-assigned run id.
+    pub id: u64,
+    /// The validated spec the run was created from.
+    pub spec: ExperimentSpec,
+    /// Lifecycle position.
+    pub status: RunStatus,
+    /// Failure message, when `status == Failed`.
+    pub error: Option<String>,
+    /// The result, when `status == Done`.
+    pub result: Option<RunResult>,
+}
+
+/// The shared run-id → record map. Ids are dense and start at 1.
+#[derive(Default)]
+pub struct RunStore {
+    inner: Mutex<StoreState>,
+}
+
+#[derive(Default)]
+struct StoreState {
+    next_id: u64,
+    runs: HashMap<u64, RunRecord>,
+}
+
+impl RunStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        RunStore::default()
+    }
+
+    /// Registers a new queued run and returns its id.
+    pub fn create(&self, spec: ExperimentSpec) -> u64 {
+        let mut state = self.inner.lock().expect("no poisoned locks");
+        state.next_id += 1;
+        let id = state.next_id;
+        state.runs.insert(
+            id,
+            RunRecord {
+                id,
+                spec,
+                status: RunStatus::Queued,
+                error: None,
+                result: None,
+            },
+        );
+        id
+    }
+
+    /// A snapshot of one run's record.
+    #[must_use]
+    pub fn get(&self, id: u64) -> Option<RunRecord> {
+        self.inner
+            .lock()
+            .expect("no poisoned locks")
+            .runs
+            .get(&id)
+            .cloned()
+    }
+
+    /// Marks a run as picked up by a worker.
+    pub fn mark_running(&self, id: u64) {
+        self.update(id, |r| r.status = RunStatus::Running);
+    }
+
+    /// Records a successful result.
+    pub fn complete(&self, id: u64, result: RunResult) {
+        self.update(id, |r| {
+            r.status = RunStatus::Done;
+            r.result = Some(result);
+        });
+    }
+
+    /// Records a failure message.
+    pub fn fail(&self, id: u64, message: String) {
+        self.update(id, |r| {
+            r.status = RunStatus::Failed;
+            r.error = Some(message);
+        });
+    }
+
+    /// Total runs ever created.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("no poisoned locks").runs.len()
+    }
+
+    /// Whether no runs have been created.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn update(&self, id: u64, f: impl FnOnce(&mut RunRecord)) {
+        if let Some(record) = self
+            .inner
+            .lock()
+            .expect("no poisoned locks")
+            .runs
+            .get_mut(&id)
+        {
+            f(record);
+        }
+    }
+}
+
+/// The bounded FIFO of queued run ids feeding the worker threads.
+///
+/// `push` never blocks — a full queue is the client's problem (`503
+/// queue_full`), not a reason to hold a connection thread hostage. `pop`
+/// blocks until a job arrives or the queue is closed for shutdown.
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    jobs: VecDeque<u64>,
+    closed: bool,
+}
+
+impl JobQueue {
+    /// A queue holding at most `capacity` pending run ids.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues a run id.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::queue_full`] when the queue is at capacity, and a 503
+    /// envelope when the server is shutting down.
+    pub fn push(&self, id: u64) -> Result<(), ApiError> {
+        let mut state = self.state.lock().expect("no poisoned locks");
+        if state.closed {
+            return Err(ApiError {
+                status: 503,
+                code: "shutting_down",
+                message: "server is shutting down".to_string(),
+            });
+        }
+        if state.jobs.len() >= self.capacity {
+            return Err(ApiError::queue_full(self.capacity));
+        }
+        state.jobs.push_back(id);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next run id; `None` once the queue is closed and
+    /// drained (the worker's signal to exit).
+    pub fn pop(&self) -> Option<u64> {
+        let mut state = self.state.lock().expect("no poisoned locks");
+        loop {
+            if let Some(id) = state.jobs.pop_front() {
+                return Some(id);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("no poisoned locks");
+        }
+    }
+
+    /// Closes the queue: queued jobs still drain, new pushes fail, and
+    /// blocked `pop`s wake.
+    pub fn close(&self) {
+        self.state.lock().expect("no poisoned locks").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Jobs currently waiting.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("no poisoned locks").jobs.len()
+    }
+}
+
+/// Lowercase hex encoding for sketch byte payloads — JSON-safe without
+/// any base64 machinery, and trivially decodable from every client
+/// language.
+#[must_use]
+pub fn hex_encode(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+/// Decodes the hex produced by [`hex_encode`] (either nibble case).
+///
+/// # Errors
+///
+/// A static message on odd length or a non-hex byte.
+pub fn hex_decode(text: &str) -> Result<Vec<u8>, &'static str> {
+    if !text.len().is_multiple_of(2) {
+        return Err("hex payload has odd length");
+    }
+    fn nibble(b: u8) -> Result<u8, &'static str> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err("hex payload has a non-hex byte"),
+        }
+    }
+    let raw = text.as_bytes();
+    let mut out = Vec::with_capacity(raw.len() / 2);
+    for pair in raw.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ExperimentSpec {
+        ExperimentSpec {
+            circuit: "device_idsat".to_string(),
+            analysis: "dc".to_string(),
+            seed: 1,
+            offset: 0,
+            len: 10,
+            want_welford: true,
+            want_histogram: false,
+            want_tdigest: false,
+            histogram: (0.0, 1.0, 8),
+            tdigest_compression: 100.0,
+        }
+    }
+
+    #[test]
+    fn records_progress_through_the_lifecycle() {
+        let store = RunStore::new();
+        assert!(store.is_empty());
+        let id = store.create(spec());
+        assert_eq!(store.get(id).unwrap().status, RunStatus::Queued);
+        store.mark_running(id);
+        assert_eq!(store.get(id).unwrap().status, RunStatus::Running);
+        store.fail(id, "boom".to_string());
+        let record = store.get(id).unwrap();
+        assert_eq!(record.status, RunStatus::Failed);
+        assert_eq!(record.error.as_deref(), Some("boom"));
+        assert_eq!(store.len(), 1);
+        assert!(store.get(id + 1).is_none());
+    }
+
+    #[test]
+    fn queue_is_bounded_and_closable() {
+        let q = JobQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3).unwrap_err().code, "queue_full");
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.pop(), Some(1));
+        q.close();
+        assert_eq!(q.push(4).unwrap_err().code, "shutting_down");
+        // Queued jobs still drain after close; then pop signals exit.
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_wakes_a_blocked_worker() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        let waiter = {
+            let q = q.clone();
+            std::thread::spawn(move || q.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(7).unwrap();
+        assert_eq!(waiter.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let text = hex_encode(&bytes);
+        assert_eq!(hex_decode(&text).unwrap(), bytes);
+        assert_eq!(hex_decode(&text.to_uppercase()).unwrap(), bytes);
+        assert_eq!(hex_encode(&[0xde, 0xad]), "dead");
+        assert!(hex_decode("abc").is_err());
+        assert!(hex_decode("zz").is_err());
+        assert!(hex_decode("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn run_status_wire_names_are_stable() {
+        assert_eq!(RunStatus::Queued.as_str(), "queued");
+        assert_eq!(RunStatus::Running.as_str(), "running");
+        assert_eq!(RunStatus::Done.as_str(), "done");
+        assert_eq!(RunStatus::Failed.as_str(), "failed");
+    }
+}

@@ -1,0 +1,219 @@
+//! Seeded, deterministic property tests for the in-repo JSON codec — the
+//! repo's no-external-deps stand-in for a proptest suite.
+//!
+//! Three properties, each over hundreds of generated cases from a fixed
+//! xorshift seed (fully reproducible, no flaky shrinking):
+//!
+//! 1. **Round-trip**: `parse(to_text(v)) == v` for arbitrary finite
+//!    values.
+//! 2. **Total parsing**: arbitrary garbage and arbitrary *mutations* of
+//!    valid documents never panic — they parse or return a typed error.
+//! 3. **Malformed inputs fail**: truncations of valid documents and a
+//!    corpus of grammar violations all return `Err`, never a bogus value.
+
+use serve::json::{Json, JsonError};
+
+/// Deterministic xorshift64* generator; good enough spread for test-case
+/// generation and completely reproducible.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A random *finite* number: scaled integers exercise both integer and
+/// scientific notation paths without ever generating NaN/inf (which the
+/// serializer deliberately maps to `null` and so cannot round-trip).
+fn gen_number(rng: &mut Rng) -> f64 {
+    let mantissa = rng.next() as i32 as f64;
+    let exp = (rng.below(41) as i32 - 20) as f64;
+    let n = mantissa * 10f64.powi(exp as i32);
+    if n.is_finite() {
+        n
+    } else {
+        exp
+    }
+}
+
+/// A random string mixing plain ASCII, characters that require escaping,
+/// and multi-byte unicode (including an astral-plane char to exercise
+/// surrogate handling).
+fn gen_string(rng: &mut Rng) -> String {
+    const ALPHABET: &[char] = &[
+        'a',
+        'Z',
+        '0',
+        ' ',
+        '"',
+        '\\',
+        '/',
+        '\n',
+        '\r',
+        '\t',
+        '\u{8}',
+        '\u{c}',
+        '\u{1}',
+        'é',
+        '√',
+        '語',
+        '😀',
+        '\u{10FFFF}',
+    ];
+    let len = rng.below(12) as usize;
+    (0..len)
+        .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize])
+        .collect()
+}
+
+/// A random JSON value with bounded depth and width.
+fn gen_value(rng: &mut Rng, depth: usize) -> Json {
+    let choices = if depth >= 4 { 4 } else { 6 };
+    match rng.below(choices) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.below(2) == 0),
+        2 => Json::Num(gen_number(rng)),
+        3 => Json::Str(gen_string(rng)),
+        4 => {
+            let n = rng.below(4) as usize;
+            Json::Arr((0..n).map(|_| gen_value(rng, depth + 1)).collect())
+        }
+        _ => {
+            let n = rng.below(4) as usize;
+            Json::Obj(
+                (0..n)
+                    .map(|i| {
+                        (
+                            format!("k{i}_{}", gen_string(rng)),
+                            gen_value(rng, depth + 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+#[test]
+fn generated_values_round_trip_exactly() {
+    let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+    for case in 0..500 {
+        let value = gen_value(&mut rng, 0);
+        let text = value.to_text();
+        let back = Json::parse(&text)
+            .unwrap_or_else(|e| panic!("case {case}: {text:?} failed to re-parse: {e}"));
+        assert_eq!(back, value, "case {case}: round-trip mismatch for {text:?}");
+        // Serialization is deterministic: a second trip is byte-identical.
+        assert_eq!(back.to_text(), text, "case {case}");
+    }
+}
+
+#[test]
+fn truncations_of_valid_documents_error_and_never_panic() {
+    let mut rng = Rng(0xDEAD_BEEF_CAFE_F00D);
+    for _ in 0..60 {
+        let value = gen_value(&mut rng, 0);
+        let text = value.to_text();
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &text[..cut];
+            // A strict prefix is at best a *different* valid document
+            // (e.g. "1" cut from "12"); it must never panic, and if it
+            // parses it must not equal the original unless it is the
+            // whole text.
+            if let Ok(v) = Json::parse(prefix) {
+                assert!(
+                    cut == text.len() || v != value || prefix == text,
+                    "prefix {prefix:?} of {text:?} reproduced the full value"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_documents_and_garbage_never_panic() {
+    let mut rng = Rng(0x0123_4567_89AB_CDEF);
+    for _ in 0..300 {
+        let value = gen_value(&mut rng, 0);
+        let mut text = value.to_text();
+        // Mutate: insert a random ASCII byte at a random char boundary.
+        let insert = (rng.below(94) + 33) as u8 as char;
+        let mut pos = rng.below(text.len() as u64 + 1) as usize;
+        while !text.is_char_boundary(pos) {
+            pos -= 1;
+        }
+        text.insert(pos, insert);
+        let _ = Json::parse(&text); // must return, Ok or Err
+    }
+    // Pure ASCII garbage.
+    for _ in 0..300 {
+        let len = rng.below(24) as usize;
+        let garbage: String = (0..len)
+            .map(|_| (rng.below(96) + 32) as u8 as char)
+            .collect();
+        let _ = Json::parse(&garbage);
+    }
+}
+
+#[test]
+fn malformed_corpus_errors_with_the_right_variants() {
+    // Truncation.
+    for text in [
+        "{\"a\"",
+        "[1, 2",
+        "\"unterminated",
+        "tr",
+        "-",
+        "1e",
+        "1e+",
+        "{\"a\":",
+        "\"\\",
+    ] {
+        assert!(
+            matches!(Json::parse(text), Err(JsonError::Truncated)),
+            "{text:?} should be Truncated, got {:?}",
+            Json::parse(text)
+        );
+    }
+    // Bad escapes (including raw control characters and lone surrogates).
+    for text in ["\"\\x\"", "\"\\u12g4\"", "\"\u{1}\"", r#""\ud800x""#] {
+        assert!(
+            matches!(Json::parse(text), Err(JsonError::BadEscape { .. })),
+            "{text:?} should be BadEscape, got {:?}",
+            Json::parse(text)
+        );
+    }
+    // Number grammar violations and overflow.
+    for text in ["01", "1.", "+5", "1e999", "-2e308", "0x10", "1..2"] {
+        assert!(
+            Json::parse(text).is_err(),
+            "{text:?} must not parse as a number"
+        );
+    }
+    // Structural junk.
+    for text in [
+        "{,}",
+        "[,]",
+        "{\"a\" 1}",
+        "[1;2]",
+        "}",
+        "]",
+        ",",
+        "{\"a\":1,}",
+    ] {
+        assert!(Json::parse(text).is_err(), "{text:?} must not parse");
+    }
+}

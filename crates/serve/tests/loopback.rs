@@ -1,0 +1,298 @@
+//! Loopback end-to-end test of the `statvs serve` protocol.
+//!
+//! Boots a real server on an ephemeral port, posts the two halves of a 6T
+//! SRAM DC experiment as **disjoint shards over HTTP**, merges the
+//! returned sketch bytes client-side, and checks the merge against a
+//! single-process `run_streaming_range` reference over the whole range:
+//! Histogram counts and Welford observation counts must be bit-identical,
+//! t-digest quantiles must agree to tight tolerance — the fleet-merge
+//! contract, demonstrated through the full network stack.
+//!
+//! A second test drives every abuse path (garbage framing, bad JSON,
+//! unknown routes, oversized bodies, mismatched sketch merges) and checks
+//! each one comes back as a structured error envelope, never a dropped
+//! connection or a panic.
+
+use serve::json::Json;
+use serve::pool::Engine;
+use serve::store::{hex_decode, ExperimentSpec};
+use serve::{Server, ServerConfig};
+use stats::histogram::Histogram;
+use stats::sink::{MergeableSink, WelfordSink};
+use stats::TDigest;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// One HTTP exchange: returns the status code and parsed JSON body.
+fn http(addr: SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
+    let payload = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: loopback\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    let (status, text) = raw_exchange(addr, request.as_bytes());
+    let json = Json::parse(&text)
+        .unwrap_or_else(|e| panic!("{method} {path}: body {text:?} is not JSON: {e}"));
+    (status, json)
+}
+
+/// Sends raw bytes and returns `(status, body_text)`; the server closes
+/// the connection after one response.
+fn raw_exchange(addr: SocketAddr, request: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to loopback server");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request).expect("send request");
+    // Half-close: tells the server no more bytes are coming, so its
+    // bounded post-error drain sees EOF immediately.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("unframed response: {response:?}"));
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head:?}"));
+    (status, body.to_string())
+}
+
+/// Polls `GET /runs/{id}` until the run leaves the queue, returning its
+/// final record.
+fn await_run(addr: SocketAddr, id: u64) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (status, reply) = http(addr, "GET", &format!("/runs/{id}"), None);
+        assert_eq!(status, 200, "{}", reply.to_text());
+        let run = reply.get("run").expect("run envelope").clone();
+        match run.get("status").and_then(Json::as_str) {
+            Some("done") => return run,
+            Some("failed") => panic!("run {id} failed: {}", run.to_text()),
+            _ => {
+                assert!(
+                    Instant::now() < deadline,
+                    "run {id} did not finish in time: {}",
+                    run.to_text()
+                );
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// Pulls one hex sketch payload out of a finished run.
+fn sketch_bytes(run: &Json, name: &str) -> Vec<u8> {
+    let sketches = run
+        .get("result")
+        .and_then(|r| r.get("sketches"))
+        .unwrap_or_else(|| panic!("no sketches in {}", run.to_text()));
+    assert_eq!(
+        sketches.get("encoding").and_then(Json::as_str),
+        Some("hex"),
+        "sketch payloads are typed with their encoding"
+    );
+    let hex = sketches
+        .get(name)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no {name} sketch in {}", run.to_text()));
+    hex_decode(hex).expect("server-produced hex decodes")
+}
+
+fn post_shard(addr: SocketAddr, seed: u64, offset: usize, len: usize) -> u64 {
+    let body = format!(
+        r#"{{"circuit": "sram6t_dc", "analysis": "dc", "seed": {seed},
+            "shard": {{"offset": {offset}, "len": {len}}},
+            "histogram": {{"lo": 0.0, "hi": 0.9, "bins": 48}}}}"#
+    );
+    let (status, reply) = http(addr, "POST", "/experiments", Some(&body));
+    assert_eq!(status, 202, "{}", reply.to_text());
+    reply
+        .get("run")
+        .and_then(|r| r.get("id"))
+        .and_then(Json::as_u64)
+        .expect("run id")
+}
+
+#[test]
+fn disjoint_shards_over_http_merge_to_the_single_process_run() {
+    const SEED: u64 = 42;
+    const SPLIT: usize = 70;
+    const TOTAL: usize = 120;
+
+    let server = Server::bind(&ServerConfig::default()).expect("server boots");
+    let addr = server.addr();
+    let handle = server.start();
+
+    // Health and registry come up before any run.
+    let (status, health) = http(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    let (status, circuits) = http(addr, "GET", "/circuits", None);
+    assert_eq!(status, 200);
+    assert!(circuits
+        .get("circuits")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .any(|c| c.get("id").and_then(Json::as_str) == Some("sram6t_dc")));
+
+    // Post the two halves of one experiment as disjoint shards — in real
+    // deployments these would land on different servers.
+    let id_a = post_shard(addr, SEED, 0, SPLIT);
+    let id_b = post_shard(addr, SEED, SPLIT, TOTAL - SPLIT);
+    let run_a = await_run(addr, id_a);
+    let run_b = await_run(addr, id_b);
+
+    // Merge the returned sketch bytes client-side via the fallible paths.
+    let mut histogram = Histogram::from_bytes(&sketch_bytes(&run_a, "histogram")).unwrap();
+    histogram
+        .try_merge_from(&Histogram::from_bytes(&sketch_bytes(&run_b, "histogram")).unwrap())
+        .expect("shards share the histogram configuration");
+    let mut welford = WelfordSink::from_bytes(&sketch_bytes(&run_a, "welford")).unwrap();
+    welford
+        .try_merge_from(&WelfordSink::from_bytes(&sketch_bytes(&run_b, "welford")).unwrap())
+        .expect("welford merges are total");
+    let mut digest = TDigest::from_bytes(&sketch_bytes(&run_a, "tdigest")).unwrap();
+    digest
+        .try_merge_from(&TDigest::from_bytes(&sketch_bytes(&run_b, "tdigest")).unwrap())
+        .expect("shards share the compression");
+
+    // The single-process reference: the identical workload through
+    // `run_streaming_range` over the whole index range, no HTTP.
+    let reference = Engine::new()
+        .expect("reference engine")
+        .execute(&ExperimentSpec {
+            circuit: "sram6t_dc".to_string(),
+            analysis: "dc".to_string(),
+            seed: SEED,
+            offset: 0,
+            len: TOTAL,
+            want_welford: true,
+            want_histogram: true,
+            want_tdigest: true,
+            histogram: (0.0, 0.9, 48),
+            tdigest_compression: 100.0,
+        });
+    let reference = reference.expect("reference run succeeds");
+    let ref_hist = Histogram::from_bytes(reference.histogram_bytes.as_ref().unwrap()).unwrap();
+    let ref_welford = WelfordSink::from_bytes(reference.welford_bytes.as_ref().unwrap()).unwrap();
+    let ref_digest = TDigest::from_bytes(reference.tdigest_bytes.as_ref().unwrap()).unwrap();
+
+    // Bit-identical counts: the shard union IS the single-run stream.
+    assert_eq!(
+        histogram.counts(),
+        ref_hist.counts(),
+        "merged histogram must be bit-identical to the local run"
+    );
+    assert_eq!(histogram.total(), TOTAL as u64);
+    let (merged, reference_moments) = (welford.moments(), ref_welford.moments());
+    assert_eq!(merged.count(), reference_moments.count());
+    assert_eq!(merged.count(), TOTAL as u64);
+    // Moments merge through the pairwise combination formula, so they are
+    // equal to rounding, not necessarily to the bit.
+    assert!((merged.mean() - reference_moments.mean()).abs() <= 1e-12);
+    assert!((merged.variance() - reference_moments.variance()).abs() <= 1e-12);
+
+    // Quantiles from the merged digest stay inside the observed range and
+    // agree tightly with the local digest.
+    assert_eq!(digest.count(), ref_digest.count());
+    for p in [0.1, 0.5, 0.9] {
+        let q = digest.quantile(p).expect("non-empty digest");
+        let q_ref = ref_digest.quantile(p).expect("non-empty digest");
+        assert!(
+            q >= reference_moments.min() && q <= reference_moments.max(),
+            "q{p} = {q} escaped the observed range"
+        );
+        assert!((q - q_ref).abs() <= 0.02, "q{p}: {q} vs {q_ref}");
+    }
+
+    handle.shutdown();
+}
+
+#[test]
+fn hostile_inputs_get_envelopes_not_panics() {
+    let cfg = ServerConfig {
+        max_body: 1024,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(&cfg).expect("server boots");
+    let addr = server.addr();
+    let handle = server.start();
+
+    // Garbage framing: still a structured 400 envelope.
+    let (status, body) = raw_exchange(addr, b"GARBAGE\r\n\r\n");
+    assert_eq!(status, 400);
+    let envelope = Json::parse(&body).expect("error envelope is JSON");
+    assert_eq!(
+        envelope
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("bad_request")
+    );
+
+    // Malformed JSON body.
+    let (status, reply) = http(addr, "POST", "/experiments", Some("{\"circuit\": "));
+    assert_eq!(status, 400);
+    assert!(reply
+        .get("error")
+        .and_then(|e| e.get("message"))
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("invalid JSON"));
+
+    // Unknown route and unknown run.
+    let (status, _) = http(addr, "GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _) = http(addr, "GET", "/runs/999", None);
+    assert_eq!(status, 404);
+
+    // A body over the configured cap is refused before buffering.
+    let big = format!(
+        r#"{{"circuit": "device_idsat", "samples": 5, "analysis": "{}"}}"#,
+        "x".repeat(2048)
+    );
+    let (status, reply) = http(addr, "POST", "/experiments", Some(&big));
+    assert_eq!(status, 413, "{}", reply.to_text());
+
+    // Mismatched sketch configurations refuse to merge client-side
+    // instead of corrupting state: run the same experiment with two
+    // different histogram configurations and two different compressions.
+    let spec_a = r#"{"circuit": "device_idsat", "samples": 40,
+                     "histogram": {"lo": 0.0, "hi": 1.0, "bins": 16},
+                     "tdigest": {"compression": 50}}"#;
+    let spec_b = r#"{"circuit": "device_idsat", "samples": 40,
+                     "histogram": {"lo": 0.0, "hi": 1.0, "bins": 32},
+                     "tdigest": {"compression": 200}}"#;
+    let (_, reply_a) = http(addr, "POST", "/experiments", Some(spec_a));
+    let (_, reply_b) = http(addr, "POST", "/experiments", Some(spec_b));
+    let id_a = reply_a
+        .get("run")
+        .and_then(|r| r.get("id"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    let id_b = reply_b
+        .get("run")
+        .and_then(|r| r.get("id"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    let run_a = await_run(addr, id_a);
+    let run_b = await_run(addr, id_b);
+    let mut histogram = Histogram::from_bytes(&sketch_bytes(&run_a, "histogram")).unwrap();
+    let other = Histogram::from_bytes(&sketch_bytes(&run_b, "histogram")).unwrap();
+    assert!(histogram.try_merge_from(&other).is_err());
+    let mut digest = TDigest::from_bytes(&sketch_bytes(&run_a, "tdigest")).unwrap();
+    let other = TDigest::from_bytes(&sketch_bytes(&run_b, "tdigest")).unwrap();
+    assert!(digest.try_merge_from(&other).is_err());
+
+    // After all that abuse the server still answers.
+    let (status, health) = http(addr, "GET", "/healthz", None);
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+
+    handle.shutdown();
+}

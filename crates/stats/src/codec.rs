@@ -29,6 +29,10 @@ pub enum CodecError {
     Invalid(&'static str),
     /// Extra bytes followed the advertised fields.
     Trailing,
+    /// Two structurally incompatible sketch states were asked to merge
+    /// (e.g. histograms with different binning) — combining them would
+    /// corrupt the state silently, so a wire-facing merge refuses instead.
+    Mismatch(&'static str),
 }
 
 impl fmt::Display for CodecError {
@@ -50,6 +54,9 @@ impl fmt::Display for CodecError {
             CodecError::Version(v) => write!(f, "unsupported sketch format version {v}"),
             CodecError::Invalid(what) => write!(f, "invalid sketch payload: {what}"),
             CodecError::Trailing => write!(f, "trailing bytes after sketch payload"),
+            CodecError::Mismatch(what) => {
+                write!(f, "sketch states are incompatible and cannot merge: {what}")
+            }
         }
     }
 }
@@ -109,6 +116,21 @@ impl<'a> Reader<'a> {
         Ok(f64::from_bits(self.take_u64()?))
     }
 
+    /// Reads an advertised element count and validates it against the
+    /// bytes actually remaining (`elem_bytes` payload bytes per element),
+    /// so a corrupted length field fails *before* any allocation sized by
+    /// it. Every variable-length sketch decoder shares this guard.
+    pub(crate) fn take_count(&mut self, elem_bytes: usize) -> Result<usize, CodecError> {
+        let n = self.take_u64()?;
+        let remaining = (self.bytes.len() - self.pos) as u64;
+        if n.checked_mul(elem_bytes as u64)
+            .is_none_or(|b| b > remaining)
+        {
+            return Err(CodecError::Truncated);
+        }
+        Ok(n as usize)
+    }
+
     /// Fails unless the cursor consumed the payload exactly.
     pub(crate) fn finish(self) -> Result<(), CodecError> {
         if self.pos == self.bytes.len() {
@@ -133,6 +155,45 @@ mod tests {
         assert_eq!(r.take_u64().unwrap(), 42);
         assert_eq!(r.take_f64().unwrap().to_bits(), (-0.5f64).to_bits());
         r.finish().unwrap();
+    }
+
+    #[test]
+    fn take_count_bounds_advertised_lengths() {
+        let mut out = Vec::new();
+        put_header(&mut out, b'X');
+        put_u64(&mut out, 3); // advertised element count
+        put_f64(&mut out, 1.0);
+        put_f64(&mut out, 2.0);
+        put_f64(&mut out, 3.0);
+        let mut r = Reader::with_header(&out, b'X').unwrap();
+        assert_eq!(r.take_count(8).unwrap(), 3);
+
+        // The same payload read as 16-byte elements cannot carry 3 of them.
+        let mut r = Reader::with_header(&out, b'X').unwrap();
+        assert_eq!(r.take_count(16), Err(CodecError::Truncated));
+
+        // A huge advertised count must fail before any allocation, even
+        // when count * elem_bytes would overflow u64.
+        let mut lying = Vec::new();
+        put_header(&mut lying, b'X');
+        put_u64(&mut lying, u64::MAX);
+        let mut r = Reader::with_header(&lying, b'X').unwrap();
+        assert_eq!(r.take_count(8), Err(CodecError::Truncated));
+
+        // Zero elements are always consistent.
+        let mut empty = Vec::new();
+        put_header(&mut empty, b'X');
+        put_u64(&mut empty, 0);
+        let mut r = Reader::with_header(&empty, b'X').unwrap();
+        assert_eq!(r.take_count(8).unwrap(), 0);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn mismatch_error_displays_its_reason() {
+        let msg = CodecError::Mismatch("histogram binning differs").to_string();
+        assert!(msg.contains("cannot merge"));
+        assert!(msg.contains("histogram binning differs"));
     }
 
     #[test]

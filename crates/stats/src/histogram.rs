@@ -80,24 +80,49 @@ impl Histogram {
     ///
     /// Panics unless both histograms share the exact same range and bin
     /// count: bins of differently configured histograms do not align, and
-    /// silently resampling them would corrupt the counts.
+    /// silently resampling them would corrupt the counts. Wire-facing
+    /// merges of payloads from untrusted peers use the fallible
+    /// [`Histogram::try_absorb`] instead.
     pub fn absorb(&mut self, other: &Histogram) {
-        assert!(
-            self.lo.to_bits() == other.lo.to_bits()
-                && self.hi.to_bits() == other.hi.to_bits()
-                && self.counts.len() == other.counts.len(),
-            "histogram configurations differ: [{}, {}] x{} vs [{}, {}] x{}",
-            self.lo,
-            self.hi,
-            self.counts.len(),
-            other.lo,
-            other.hi,
-            other.counts.len()
-        );
+        if self.try_absorb(other).is_err() {
+            panic!(
+                "histogram configurations differ: [{}, {}] x{} vs [{}, {}] x{}",
+                self.lo,
+                self.hi,
+                self.counts.len(),
+                other.lo,
+                other.hi,
+                other.counts.len()
+            );
+        }
+    }
+
+    /// The fallible form of [`Histogram::absorb`]: refuses with
+    /// [`CodecError::Mismatch`](crate::codec::CodecError::Mismatch) when the
+    /// two histograms do not share the exact same range (bit-compared) and
+    /// bin count, instead of panicking. On `Err` this histogram is
+    /// untouched. This is the merge a server applies to sketch bytes it
+    /// received over the wire, where a mismatched shard must become an
+    /// error response, never a crash.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Mismatch`](crate::codec::CodecError::Mismatch) when
+    /// range or bin count differ.
+    pub fn try_absorb(&mut self, other: &Histogram) -> Result<(), crate::codec::CodecError> {
+        if self.lo.to_bits() != other.lo.to_bits()
+            || self.hi.to_bits() != other.hi.to_bits()
+            || self.counts.len() != other.counts.len()
+        {
+            return Err(crate::codec::CodecError::Mismatch(
+                "histogram range/bin configurations differ",
+            ));
+        }
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
         self.total += other.total;
+        Ok(())
     }
 
     /// Lower edge of the binned range.
@@ -232,6 +257,30 @@ mod tests {
         let mut a = Histogram::new(0.0, 1.0, 4);
         let b = Histogram::new(0.0, 1.0, 5);
         a.absorb(&b);
+    }
+
+    #[test]
+    fn try_absorb_refuses_mismatches_without_mutating() {
+        use crate::codec::CodecError;
+        let mut a = Histogram::new(0.0, 1.0, 4);
+        a.add(0.5);
+        for b in [
+            Histogram::new(0.0, 1.0, 5),  // bin count differs
+            Histogram::new(-1.0, 1.0, 4), // lo differs
+            Histogram::new(0.0, 2.0, 4),  // hi differs
+        ] {
+            assert_eq!(
+                a.try_absorb(&b),
+                Err(CodecError::Mismatch(
+                    "histogram range/bin configurations differ"
+                ))
+            );
+        }
+        assert_eq!(a.total(), 1, "failed merges leave the state untouched");
+        let mut b = Histogram::new(0.0, 1.0, 4);
+        b.add(0.9);
+        a.try_absorb(&b).unwrap();
+        assert_eq!(a.counts(), &[0, 0, 1, 1]);
     }
 
     #[test]

@@ -223,8 +223,34 @@ pub trait MergeableSink: Sink + Sized {
     ///
     /// Implementations panic when the two states are structurally
     /// incompatible (e.g. [`Histogram`]s with different binning) — merging
-    /// across configurations would corrupt the state silently.
-    fn merge_from(&mut self, other: &Self);
+    /// across configurations would corrupt the state silently. Code that
+    /// merges payloads received from untrusted peers (a server folding
+    /// shard bytes posted over the wire) uses
+    /// [`MergeableSink::try_merge_from`] so a mismatched shard becomes an
+    /// error value, never a crash.
+    fn merge_from(&mut self, other: &Self) {
+        if let Err(e) = self.try_merge_from(other) {
+            panic!("{e}");
+        }
+    }
+
+    /// The fallible form of [`MergeableSink::merge_from`] for wire-facing
+    /// merges: two structurally incompatible states (mismatched
+    /// [`Histogram`] binning, mismatched [`TDigest`] compression) return
+    /// [`CodecError::Mismatch`] instead of panicking, and on `Err` this
+    /// sink is untouched.
+    ///
+    /// Note `try_merge_from` is deliberately *stricter* than some
+    /// infallible merges: [`TDigest::merge_from`] accepts a digest of any
+    /// compression (re-clustering under its own δ), but on the wire a
+    /// compression mismatch means two shards were configured differently —
+    /// exactly the inconsistency an aggregator must surface, so the
+    /// fallible form refuses it.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Mismatch`] when the states cannot combine.
+    fn try_merge_from(&mut self, other: &Self) -> Result<(), CodecError>;
 
     /// Serializes the state into the compact self-describing byte format
     /// (a `[tag, version]` header followed by little-endian fields; no
@@ -248,7 +274,17 @@ pub trait MergeableSink: Sink + Sized {
 /// then `(mean, weight)` pairs (buffered observations are flushed first).
 impl MergeableSink for TDigest {
     fn merge_from(&mut self, other: &Self) {
+        // The inherent merge is deliberately permissive (any compression);
+        // only `try_merge_from` enforces the wire contract.
         TDigest::merge_from(self, other);
+    }
+
+    fn try_merge_from(&mut self, other: &Self) -> Result<(), CodecError> {
+        if self.compression().to_bits() != other.compression().to_bits() {
+            return Err(CodecError::Mismatch("t-digest compressions differ"));
+        }
+        TDigest::merge_from(self, other);
+        Ok(())
     }
 
     fn to_bytes(&self) -> Vec<u8> {
@@ -278,12 +314,10 @@ impl MergeableSink for TDigest {
         let skipped = r.take_u64()?;
         let min = r.take_f64()?;
         let max = r.take_f64()?;
-        let n = r.take_u64()? as usize;
-        // Each centroid needs 16 payload bytes; reject an advertised count
-        // the payload cannot possibly carry before allocating for it.
-        if n > bytes.len() / 16 + 1 {
-            return Err(CodecError::Truncated);
-        }
+        // Each centroid needs 16 payload bytes; the shared count guard
+        // rejects an advertised count the remaining payload cannot carry
+        // before anything is allocated for it.
+        let n = r.take_count(16)?;
         let mut centroids = Vec::with_capacity(n);
         let mut weight_sum = 0.0;
         let mut prev = f64::NEG_INFINITY;
@@ -340,6 +374,10 @@ impl MergeableSink for Histogram {
         self.absorb(other);
     }
 
+    fn try_merge_from(&mut self, other: &Self) -> Result<(), CodecError> {
+        self.try_absorb(other)
+    }
+
     fn to_bytes(&self) -> Vec<u8> {
         let counts = self.counts();
         let mut out = Vec::with_capacity(2 + 8 * 4 + 8 * counts.len());
@@ -364,12 +402,9 @@ impl MergeableSink for Histogram {
             ));
         }
         let total = r.take_u64()?;
-        let n = r.take_u64()? as usize;
+        let n = r.take_count(8)?;
         if n == 0 {
             return Err(CodecError::Invalid("histogram needs at least one bin"));
-        }
-        if n > bytes.len() / 8 + 1 {
-            return Err(CodecError::Truncated);
         }
         let mut counts = Vec::with_capacity(n);
         let mut sum = 0u64;
@@ -814,6 +849,12 @@ impl MergeableSink for WelfordSink {
     fn merge_from(&mut self, other: &Self) {
         self.w.merge(&other.w);
         self.publish();
+    }
+
+    /// Welford states have no configuration to mismatch; this never fails.
+    fn try_merge_from(&mut self, other: &Self) -> Result<(), CodecError> {
+        MergeableSink::merge_from(self, other);
+        Ok(())
     }
 
     fn to_bytes(&self) -> Vec<u8> {
@@ -1263,6 +1304,59 @@ mod tests {
             Welford::from_bytes(&bytes),
             Err(CodecError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn try_merge_from_refuses_mismatched_configurations() {
+        // Histogram: differing binning is a Mismatch error, not a panic,
+        // and the target state is untouched.
+        let mut a = Histogram::new(0.0, 1.0, 8);
+        a.observe(0, 0.5);
+        let b = Histogram::new(0.0, 2.0, 8);
+        assert!(matches!(a.try_merge_from(&b), Err(CodecError::Mismatch(_))));
+        assert_eq!(a.total(), 1);
+
+        // TDigest: the wire contract is stricter than the inherent merge —
+        // differing compressions mean differently configured shards.
+        let mut d = TDigest::new(100.0);
+        d.push(1.0);
+        let mut e = TDigest::new(200.0);
+        e.push(2.0);
+        assert!(matches!(d.try_merge_from(&e), Err(CodecError::Mismatch(_))));
+        assert_eq!(d.count(), 1);
+        // ... while the permissive inherent merge still accepts it.
+        TDigest::merge_from(&mut d, &e);
+        assert_eq!(d.count(), 2);
+
+        // Welford: nothing to mismatch.
+        let mut w = WelfordSink::new();
+        let mut v = WelfordSink::new();
+        v.observe(0, 4.0);
+        w.try_merge_from(&v).unwrap();
+        assert_eq!(w.moments().count(), 1);
+    }
+
+    #[test]
+    fn try_merge_from_matches_merge_from_on_compatible_states() {
+        let mut s = Sampler::from_seed(21);
+        let xs: Vec<f64> = (0..1000).map(|_| s.standard_normal()).collect();
+        let mut via_try = TDigest::new(100.0);
+        let mut via_panic = TDigest::new(100.0);
+        for chunk in xs.chunks(250) {
+            let mut shard = TDigest::new(100.0);
+            for (i, &x) in chunk.iter().enumerate() {
+                shard.observe(i, x);
+            }
+            shard.finish();
+            via_try
+                .try_merge_from(&TDigest::from_bytes(&shard.to_bytes()).unwrap())
+                .unwrap();
+            MergeableSink::merge_from(
+                &mut via_panic,
+                &TDigest::from_bytes(&shard.to_bytes()).unwrap(),
+            );
+        }
+        assert_eq!(via_try.to_bytes(), via_panic.to_bytes());
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! The `statvs` command-line entry point.
+//!
+//! One subcommand today: `statvs serve`, which boots the
+//! simulation-as-a-service HTTP server from `crates/serve` on a loopback
+//! port and runs its accept loop on the main thread.
+//!
+//! ```text
+//! statvs serve [--port N] [--workers N] [--queue N]
+//! ```
+
+use serve::{Server, ServerConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: statvs serve [--port N] [--workers N] [--queue N]
+
+  serve       start the simulation-as-a-service HTTP server on 127.0.0.1
+  --port N    TCP port to listen on           (default 7878; 0 = ephemeral)
+  --workers N worker threads executing shards (default 2)
+  --queue N   bounded job-queue capacity      (default 64)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve_command(&args[1..]),
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve_command(args: &[String]) -> ExitCode {
+    let mut cfg = ServerConfig {
+        port: 7878,
+        ..ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let parsed = match flag.as_str() {
+            "--port" => parse_into(it.next(), flag, |v| cfg.port = v),
+            "--workers" => parse_into(it.next(), flag, |v: usize| cfg.workers = v.max(1)),
+            "--queue" => parse_into(it.next(), flag, |v: usize| cfg.queue_capacity = v.max(1)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag `{other}`")),
+        };
+        if let Err(message) = parsed {
+            eprintln!("{message}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let server = match Server::bind(&cfg) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("statvs serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "statvs serve: listening on http://{} ({} workers, queue {})",
+        server.addr(),
+        cfg.workers,
+        cfg.queue_capacity
+    );
+    server.run();
+    ExitCode::SUCCESS
+}
+
+/// Parses one flag value, feeding the parsed number to `apply`.
+fn parse_into<T: std::str::FromStr>(
+    value: Option<&String>,
+    flag: &str,
+    apply: impl FnOnce(T),
+) -> Result<(), String> {
+    let raw = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    let parsed = raw
+        .parse()
+        .map_err(|_| format!("{flag} value `{raw}` is not a valid number"))?;
+    apply(parsed);
+    Ok(())
+}

@@ -23,6 +23,10 @@
 //!   backward propagation of variance (BPV, independent and correlated),
 //!   staged nominal fitting with CV correction, Monte Carlo, Verilog-A
 //!   export.
+//! * [`serve`] — simulation-as-a-service: the `statvs serve` HTTP server
+//!   over pooled sessions, with a shard-oriented protocol whose returned
+//!   sketch bytes merge bit-identically across servers (zero external
+//!   dependencies: in-repo HTTP/1.1 and JSON codecs).
 //!
 //! # Simulation model
 //!
@@ -54,6 +58,7 @@
 pub use circuits;
 pub use mosfet;
 pub use numerics;
+pub use serve;
 pub use spice;
 pub use stats;
 pub use vscore;
