@@ -57,8 +57,10 @@
 //! ```
 
 pub mod parallel;
+pub mod shard;
 
 pub use parallel::{EarlyStop, McOutcome, ParallelRunner, StreamOutcome};
+pub use shard::{plan_shards, Shard};
 // The sink vocabulary consumed by `ParallelRunner::run_streaming`, re-
 // exported so Monte Carlo call sites need a single import path.
 pub use stats::histogram::Histogram;

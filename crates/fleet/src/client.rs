@@ -1,0 +1,227 @@
+//! A minimal HTTP/1.1 client on `std::net::TcpStream`, speaking exactly
+//! the `statvs serve` protocol: one request per connection, JSON bodies,
+//! `Connection: close` framing.
+//!
+//! The client mirrors the server's hostile-input posture from the other
+//! side of the wire: every way a worker can misbehave — refuse the
+//! connection, stall past the timeout, close mid-response, return
+//! garbage framing or non-JSON — maps to a typed [`ClientError`] the
+//! coordinator can classify as transient (retry on another worker) or
+//! protocol-fatal. Nothing here panics on a hostile peer.
+
+use serve::json::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on one response, bytes. Run envelopes carry hex sketch
+/// payloads (a few kB); a worker streaming unbounded garbage must not
+/// make the coordinator buffer it.
+const MAX_RESPONSE_BYTES: usize = 4 * 1024 * 1024;
+
+/// Why one HTTP exchange with a worker failed. Every variant is a
+/// *transport or framing* fault — an HTTP error status is a successful
+/// exchange and comes back as `(status, body)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// TCP connect failed (refused, unreachable, connect timeout). The
+    /// classic dead-worker signature.
+    Connect(std::io::ErrorKind),
+    /// The socket failed mid-exchange.
+    Io(std::io::ErrorKind),
+    /// The worker stalled past the configured I/O timeout.
+    Timeout,
+    /// The worker closed the connection before a complete response
+    /// (missing header terminator, or a body shorter than its declared
+    /// `Content-Length`).
+    Truncated,
+    /// The response bytes do not parse as an HTTP response.
+    Malformed(&'static str),
+    /// The response body is not valid JSON.
+    BadJson(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect(kind) => write!(f, "connect failed: {kind:?}"),
+            ClientError::Io(kind) => write!(f, "socket error: {kind:?}"),
+            ClientError::Timeout => write!(f, "worker did not respond within the timeout"),
+            ClientError::Truncated => write!(f, "worker closed the connection mid-response"),
+            ClientError::Malformed(what) => write!(f, "malformed response: {what}"),
+            ClientError::BadJson(e) => write!(f, "response body is not JSON: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// The client: connect/I/O timeouts applied to every exchange.
+#[derive(Debug, Clone)]
+pub struct HttpClient {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Read/write timeout for the exchange itself.
+    pub io_timeout: Duration,
+}
+
+impl Default for HttpClient {
+    fn default() -> Self {
+        HttpClient {
+            connect_timeout: Duration::from_secs(2),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl HttpClient {
+    /// One exchange: send `method path` with an optional JSON body, read
+    /// the complete response, parse the body as JSON. Returns the HTTP
+    /// status and parsed body — error envelopes are *successful*
+    /// exchanges here; the caller branches on the status.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError`] on any transport or framing fault.
+    pub fn exchange(
+        &self,
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, Json), ClientError> {
+        let payload = body.unwrap_or("");
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+            payload.len()
+        );
+        let raw = self.raw_exchange(addr, request.as_bytes())?;
+        let (status, body_text) = parse_response(&raw)?;
+        let json = Json::parse(body_text).map_err(|e| ClientError::BadJson(e.to_string()))?;
+        Ok((status, json))
+    }
+
+    /// Sends raw bytes and reads until the worker closes the connection
+    /// (or the timeout/size cap fires).
+    fn raw_exchange(&self, addr: SocketAddr, request: &[u8]) -> Result<Vec<u8>, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, self.connect_timeout)
+            .map_err(|e| ClientError::Connect(e.kind()))?;
+        stream
+            .set_read_timeout(Some(self.io_timeout))
+            .map_err(|e| ClientError::Io(e.kind()))?;
+        stream
+            .set_write_timeout(Some(self.io_timeout))
+            .map_err(|e| ClientError::Io(e.kind()))?;
+        let mut stream = stream;
+        stream.write_all(request).map_err(io_fault)?;
+        // Half-close: the server's post-error drain sees EOF immediately.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+
+        let mut response = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => return Ok(response),
+                Ok(n) => {
+                    if response.len() + n > MAX_RESPONSE_BYTES {
+                        return Err(ClientError::Malformed("response exceeds the size cap"));
+                    }
+                    response.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(io_fault(e)),
+            }
+        }
+    }
+}
+
+/// Maps a mid-exchange I/O error, surfacing timeouts distinctly (they
+/// drive the coordinator's straggler handling).
+fn io_fault(e: std::io::Error) -> ClientError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ClientError::Timeout,
+        kind => ClientError::Io(kind),
+    }
+}
+
+/// Splits a complete raw response into `(status, body)`, validating the
+/// status line and — when the worker declared one — the `Content-Length`.
+fn parse_response(raw: &[u8]) -> Result<(u16, &str), ClientError> {
+    if raw.is_empty() {
+        return Err(ClientError::Truncated);
+    }
+    let text = std::str::from_utf8(raw).map_err(|_| ClientError::Malformed("non-UTF-8 bytes"))?;
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        // Bytes arrived but the header terminator never did: the worker
+        // died (or was killed) mid-response.
+        return Err(ClientError::Truncated);
+    };
+    let status_line = head.lines().next().unwrap_or("");
+    let mut parts = status_line.split(' ');
+    if parts.next().filter(|v| v.starts_with("HTTP/1.")).is_none() {
+        return Err(ClientError::Malformed("bad status line"));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or(ClientError::Malformed("bad status code"))?;
+    for line in head.lines().skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                let declared: usize = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| ClientError::Malformed("bad Content-Length"))?;
+                if body.len() < declared {
+                    return Err(ClientError::Truncated);
+                }
+            }
+        }
+    }
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_complete_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 11\r\n\r\n{\"ok\":true}";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn truncation_is_detected_both_ways() {
+        // No header terminator at all.
+        assert_eq!(
+            parse_response(b"HTTP/1.1 200 OK\r\nContent-Le"),
+            Err(ClientError::Truncated)
+        );
+        // Headers complete, body shorter than declared.
+        assert_eq!(
+            parse_response(b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n{\"ok\""),
+            Err(ClientError::Truncated)
+        );
+        assert_eq!(parse_response(b""), Err(ClientError::Truncated));
+    }
+
+    #[test]
+    fn garbage_framing_is_malformed_not_a_panic() {
+        assert!(matches!(
+            parse_response(b"SPICE/9 hello\r\n\r\nbody"),
+            Err(ClientError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_response(b"HTTP/1.1 abc OK\r\n\r\n{}"),
+            Err(ClientError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse_response(&[0xff, 0xfe, 0x00]),
+            Err(ClientError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,35 @@
+//! Fault-tolerant fleet coordination for `statvs serve` workers.
+//!
+//! This crate is the client half of the serve protocol: it takes one
+//! experiment (circuit, seed, total sample count), splits its sample
+//! index space into disjoint `(offset, len)` shards, dispatches them to
+//! one or more workers over HTTP, polls with capped exponential backoff,
+//! re-issues shards whose workers die, stall, or fail retryably, and
+//! merges the returned sketch bytes into a single campaign result.
+//!
+//! Everything rests on the determinism contract from `vscore::mc`: each
+//! Monte Carlo sample is a pure function of `(seed, index)`, so the union
+//! of disjoint shard streams *is* the single-process stream, and a
+//! re-issued shard reproduces its first attempt byte for byte. That turns
+//! fault tolerance into bookkeeping — the merged histogram after any
+//! number of kills and retries is byte-identical to an unpartitioned run
+//! (`tests/fleet_e2e.rs` in the root package pins exactly that).
+//!
+//! Modules:
+//!
+//! - [`client`] — a zero-dependency HTTP/1.1 client over `TcpStream`,
+//!   with typed transport faults (refused, timeout, truncated).
+//! - [`worker`] — spawn/kill local `statvs serve` child processes; the
+//!   fault-injection primitive for the e2e suite.
+//! - [`coordinator`] — the dispatch → poll → retry state machine.
+//! - [`merge`] — order-independent, duplicate-tolerant payload merging.
+
+pub mod client;
+pub mod coordinator;
+pub mod merge;
+pub mod worker;
+
+pub use client::{ClientError, HttpClient};
+pub use coordinator::{Coordinator, FleetConfig, FleetError, FleetEvent, FleetReport, FleetSpec};
+pub use merge::{merge_payloads, MergeError, MergedResult, ShardPayload};
+pub use worker::LocalWorker;

@@ -1,0 +1,341 @@
+//! Deterministic merging of shard sketch payloads.
+//!
+//! The coordinator's correctness story ends here: shard results arrive in
+//! whatever order workers, retries, and the network produce, possibly
+//! with duplicates (a re-issued shard whose first attempt turned out to
+//! have finished after all). [`merge_payloads`] makes the outcome
+//! independent of all of that by
+//!
+//! 1. **deduplicating** by shard identity `(offset, len)` — determinism
+//!    guarantees a re-run of the same shard is byte-identical, so
+//!    duplicates carry no information (and a *non*-identical duplicate is
+//!    a corrupt worker, reported as an error, never silently merged);
+//! 2. **validating** every payload (sample accounting must balance,
+//!    sketch bytes must decode, shards must not overlap);
+//! 3. **merging in sorted shard order**, so the accumulated
+//!    floating-point state never depends on completion order.
+//!
+//! Histogram merges are integer adds, so the merged histogram is
+//! *byte-identical* to a single-process run over the union; Welford
+//! count/extrema are bit-exact with moments equal to rounding (the
+//! documented `Welford::merge` caveat); t-digest quantiles agree within
+//! the documented rank-error bound.
+
+use stats::histogram::Histogram;
+use stats::sink::{MergeableSink, WelfordSink};
+use stats::{TDigest, Welford};
+use std::collections::BTreeMap;
+use vscore::mc::Shard;
+
+/// One shard's result as shipped by a worker: the sample accounting plus
+/// the serialized sketch states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPayload {
+    /// Which shard of the index space this is — the dedupe key.
+    pub shard: Shard,
+    /// Samples that produced a metric value.
+    pub observed: u64,
+    /// Samples whose solve failed (counted, not fatal).
+    pub failures: u64,
+    /// Serialized `Welford` moment state (always present).
+    pub welford: Vec<u8>,
+    /// Serialized `Histogram` state, when the run requested it.
+    pub histogram: Option<Vec<u8>>,
+    /// Serialized `TDigest` state, when the run requested it.
+    pub tdigest: Option<Vec<u8>>,
+}
+
+/// The merged campaign result.
+#[derive(Debug, Clone)]
+pub struct MergedResult {
+    /// Samples that produced a metric value, across all distinct shards.
+    pub observed: u64,
+    /// Failed samples across all distinct shards.
+    pub failures: u64,
+    /// Merged moment state.
+    pub moments: Welford,
+    /// Merged histogram, when every payload carried one.
+    pub histogram: Option<Histogram>,
+    /// Merged t-digest, when every payload carried one.
+    pub tdigest: Option<TDigest>,
+    /// Distinct shards merged.
+    pub shards: usize,
+    /// Duplicate payloads dropped by the `(offset, len)` dedupe.
+    pub deduplicated: usize,
+}
+
+/// Why a set of shard payloads refused to merge. Every variant is a
+/// worker or coordinator bug surfaced loudly instead of silently folded
+/// into a wrong result.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeError {
+    /// Nothing to merge.
+    Empty,
+    /// Two payloads for the same shard disagree — a worker returned
+    /// garbage (determinism makes honest re-runs byte-identical).
+    InconsistentDuplicate(Shard),
+    /// Two distinct shards overlap; merging would double-count samples.
+    Overlap(Shard, Shard),
+    /// A payload's accounting does not balance (`observed + failures !=
+    /// len`, or the decoded sketch disagrees with the declared counts).
+    BadAccounting(Shard, String),
+    /// Sketch bytes failed to decode or to merge.
+    BadSketch(Shard, String),
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "no shard payloads to merge"),
+            MergeError::InconsistentDuplicate(s) => {
+                write!(f, "shard {s} was returned twice with different bytes")
+            }
+            MergeError::Overlap(a, b) => write!(f, "shards {a} and {b} overlap"),
+            MergeError::BadAccounting(s, why) => write!(f, "shard {s}: {why}"),
+            MergeError::BadSketch(s, why) => write!(f, "shard {s}: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merges shard payloads into one campaign result; see the module docs
+/// for the determinism contract.
+///
+/// # Errors
+///
+/// [`MergeError`] on duplicates that disagree, overlapping shards,
+/// unbalanced accounting, or undecodable/unmergeable sketch bytes.
+pub fn merge_payloads(
+    payloads: impl IntoIterator<Item = ShardPayload>,
+) -> Result<MergedResult, MergeError> {
+    // Dedupe by shard identity; BTreeMap gives the sorted iteration the
+    // deterministic-merge argument needs.
+    let mut distinct: BTreeMap<Shard, ShardPayload> = BTreeMap::new();
+    let mut deduplicated = 0;
+    for payload in payloads {
+        match distinct.get(&payload.shard) {
+            None => {
+                distinct.insert(payload.shard, payload);
+            }
+            Some(first) if *first == payload => deduplicated += 1,
+            Some(_) => return Err(MergeError::InconsistentDuplicate(payload.shard)),
+        }
+    }
+    if distinct.is_empty() {
+        return Err(MergeError::Empty);
+    }
+
+    // Disjointness: consecutive sorted shards must not overlap.
+    let shards: Vec<Shard> = distinct.keys().copied().collect();
+    for pair in shards.windows(2) {
+        if pair[1].offset < pair[0].end() {
+            return Err(MergeError::Overlap(pair[0], pair[1]));
+        }
+    }
+
+    let mut observed = 0u64;
+    let mut failures = 0u64;
+    let mut welford: Option<WelfordSink> = None;
+    let mut histogram: Option<Histogram> = None;
+    let mut tdigest: Option<TDigest> = None;
+    for (index, payload) in distinct.values().enumerate() {
+        let shard = payload.shard;
+        if payload.observed + payload.failures != shard.len as u64 {
+            return Err(MergeError::BadAccounting(
+                shard,
+                format!(
+                    "observed {} + failures {} != shard len {}",
+                    payload.observed, payload.failures, shard.len
+                ),
+            ));
+        }
+        let w = WelfordSink::from_bytes(&payload.welford)
+            .map_err(|e| MergeError::BadSketch(shard, format!("welford: {e}")))?;
+        if w.moments().count() != payload.observed {
+            return Err(MergeError::BadAccounting(
+                shard,
+                format!(
+                    "welford count {} != declared observed {}",
+                    w.moments().count(),
+                    payload.observed
+                ),
+            ));
+        }
+        observed += payload.observed;
+        failures += payload.failures;
+        match &mut welford {
+            None => welford = Some(w),
+            Some(acc) => acc
+                .try_merge_from(&w)
+                .map_err(|e| MergeError::BadSketch(shard, format!("welford: {e}")))?,
+        }
+        merge_optional::<Histogram>(
+            &mut histogram,
+            &payload.histogram,
+            index,
+            shard,
+            "histogram",
+        )?;
+        merge_optional::<TDigest>(&mut tdigest, &payload.tdigest, index, shard, "tdigest")?;
+    }
+
+    Ok(MergedResult {
+        observed,
+        failures,
+        moments: welford.expect("at least one payload merged").moments(),
+        histogram,
+        tdigest,
+        shards: shards.len(),
+        deduplicated,
+    })
+}
+
+/// Decodes and merges one optional sketch, insisting that either every
+/// payload carries it or none does — a mixed campaign is a coordinator
+/// bug that would silently drop data.
+fn merge_optional<S: MergeableSink>(
+    acc: &mut Option<S>,
+    bytes: &Option<Vec<u8>>,
+    index: usize,
+    shard: Shard,
+    name: &str,
+) -> Result<(), MergeError> {
+    match (bytes, index) {
+        (Some(bytes), _) => {
+            let decoded = S::from_bytes(bytes)
+                .map_err(|e| MergeError::BadSketch(shard, format!("{name}: {e}")))?;
+            match acc {
+                None if index == 0 => *acc = Some(decoded),
+                None => Err(MergeError::BadSketch(
+                    shard,
+                    format!("{name} present here but absent from an earlier shard"),
+                ))?,
+                Some(acc) => acc
+                    .try_merge_from(&decoded)
+                    .map_err(|e| MergeError::BadSketch(shard, format!("{name}: {e}")))?,
+            }
+            Ok(())
+        }
+        (None, 0) => Ok(()),
+        (None, _) if acc.is_none() => Ok(()),
+        (None, _) => Err(MergeError::BadSketch(
+            shard,
+            format!("{name} absent here but present in an earlier shard"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stats::sink::Sink;
+
+    /// Builds a payload by streaming `values` into real sinks.
+    fn payload(offset: usize, values: &[f64]) -> ShardPayload {
+        let mut w = WelfordSink::new();
+        let mut h = Histogram::new(0.0, 1.0, 8);
+        let mut d = TDigest::new(100.0);
+        for (i, &v) in values.iter().enumerate() {
+            w.observe(offset + i, v);
+            h.observe(offset + i, v);
+            d.observe(offset + i, v);
+        }
+        w.finish();
+        Sink::finish(&mut h);
+        d.finish();
+        ShardPayload {
+            shard: Shard {
+                offset,
+                len: values.len(),
+            },
+            observed: values.len() as u64,
+            failures: 0,
+            welford: w.to_bytes(),
+            histogram: Some(MergeableSink::to_bytes(&h)),
+            tdigest: Some(d.to_bytes()),
+        }
+    }
+
+    #[test]
+    fn duplicates_dedupe_and_order_does_not_matter() {
+        let a = payload(0, &[0.1, 0.2, 0.3]);
+        let b = payload(3, &[0.5, 0.6]);
+        let forward = merge_payloads([a.clone(), b.clone()]).unwrap();
+        let reversed = merge_payloads([b.clone(), a.clone(), b.clone()]).unwrap();
+        assert_eq!(reversed.deduplicated, 1);
+        assert_eq!(forward.observed, 5);
+        assert_eq!(reversed.observed, 5);
+        assert_eq!(forward.moments.mean(), reversed.moments.mean());
+        assert_eq!(
+            MergeableSink::to_bytes(forward.histogram.as_ref().unwrap()),
+            MergeableSink::to_bytes(reversed.histogram.as_ref().unwrap()),
+        );
+    }
+
+    #[test]
+    fn garbage_duplicates_are_rejected() {
+        let a = payload(0, &[0.1, 0.2]);
+        let mut forged = payload(0, &[0.8, 0.9]);
+        forged.shard = a.shard;
+        assert_eq!(
+            merge_payloads([a.clone(), forged]).unwrap_err(),
+            MergeError::InconsistentDuplicate(a.shard)
+        );
+    }
+
+    #[test]
+    fn overlapping_shards_are_rejected() {
+        let a = payload(0, &[0.1, 0.2, 0.3]);
+        let b = payload(2, &[0.5, 0.6]);
+        assert!(matches!(
+            merge_payloads([a, b]).unwrap_err(),
+            MergeError::Overlap(_, _)
+        ));
+    }
+
+    #[test]
+    fn unbalanced_accounting_is_rejected() {
+        let mut a = payload(0, &[0.1, 0.2]);
+        a.observed = 5;
+        assert!(matches!(
+            merge_payloads([a]).unwrap_err(),
+            MergeError::BadAccounting(_, _)
+        ));
+        let mut b = payload(0, &[0.1, 0.2]);
+        b.failures = 1; // observed 2 + failures 1 != len 2
+        assert!(matches!(
+            merge_payloads([b]).unwrap_err(),
+            MergeError::BadAccounting(_, _)
+        ));
+    }
+
+    #[test]
+    fn corrupt_sketch_bytes_are_rejected() {
+        let mut a = payload(0, &[0.1, 0.2]);
+        a.welford = vec![0xff; 7];
+        assert!(matches!(
+            merge_payloads([a]).unwrap_err(),
+            MergeError::BadSketch(_, _)
+        ));
+        let mut b = payload(0, &[0.1, 0.2]);
+        b.histogram = Some(vec![0x00, 0x01, 0x02]);
+        assert!(matches!(
+            merge_payloads([b]).unwrap_err(),
+            MergeError::BadSketch(_, _)
+        ));
+    }
+
+    #[test]
+    fn mixed_sketch_presence_is_rejected() {
+        let a = payload(0, &[0.1, 0.2]);
+        let mut b = payload(2, &[0.5]);
+        b.histogram = None;
+        assert!(matches!(
+            merge_payloads([a, b]).unwrap_err(),
+            MergeError::BadSketch(_, _)
+        ));
+        assert!(merge_payloads([payload(0, &[0.1])]).is_ok());
+        assert_eq!(merge_payloads([]).unwrap_err(), MergeError::Empty);
+    }
+}

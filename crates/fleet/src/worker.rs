@@ -1,0 +1,92 @@
+//! Spawning local `statvs serve` workers as child processes.
+//!
+//! `statvs fleet --spawn N` (and the fault-injection test suite) boots
+//! its own worker pool: each worker is a real `statvs serve` process on
+//! an ephemeral loopback port, discovered by parsing the server's
+//! startup line from its stdout. Children are killed on drop, so a
+//! coordinator crash cannot leak simulator processes — and a test can
+//! call [`LocalWorker::kill`] mid-shard to inject exactly the fault a
+//! real fleet sees when a machine dies.
+
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+
+/// The marker `statvs serve` prints once its listener is bound.
+const READY_MARKER: &str = "listening on http://";
+
+/// One spawned `statvs serve` child process and its bound address.
+#[derive(Debug)]
+pub struct LocalWorker {
+    child: Child,
+    addr: SocketAddr,
+}
+
+impl LocalWorker {
+    /// Spawns `binary serve --port 0 --workers threads` and blocks until
+    /// the child prints its listening address (or exits).
+    ///
+    /// # Errors
+    ///
+    /// `std::io::Error` when the child cannot be spawned, exits before
+    /// announcing its address, or prints an unparseable address.
+    pub fn spawn(binary: &Path, threads: usize) -> std::io::Result<LocalWorker> {
+        let mut child = Command::new(binary)
+            .args(["serve", "--port", "0", "--workers", &threads.to_string()])
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let mut lines = BufReader::new(stdout).lines();
+        // The ready line is the first (and only) thing the server prints;
+        // EOF before it means the child died during boot.
+        for line in &mut lines {
+            let line = line?;
+            if let Some(rest) = line.split(READY_MARKER).nth(1) {
+                let addr_text = rest.split_whitespace().next().unwrap_or("");
+                let addr = addr_text.parse().map_err(|_| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unparseable worker address `{addr_text}`"),
+                    )
+                })?;
+                // Leave the remaining pipe open; the server prints nothing
+                // further, so the child can never block on a full pipe.
+                return Ok(LocalWorker { child, addr });
+            }
+        }
+        let _ = child.kill();
+        let _ = child.wait();
+        Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "worker exited before announcing its address",
+        ))
+    }
+
+    /// The worker's bound loopback address.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Kills the child process immediately — the fault-injection
+    /// primitive: an in-flight shard dies with the worker, exactly as it
+    /// would when a fleet machine goes down mid-run.
+    pub fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Whether the child is still running.
+    pub fn is_alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+}
+
+impl Drop for LocalWorker {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}

@@ -1,0 +1,248 @@
+//! Seeded property suite for the fleet-merge determinism contract:
+//! **any** partitioning of a campaign's sample index space — unequal
+//! shard sizes, re-issued duplicates, arbitrary arrival order — merges to
+//! the same result as one unpartitioned run.
+//!
+//! Concretely, for random partitions (seeded xorshift, so failures
+//! reproduce):
+//!
+//! - merged `Histogram` state is **byte-identical** to the single-run
+//!   reference (integer bin adds commute and associate);
+//! - merged `Welford` count/min/max are bit-exact, mean and variance
+//!   within `1e-12` (the pairwise-merge rounding caveat);
+//! - merged `TDigest` state is byte-identical across arrival orders and
+//!   duplicate injections (sorted-shard-order merging), with quantiles
+//!   tracking the reference within the digest's rank-error bound;
+//! - duplicates injected into the payload stream are deduped by
+//!   `(offset, len)` and never double-counted.
+//!
+//! The final test pushes one random partition through a real loopback
+//! `statvs serve` server — coordinator, HTTP client, hex codec and all —
+//! and holds it to the same standard.
+
+use fleet::coordinator::{Coordinator, FleetConfig, FleetSpec};
+use fleet::merge::{merge_payloads, ShardPayload};
+use serve::pool::Engine;
+use serve::store::ExperimentSpec;
+use serve::{Server, ServerConfig};
+use stats::sink::MergeableSink;
+use std::time::Duration;
+use vscore::mc::Shard;
+
+const CIRCUIT: &str = "device_idsat";
+const TOTAL: usize = 240;
+const SEED: u64 = 20130318; // the paper's conference date
+
+/// Tiny deterministic RNG (xorshift64*) so every trial reproduces.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `0..bound`.
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// A random partition of `0..total` into 1..=max_parts shards of
+/// (usually) unequal lengths.
+fn random_partition(rng: &mut Rng, total: usize, max_parts: usize) -> Vec<Shard> {
+    let parts = 1 + rng.below(max_parts);
+    let mut cuts: Vec<usize> = (0..parts - 1).map(|_| 1 + rng.below(total - 1)).collect();
+    cuts.push(0);
+    cuts.push(total);
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.windows(2)
+        .map(|w| Shard {
+            offset: w[0],
+            len: w[1] - w[0],
+        })
+        .collect()
+}
+
+/// The template's spec for one shard, mirroring what the server would run.
+fn shard_spec(engine: &Engine, shard: Shard) -> ExperimentSpec {
+    let template = engine.template(CIRCUIT).expect("template registered");
+    ExperimentSpec {
+        circuit: CIRCUIT.to_string(),
+        analysis: template.analyses[0].to_string(),
+        seed: SEED,
+        offset: shard.offset,
+        len: shard.len,
+        total: Some(TOTAL),
+        want_welford: true,
+        want_histogram: true,
+        want_tdigest: true,
+        histogram: template.default_histogram,
+        tdigest_compression: 100.0,
+    }
+}
+
+/// Executes one shard in-process and wraps the result as a payload.
+fn shard_payload(engine: &Engine, shard: Shard) -> ShardPayload {
+    let result = engine
+        .execute(&shard_spec(engine, shard))
+        .expect("shard runs");
+    ShardPayload {
+        shard,
+        observed: result.observed,
+        failures: result.failures,
+        welford: result.welford_bytes.expect("welford requested"),
+        histogram: Some(result.histogram_bytes.expect("histogram requested")),
+        tdigest: Some(result.tdigest_bytes.expect("tdigest requested")),
+    }
+}
+
+#[test]
+fn random_partitions_merge_bit_identically_with_the_single_run() {
+    let engine = Engine::new().expect("engine builds");
+    let reference = engine
+        .execute(&shard_spec(
+            &engine,
+            Shard {
+                offset: 0,
+                len: TOTAL,
+            },
+        ))
+        .expect("reference runs");
+    let ref_histogram = reference.histogram_bytes.as_ref().unwrap();
+    let ref_welford =
+        stats::sink::WelfordSink::from_bytes(reference.welford_bytes.as_ref().unwrap())
+            .unwrap()
+            .moments();
+    let ref_digest = stats::TDigest::from_bytes(reference.tdigest_bytes.as_ref().unwrap()).unwrap();
+
+    let mut rng = Rng(0x5eed_0001);
+    for trial in 0..8 {
+        let partition = random_partition(&mut rng, TOTAL, 9);
+        let mut payloads: Vec<ShardPayload> = partition
+            .iter()
+            .map(|&shard| shard_payload(&engine, shard))
+            .collect();
+
+        // Inject re-issued duplicates: identical payloads for randomly
+        // chosen shards, as if a straggler's first attempt finished after
+        // its replacement.
+        let duplicates = 1 + rng.below(2);
+        for _ in 0..duplicates {
+            let pick = payloads[rng.below(partition.len())].clone();
+            payloads.push(pick);
+        }
+        // Arrival order is whatever the network felt like: rotate by a
+        // random amount (a cheap seeded shuffle).
+        let rotation = rng.below(payloads.len());
+        payloads.rotate_left(rotation);
+
+        let merged = merge_payloads(payloads.clone())
+            .unwrap_or_else(|e| panic!("trial {trial}: merge refused: {e}"));
+        assert_eq!(merged.deduplicated, duplicates, "trial {trial}");
+        assert_eq!(merged.shards, partition.len(), "trial {trial}");
+        assert_eq!(merged.observed + merged.failures, TOTAL as u64);
+
+        // Histogram: byte-identical to the unpartitioned run.
+        let merged_histogram = MergeableSink::to_bytes(merged.histogram.as_ref().unwrap());
+        assert_eq!(
+            &merged_histogram,
+            ref_histogram,
+            "trial {trial} ({} shards): histogram bytes diverged",
+            partition.len()
+        );
+
+        // Welford: count/extrema exact, moments to rounding.
+        assert_eq!(merged.moments.count(), ref_welford.count());
+        assert_eq!(merged.moments.min(), ref_welford.min(), "trial {trial}");
+        assert_eq!(merged.moments.max(), ref_welford.max(), "trial {trial}");
+        assert!((merged.moments.mean() - ref_welford.mean()).abs() <= 1e-12);
+        assert!((merged.moments.variance() - ref_welford.variance()).abs() <= 1e-12);
+
+        // TDigest: deterministic across arrival orders — re-merging the
+        // same payload set in a different rotation gives identical bytes.
+        let mut rotated = payloads.clone();
+        rotated.rotate_left(1);
+        let remerged = merge_payloads(rotated).unwrap();
+        assert_eq!(
+            MergeableSink::to_bytes(merged.tdigest.as_ref().unwrap()),
+            MergeableSink::to_bytes(remerged.tdigest.as_ref().unwrap()),
+            "trial {trial}: tdigest merge depended on arrival order"
+        );
+        // ...and quantiles track the unpartitioned digest.
+        let digest = merged.tdigest.as_ref().unwrap();
+        assert_eq!(digest.count(), ref_digest.count());
+        for p in [0.1, 0.5, 0.9] {
+            let q = digest.quantile(p).unwrap();
+            let q_ref = ref_digest.quantile(p).unwrap();
+            let scale = ref_welford.max() - ref_welford.min();
+            assert!(
+                (q - q_ref).abs() <= 0.05 * scale,
+                "trial {trial} q{p}: {q} vs {q_ref}"
+            );
+        }
+    }
+}
+
+#[test]
+fn a_random_partition_round_trips_through_a_real_server() {
+    let engine = Engine::new().expect("engine builds");
+    let reference = engine
+        .execute(&shard_spec(
+            &engine,
+            Shard {
+                offset: 0,
+                len: TOTAL,
+            },
+        ))
+        .expect("reference runs");
+
+    let server = Server::bind(&ServerConfig::default()).expect("server boots");
+    let addr = server.addr();
+    let handle = server.start();
+
+    let mut rng = Rng(0x5eed_0002);
+    // A duplicated entry in the plan itself: the coordinator dedupes by
+    // (offset, len) before dispatching.
+    let mut plan = random_partition(&mut rng, TOTAL, 7);
+    let duplicate = plan[rng.below(plan.len())];
+    plan.push(duplicate);
+
+    let spec = FleetSpec {
+        circuit: CIRCUIT.to_string(),
+        analysis: None,
+        seed: SEED,
+        total: TOTAL,
+        histogram: None,
+        tdigest_compression: None,
+    };
+    let cfg = FleetConfig {
+        poll_initial: Duration::from_millis(5),
+        ..FleetConfig::default()
+    };
+    let coordinator = Coordinator::new(vec![addr], cfg).unwrap();
+    let report = coordinator
+        .run_shards(&spec, &plan, &mut |_| {})
+        .expect("loopback campaign succeeds");
+
+    // The HTTP hex round trip must not cost a single bit.
+    assert_eq!(
+        MergeableSink::to_bytes(report.merged.histogram.as_ref().unwrap()),
+        reference.histogram_bytes.clone().unwrap(),
+        "histogram bytes diverged across the HTTP round trip"
+    );
+    let ref_welford =
+        stats::sink::WelfordSink::from_bytes(reference.welford_bytes.as_ref().unwrap())
+            .unwrap()
+            .moments();
+    assert_eq!(report.merged.moments.count(), ref_welford.count());
+    assert_eq!(report.merged.moments.min(), ref_welford.min());
+    assert_eq!(report.merged.moments.max(), ref_welford.max());
+    assert!((report.merged.moments.mean() - ref_welford.mean()).abs() <= 1e-12);
+    assert!((report.merged.moments.variance() - ref_welford.variance()).abs() <= 1e-12);
+
+    handle.shutdown();
+}

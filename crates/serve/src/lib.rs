@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
-use store::{JobQueue, RunStore};
+use store::{JobQueue, RunFailure, RunStore};
 
 /// Per-connection socket timeout: a stalled peer cannot pin a connection
 /// thread forever.
@@ -306,10 +306,14 @@ fn run_worker(ctx: &ServerCtx) {
         ctx.store.mark_running(id);
         match catch_unwind(AssertUnwindSafe(|| ctx.engine.execute(&record.spec))) {
             Ok(Ok(result)) => ctx.store.complete(id, result),
-            Ok(Err(message)) => ctx.store.fail(id, message),
-            Err(_) => ctx
-                .store
-                .fail(id, "worker panicked while executing the shard".to_string()),
+            Ok(Err(failure)) => ctx.store.fail(id, failure),
+            // A panic is a bug, but one this worker hit with this pool
+            // state; re-issuing the pure (seed, offset, len) shard on a
+            // healthy worker is safe and can succeed.
+            Err(_) => ctx.store.fail(
+                id,
+                RunFailure::transient("worker panicked while executing the shard"),
+            ),
         }
     }
 }

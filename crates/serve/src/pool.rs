@@ -18,7 +18,7 @@
 //! single local run over the union — the property the loopback e2e test
 //! pins.
 
-use crate::store::{ExperimentSpec, RunResult};
+use crate::store::{ExperimentSpec, RunFailure, RunResult};
 use circuits::sram::{full_cell, SramDevices, SramSizing};
 use mosfet::{vs::VsParams, Geometry, MismatchSpec, Polarity};
 use spice::{NodeId, Session, SpiceError};
@@ -201,15 +201,20 @@ impl Engine {
     ///
     /// # Errors
     ///
-    /// A message string when the shard cannot run at all (unknown
-    /// template — already rejected at spec validation — or a session
-    /// replication failure).
-    pub fn execute(&self, spec: &ExperimentSpec) -> Result<RunResult, String> {
+    /// A [`RunFailure`] when the shard cannot run at all, classified for
+    /// the coordinator: an unknown template (already rejected at spec
+    /// validation, so only a registry drift can reach here) is fatal —
+    /// re-issuing the identical shard anywhere fails the same way — while
+    /// a session replication failure is transient (another worker, or a
+    /// later attempt with a less loaded pool, can succeed).
+    pub fn execute(&self, spec: &ExperimentSpec) -> Result<RunResult, RunFailure> {
         let template = self
             .templates
             .iter()
             .find(|t| t.info.id == spec.circuit)
-            .ok_or_else(|| format!("unknown circuit template `{}`", spec.circuit))?;
+            .ok_or_else(|| {
+                RunFailure::fatal(format!("unknown circuit template `{}`", spec.circuit))
+            })?;
         match &template.runtime {
             TemplateRuntime::SramDc(rt) => {
                 self.execute_sram(spec, &rt.master, rt.l, rt.r, &rt.idle)
@@ -225,7 +230,7 @@ impl Engine {
         l: NodeId,
         r: NodeId,
         idle: &Mutex<Vec<SramWorker>>,
-    ) -> Result<RunResult, String> {
+    ) -> Result<RunResult, RunFailure> {
         // Check a worker session out of the pool; replicate from the
         // master only when the pool is dry (first request, or more
         // concurrent jobs than ever before).
@@ -234,9 +239,9 @@ impl Engine {
             match pooled {
                 Some(w) => w,
                 None => SramWorker {
-                    session: master
-                        .replicate()
-                        .map_err(|e| format!("session replication failed: {e}"))?,
+                    session: master.replicate().map_err(|e| {
+                        RunFailure::transient(format!("session replication failed: {e}"))
+                    })?,
                     l,
                     r,
                 },
@@ -275,7 +280,7 @@ impl Engine {
         let outcome = ParallelRunner::new(spec.seed)
             .workers(1)
             .run_streaming_range(spec.offset, spec.len, |_, _| Ok(()), sample, &mut sinks)
-            .map_err(|e| format!("shard setup failed: {e}"))?;
+            .map_err(|e| RunFailure::transient(format!("shard setup failed: {e}")))?;
 
         // Return the session for the next job (bounded pool).
         let worker = cell.into_inner().expect("no poisoned locks");
@@ -383,6 +388,7 @@ mod tests {
             seed,
             offset,
             len,
+            total: None,
             want_welford: true,
             want_histogram: true,
             want_tdigest: true,
@@ -440,6 +446,7 @@ mod tests {
     fn unknown_template_is_an_error_not_a_panic() {
         let engine = Engine::new().expect("templates elaborate");
         let err = engine.execute(&spec("nope", 1, 0, 10)).unwrap_err();
-        assert!(err.contains("unknown circuit template"));
+        assert!(err.message.contains("unknown circuit template"));
+        assert!(!err.retryable, "a registry miss recurs on every retry");
     }
 }

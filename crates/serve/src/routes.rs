@@ -18,7 +18,7 @@
 use crate::error::ApiError;
 use crate::http::Request;
 use crate::json::{num, obj, s, Json};
-use crate::store::{hex_encode, ExperimentSpec, RunRecord, RunResult, RunStatus};
+use crate::store::{hex_encode, ExperimentSpec, RunFailure, RunRecord, RunResult, RunStatus};
 use crate::ServerCtx;
 
 /// Largest accepted shard offset: far beyond any real fleet partition,
@@ -109,8 +109,12 @@ fn post_experiment(req: &Request, ctx: &ServerCtx) -> Result<(u16, Json), ApiErr
     let spec = parse_spec(&body, ctx)?;
     let id = ctx.store.create(spec.clone());
     if let Err(e) = ctx.queue.push(id) {
-        // The record exists but will never run; make its state honest.
-        ctx.store.fail(id, format!("rejected at submission: {e}"));
+        // The record exists but will never run; make its state honest. A
+        // full queue is load, not a spec problem — retryable.
+        ctx.store.fail(
+            id,
+            RunFailure::transient(format!("rejected at submission: {e}")),
+        );
         return Err(e);
     }
     Ok((
@@ -164,8 +168,17 @@ fn run_json(record: &RunRecord) -> Json {
             ]),
         ),
     ];
-    if let Some(error) = &record.error {
-        members.push(("error", s(error)));
+    if let Some(failure) = &record.error {
+        // Structured, not a bare string: a coordinator branches on
+        // `retryable` to decide between re-issuing the shard and aborting
+        // the whole campaign.
+        members.push((
+            "error",
+            obj(vec![
+                ("message", s(&failure.message)),
+                ("retryable", Json::Bool(failure.retryable)),
+            ]),
+        ));
     }
     if let Some(result) = &record.result {
         members.push(("result", result_json(result)));
@@ -214,6 +227,7 @@ fn parse_spec(body: &Json, ctx: &ServerCtx) -> Result<ExperimentSpec, ApiError> 
         "seed",
         "samples",
         "shard",
+        "total",
         "sinks",
         "histogram",
         "tdigest",
@@ -254,7 +268,7 @@ fn parse_spec(body: &Json, ctx: &ServerCtx) -> Result<ExperimentSpec, ApiError> 
             .ok_or_else(|| ApiError::bad_request("`seed` must be a non-negative integer"))?,
     };
 
-    let (offset, len) = parse_shard(body, ctx.max_samples)?;
+    let (offset, len, total) = parse_shard(body, ctx.max_samples)?;
 
     let (want_welford, want_histogram, want_tdigest) = parse_sinks(body)?;
 
@@ -273,6 +287,7 @@ fn parse_spec(body: &Json, ctx: &ServerCtx) -> Result<ExperimentSpec, ApiError> 
         seed,
         offset,
         len,
+        total,
         want_welford,
         want_histogram,
         want_tdigest,
@@ -281,7 +296,8 @@ fn parse_spec(body: &Json, ctx: &ServerCtx) -> Result<ExperimentSpec, ApiError> 
     })
 }
 
-fn parse_shard(body: &Json, max_samples: usize) -> Result<(usize, usize), ApiError> {
+#[allow(clippy::type_complexity)]
+fn parse_shard(body: &Json, max_samples: usize) -> Result<(usize, usize, Option<usize>), ApiError> {
     let samples = body.get("samples");
     let shard = body.get("shard");
     let (offset, len) = match (samples, shard) {
@@ -336,7 +352,33 @@ fn parse_shard(body: &Json, max_samples: usize) -> Result<(usize, usize), ApiErr
             "shard offset {offset} exceeds the {MAX_OFFSET} cap"
         )));
     }
-    Ok((offset as usize, len as usize))
+    // `offset + len` must index a real sample space: a shard whose end
+    // overflows (or would collide with the runner's usize::MAX shutdown
+    // sentinel) is a coordinator bug, rejected here instead of surfacing
+    // as a worker panic.
+    let end = offset
+        .checked_add(len)
+        .filter(|&end| end < u64::MAX)
+        .ok_or_else(|| {
+            ApiError::bad_request(format!(
+                "shard offset {offset} + len {len} overflows the sample index space"
+            ))
+        })?;
+    let total = match body.get("total") {
+        None => None,
+        Some(v) => {
+            let total = v
+                .as_u64()
+                .ok_or_else(|| ApiError::bad_request("`total` must be a non-negative integer"))?;
+            if end > total {
+                return Err(ApiError::bad_request(format!(
+                    "shard {offset}..{end} exceeds the declared total of {total} samples"
+                )));
+            }
+            Some(total as usize)
+        }
+    };
+    Ok((offset as usize, len as usize, total))
 }
 
 fn parse_sinks(body: &Json) -> Result<(bool, bool, bool), ApiError> {
@@ -529,6 +571,22 @@ mod tests {
                 r#"{"circuit": "sram6t_dc", "samples": 5, "seed": -1}"#,
                 "`seed`",
             ),
+            (
+                r#"{"circuit": "sram6t_dc", "shard": {"offset": 90, "len": 20}, "total": 100}"#,
+                "declared total",
+            ),
+            (
+                r#"{"circuit": "sram6t_dc", "samples": 120, "total": 100}"#,
+                "declared total",
+            ),
+            (
+                r#"{"circuit": "sram6t_dc", "samples": 5, "total": -3}"#,
+                "`total`",
+            ),
+            (
+                r#"{"circuit": "sram6t_dc", "shard": {"offset": 0, "len": 0}, "total": 10}"#,
+                "at least 1",
+            ),
         ] {
             let (status, reply) = handle(&request("POST", "/experiments", body), &ctx);
             assert_eq!(status, 400, "body {body:?} gave {}", reply.to_text());
@@ -579,9 +637,43 @@ mod tests {
         let (status, reply) = handle(&request("POST", "/experiments", body), &ctx);
         assert_eq!(status, 503);
         assert_eq!(error_code(&reply), "queue_full");
-        // The second record exists but is honestly marked failed.
+        // The second record exists but is honestly marked failed, with a
+        // structured reason the coordinator can branch on: a full queue
+        // is load, so the shard is worth re-issuing.
         let (_, reply) = handle(&request("GET", "/runs/2", ""), &ctx);
         let run = reply.get("run").unwrap();
         assert_eq!(run.get("status").and_then(Json::as_str), Some("failed"));
+        let error = run.get("error").expect("failed runs carry a reason");
+        assert!(error
+            .get("message")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("rejected at submission"));
+        assert_eq!(error.get("retryable").and_then(Json::as_bool), Some(true));
+    }
+
+    #[test]
+    fn fatal_failures_are_marked_non_retryable() {
+        let ctx = ctx();
+        let body = r#"{"circuit": "device_idsat", "samples": 5}"#;
+        let (status, _) = handle(&request("POST", "/experiments", body), &ctx);
+        assert_eq!(status, 202);
+        // Simulate registry drift: the worker loop records the engine's
+        // fatal classification verbatim.
+        ctx.store
+            .fail(1, RunFailure::fatal("unknown circuit template `gone`"));
+        let (_, reply) = handle(&request("GET", "/runs/1", ""), &ctx);
+        let run = reply.get("run").unwrap();
+        let error = run.get("error").unwrap();
+        assert_eq!(error.get("retryable").and_then(Json::as_bool), Some(false));
+    }
+
+    #[test]
+    fn shard_total_consistency_is_accepted_when_it_holds() {
+        let ctx = ctx();
+        let body = r#"{"circuit": "device_idsat", "seed": 1,
+                       "shard": {"offset": 80, "len": 20}, "total": 100}"#;
+        let (status, reply) = handle(&request("POST", "/experiments", body), &ctx);
+        assert_eq!(status, 202, "{}", reply.to_text());
     }
 }

@@ -29,6 +29,11 @@ pub struct ExperimentSpec {
     pub offset: usize,
     /// Number of samples in this shard.
     pub len: usize,
+    /// Declared total sample count of the whole experiment, when the
+    /// client stated one. Validation guarantees `offset + len <= total`,
+    /// so a buggy coordinator cannot silently request work outside the
+    /// experiment's index space.
+    pub total: Option<usize>,
     /// Return the Welford moment-sketch bytes.
     pub want_welford: bool,
     /// Return the fixed-bin histogram bytes.
@@ -64,6 +69,40 @@ impl RunStatus {
             RunStatus::Running => "running",
             RunStatus::Done => "done",
             RunStatus::Failed => "failed",
+        }
+    }
+}
+
+/// Why a run failed, in coordinator-actionable form: the message plus
+/// whether re-issuing the identical shard can succeed. Transient faults
+/// (full queue at submission, a crashed worker thread, resource
+/// exhaustion) are retryable; spec-level faults (a template the engine
+/// cannot run) are not — retrying them would loop forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunFailure {
+    /// Human-readable failure detail.
+    pub message: String,
+    /// Whether re-issuing the same shard (here or on another worker) can
+    /// succeed.
+    pub retryable: bool,
+}
+
+impl RunFailure {
+    /// A failure worth re-issuing.
+    #[must_use]
+    pub fn transient(message: impl Into<String>) -> Self {
+        RunFailure {
+            message: message.into(),
+            retryable: true,
+        }
+    }
+
+    /// A failure that will recur on every retry.
+    #[must_use]
+    pub fn fatal(message: impl Into<String>) -> Self {
+        RunFailure {
+            message: message.into(),
+            retryable: false,
         }
     }
 }
@@ -118,8 +157,8 @@ pub struct RunRecord {
     pub spec: ExperimentSpec,
     /// Lifecycle position.
     pub status: RunStatus,
-    /// Failure message, when `status == Failed`.
-    pub error: Option<String>,
+    /// Failure reason, when `status == Failed`.
+    pub error: Option<RunFailure>,
     /// The result, when `status == Done`.
     pub result: Option<RunResult>,
 }
@@ -185,11 +224,11 @@ impl RunStore {
         });
     }
 
-    /// Records a failure message.
-    pub fn fail(&self, id: u64, message: String) {
+    /// Records a failure reason.
+    pub fn fail(&self, id: u64, failure: RunFailure) {
         self.update(id, |r| {
             r.status = RunStatus::Failed;
-            r.error = Some(message);
+            r.error = Some(failure);
         });
     }
 
@@ -351,6 +390,7 @@ mod tests {
             seed: 1,
             offset: 0,
             len: 10,
+            total: None,
             want_welford: true,
             want_histogram: false,
             want_tdigest: false,
@@ -367,10 +407,12 @@ mod tests {
         assert_eq!(store.get(id).unwrap().status, RunStatus::Queued);
         store.mark_running(id);
         assert_eq!(store.get(id).unwrap().status, RunStatus::Running);
-        store.fail(id, "boom".to_string());
+        store.fail(id, RunFailure::transient("boom"));
         let record = store.get(id).unwrap();
         assert_eq!(record.status, RunStatus::Failed);
-        assert_eq!(record.error.as_deref(), Some("boom"));
+        let failure = record.error.unwrap();
+        assert_eq!(failure.message, "boom");
+        assert!(failure.retryable);
         assert_eq!(store.len(), 1);
         assert!(store.get(id + 1).is_none());
     }

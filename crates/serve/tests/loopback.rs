@@ -171,6 +171,7 @@ fn disjoint_shards_over_http_merge_to_the_single_process_run() {
             seed: SEED,
             offset: 0,
             len: TOTAL,
+            total: Some(TOTAL),
             want_welford: true,
             want_histogram: true,
             want_tdigest: true,

@@ -11,6 +11,11 @@
 //! (`crates/core/tests/parallel_mc.rs` pins all three properties).
 //!
 //! Run with `cargo run --release --example fleet_merge`.
+//!
+//! This demo is the in-process sketch of what `statvs fleet`
+//! (`crates/fleet`) does for real: shards dispatched to `statvs serve`
+//! workers over HTTP, lost shards re-issued, payloads merged — same
+//! determinism contract, plus fault tolerance.
 
 use statvs::mosfet::{vs::VsParams, Geometry, MismatchSpec, Polarity};
 use statvs::stats::sink::MergeableSink;

@@ -1,27 +1,55 @@
 //! The `statvs` command-line entry point.
 //!
-//! One subcommand today: `statvs serve`, which boots the
-//! simulation-as-a-service HTTP server from `crates/serve` on a loopback
-//! port and runs its accept loop on the main thread.
+//! Two subcommands: `statvs serve` boots the simulation-as-a-service HTTP
+//! server from `crates/serve` on a loopback port and runs its accept loop
+//! on the main thread; `statvs fleet` is the matching coordinator — it
+//! shards one experiment across serve workers (spawned locally or already
+//! running), re-issues shards lost to dead or stalled workers, and merges
+//! the returned sketch bytes into one campaign result.
 //!
 //! ```text
 //! statvs serve [--port N] [--workers N] [--queue N]
+//! statvs fleet --circuit ID --samples N [--shards N] [--seed N]
+//!              [--worker HOST:PORT]... [--spawn N] [--threads N]
+//!              [--retries N] [--deadline SECS]
+//!              [--histogram LO:HI:BINS] [--tdigest COMPRESSION]
 //! ```
 
+use fleet::coordinator::FleetEvent;
+use fleet::{Coordinator, FleetConfig, FleetSpec, LocalWorker};
 use serve::{Server, ServerConfig};
+use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::time::Duration;
 
-const USAGE: &str = "usage: statvs serve [--port N] [--workers N] [--queue N]
+const USAGE: &str = "usage: statvs <serve|fleet> [flags]
 
   serve       start the simulation-as-a-service HTTP server on 127.0.0.1
   --port N    TCP port to listen on           (default 7878; 0 = ephemeral)
   --workers N worker threads executing shards (default 2)
-  --queue N   bounded job-queue capacity      (default 64)";
+  --queue N   bounded job-queue capacity      (default 64)
+
+  fleet       run one experiment as shards across serve workers, with
+              retry on worker death and deterministic sketch merging
+  --circuit ID          circuit template (see GET /circuits)    [required]
+  --samples N           total Monte Carlo samples               [required]
+  --shards N            shard count                  (default: 4 per worker)
+  --seed N              base RNG seed                           (default 0)
+  --analysis NAME       analysis kind              (default: template's own)
+  --worker HOST:PORT    an already-running worker; repeatable
+  --spawn N             spawn N local `statvs serve` children   (default 2
+                        when no --worker is given)
+  --threads N           worker threads per spawned child        (default 2)
+  --retries N           dispatch attempts per shard             (default 5)
+  --deadline SECS       per-shard straggler deadline            (default 300)
+  --histogram LO:HI:BINS  explicit histogram    (default: template's own)
+  --tdigest COMPRESSION   explicit t-digest compression (default: server's)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("serve") => serve_command(&args[1..]),
+        Some("fleet") => fleet_command(&args[1..]),
         Some("--help" | "-h" | "help") => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -75,6 +103,204 @@ fn serve_command(args: &[String]) -> ExitCode {
     );
     server.run();
     ExitCode::SUCCESS
+}
+
+/// Everything `statvs fleet` parses from its flags.
+struct FleetArgs {
+    circuit: Option<String>,
+    analysis: Option<String>,
+    samples: Option<usize>,
+    shards: Option<usize>,
+    seed: u64,
+    workers: Vec<SocketAddr>,
+    spawn: Option<usize>,
+    threads: usize,
+    retries: usize,
+    deadline: Duration,
+    histogram: Option<(f64, f64, usize)>,
+    tdigest: Option<f64>,
+}
+
+fn fleet_command(args: &[String]) -> ExitCode {
+    let mut a = FleetArgs {
+        circuit: None,
+        analysis: None,
+        samples: None,
+        shards: None,
+        seed: 0,
+        workers: Vec::new(),
+        spawn: None,
+        threads: 2,
+        retries: 5,
+        deadline: Duration::from_secs(300),
+        histogram: None,
+        tdigest: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let parsed = match flag.as_str() {
+            "--circuit" => take(it.next(), flag, |v| a.circuit = Some(v)),
+            "--analysis" => take(it.next(), flag, |v| a.analysis = Some(v)),
+            "--samples" => parse_into(it.next(), flag, |v| a.samples = Some(v)),
+            "--shards" => parse_into(it.next(), flag, |v: usize| a.shards = Some(v.max(1))),
+            "--seed" => parse_into(it.next(), flag, |v| a.seed = v),
+            "--worker" => parse_into(it.next(), flag, |v| a.workers.push(v)),
+            "--spawn" => parse_into(it.next(), flag, |v: usize| a.spawn = Some(v.max(1))),
+            "--threads" => parse_into(it.next(), flag, |v: usize| a.threads = v.max(1)),
+            "--retries" => parse_into(it.next(), flag, |v: usize| a.retries = v.max(1)),
+            "--deadline" => parse_into(it.next(), flag, |v: u64| {
+                a.deadline = Duration::from_secs(v.max(1));
+            }),
+            "--histogram" => match it.next().map(|raw| (raw, parse_histogram_flag(raw))) {
+                Some((_, Some(spec))) => {
+                    a.histogram = Some(spec);
+                    Ok(())
+                }
+                Some((raw, None)) => Err(format!("--histogram `{raw}` is not LO:HI:BINS")),
+                None => Err("--histogram needs a LO:HI:BINS value".to_string()),
+            },
+            "--tdigest" => parse_into(it.next(), flag, |v| a.tdigest = Some(v)),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag `{other}`")),
+        };
+        if let Err(message) = parsed {
+            eprintln!("{message}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let (Some(circuit), Some(samples)) = (a.circuit.clone(), a.samples) else {
+        eprintln!("fleet needs --circuit and --samples\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    // Boot local children when asked to — or when no workers were named
+    // at all, so the zero-config invocation just works. The handles stay
+    // alive (and kill their children on drop) for the whole campaign.
+    let spawn_count = a.spawn.unwrap_or(if a.workers.is_empty() { 2 } else { 0 });
+    let mut children: Vec<LocalWorker> = Vec::with_capacity(spawn_count);
+    if spawn_count > 0 {
+        let binary = match std::env::current_exe() {
+            Ok(path) => path,
+            Err(e) => {
+                eprintln!("statvs fleet: cannot locate own binary to spawn workers: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for _ in 0..spawn_count {
+            match LocalWorker::spawn(&binary, a.threads) {
+                Ok(worker) => {
+                    println!("statvs fleet: spawned worker on http://{}", worker.addr());
+                    children.push(worker);
+                }
+                Err(e) => {
+                    eprintln!("statvs fleet: failed to spawn worker: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    let mut workers = a.workers.clone();
+    workers.extend(children.iter().map(LocalWorker::addr));
+
+    let spec = FleetSpec {
+        circuit,
+        analysis: a.analysis.clone(),
+        seed: a.seed,
+        total: samples,
+        histogram: a.histogram,
+        tdigest_compression: a.tdigest,
+    };
+    let cfg = FleetConfig {
+        max_attempts: a.retries,
+        shard_deadline: a.deadline,
+        ..FleetConfig::default()
+    };
+    let coordinator = match Coordinator::new(workers, cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("statvs fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let shard_count = a.shards.unwrap_or(4 * coordinator.workers().len());
+    let plan = vscore::mc::plan_shards(samples, shard_count);
+    println!(
+        "statvs fleet: {samples} samples as {} shards over {} workers",
+        plan.len(),
+        coordinator.workers().len()
+    );
+
+    let report = coordinator.run_shards(&spec, &plan, &mut |event| match event {
+        FleetEvent::Dispatched {
+            shard,
+            worker,
+            run_id,
+            attempt,
+        } => println!("  shard {shard} -> {worker} (run {run_id}, attempt {attempt})"),
+        FleetEvent::Completed { shard, worker } => println!("  shard {shard} done on {worker}"),
+        FleetEvent::Retrying {
+            shard,
+            attempt,
+            reason,
+            ..
+        } => println!("  shard {shard} re-issued (attempt {attempt} failed: {reason})"),
+    });
+    let report = match report {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("statvs fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let merged = &report.merged;
+    let moments = &merged.moments;
+    println!(
+        "statvs fleet: merged {} shards in {:.2?} ({} dispatches, {} re-issues, {} duplicate payloads dropped)",
+        merged.shards, report.wall, report.dispatches, report.reissues, merged.deduplicated
+    );
+    println!(
+        "  observed {}  failures {}  mean {:.6e}  std {:.6e}  min {:.6e}  max {:.6e}",
+        merged.observed,
+        merged.failures,
+        moments.mean(),
+        moments.variance().sqrt(),
+        moments.min(),
+        moments.max()
+    );
+    if let Some(tdigest) = &merged.tdigest {
+        let q = |p| tdigest.quantile(p).unwrap_or(f64::NAN);
+        println!(
+            "  p50 {:.6e}  p95 {:.6e}  p99 {:.6e}",
+            q(0.50),
+            q(0.95),
+            q(0.99)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses `LO:HI:BINS` into a histogram spec.
+fn parse_histogram_flag(raw: &str) -> Option<(f64, f64, usize)> {
+    let mut parts = raw.split(':');
+    let lo: f64 = parts.next()?.parse().ok()?;
+    let hi: f64 = parts.next()?.parse().ok()?;
+    let bins: usize = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(lo.is_finite() && hi.is_finite() && lo < hi) || bins == 0 {
+        return None;
+    }
+    Some((lo, hi, bins))
+}
+
+/// Takes one flag value as a string.
+fn take(value: Option<&String>, flag: &str, apply: impl FnOnce(String)) -> Result<(), String> {
+    let raw = value.ok_or_else(|| format!("{flag} needs a value"))?;
+    apply(raw.clone());
+    Ok(())
 }
 
 /// Parses one flag value, feeding the parsed number to `apply`.

@@ -27,6 +27,10 @@
 //!   over pooled sessions, with a shard-oriented protocol whose returned
 //!   sketch bytes merge bit-identically across servers (zero external
 //!   dependencies: in-repo HTTP/1.1 and JSON codecs).
+//! * [`fleet`] — the client half of that protocol: the `statvs fleet`
+//!   coordinator that shards a campaign across serve workers, re-issues
+//!   shards lost to killed or stalled workers, and merges the returned
+//!   sketch bytes into a result byte-identical to a single-process run.
 //!
 //! # Simulation model
 //!
@@ -56,6 +60,7 @@
 //! session API driven from a parsed SPICE netlist.
 
 pub use circuits;
+pub use fleet;
 pub use mosfet;
 pub use numerics;
 pub use serve;

@@ -1,0 +1,221 @@
+//! Fleet fault-injection end-to-end suite — the headline guarantee of the
+//! coordinator: a campaign whose workers are **killed mid-shard** and
+//! whose shards are re-issued produces a merged sketch state
+//! *byte-identical* to an unpartitioned single-process run.
+//!
+//! These tests spawn real `statvs serve` child processes (via
+//! `CARGO_BIN_EXE_statvs`) on ephemeral loopback ports, drive them with
+//! the real coordinator, and inject the fault with `SIGKILL` — the same
+//! thing a dying fleet machine looks like from the coordinator's side.
+//! Determinism makes the assertion possible at all: every sample is a
+//! pure function of `(seed, index)`, so the retried shard reproduces the
+//! dead worker's lost work bit for bit, and the merged histogram can be
+//! compared byte-for-byte against a no-fault reference.
+
+use fleet::coordinator::{Coordinator, FleetConfig, FleetEvent, FleetSpec};
+use fleet::{HttpClient, LocalWorker};
+use serve::pool::Engine;
+use serve::store::ExperimentSpec;
+use stats::sink::{MergeableSink, WelfordSink};
+use stats::Welford;
+use std::path::Path;
+use std::sync::mpsc;
+use std::time::Duration;
+use vscore::mc::plan_shards;
+
+/// The compiled `statvs` binary under test.
+fn binary() -> &'static Path {
+    Path::new(env!("CARGO_BIN_EXE_statvs"))
+}
+
+/// Coordinator tuned for fast fault detection on loopback.
+fn config() -> FleetConfig {
+    FleetConfig {
+        max_attempts: 6,
+        shard_deadline: Duration::from_secs(120),
+        poll_initial: Duration::from_millis(25),
+        poll_max: Duration::from_millis(200),
+        max_poll_faults: 2,
+        client: HttpClient {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(10),
+        },
+    }
+}
+
+/// The in-process no-fault reference for a campaign spec: one
+/// `run_streaming_range` over the whole index range, no HTTP, no shards.
+fn reference(spec: &FleetSpec) -> (Vec<u8>, Welford) {
+    let engine = Engine::new().expect("reference engine builds");
+    let template = engine.template(&spec.circuit).expect("template exists");
+    let result = engine
+        .execute(&ExperimentSpec {
+            circuit: spec.circuit.clone(),
+            analysis: spec
+                .analysis
+                .clone()
+                .unwrap_or_else(|| template.analyses[0].to_string()),
+            seed: spec.seed,
+            offset: 0,
+            len: spec.total,
+            total: Some(spec.total),
+            want_welford: true,
+            want_histogram: true,
+            want_tdigest: true,
+            histogram: spec.histogram.unwrap_or(template.default_histogram),
+            tdigest_compression: spec.tdigest_compression.unwrap_or(100.0),
+        })
+        .expect("reference run succeeds");
+    let moments = WelfordSink::from_bytes(result.welford_bytes.as_ref().unwrap())
+        .unwrap()
+        .moments();
+    (result.histogram_bytes.unwrap(), moments)
+}
+
+/// Asserts the pinned exactness contract: histogram bytes identical,
+/// Welford count/min/max exact, moments within 1e-12.
+fn assert_matches_reference(merged: &fleet::MergedResult, spec: &FleetSpec, label: &str) {
+    let (ref_histogram, ref_moments) = reference(spec);
+    assert_eq!(
+        MergeableSink::to_bytes(merged.histogram.as_ref().unwrap()),
+        ref_histogram,
+        "{label}: merged histogram bytes diverged from the single-process run"
+    );
+    assert_eq!(
+        merged.observed + merged.failures,
+        spec.total as u64,
+        "{label}"
+    );
+    assert_eq!(merged.moments.count(), ref_moments.count(), "{label}");
+    assert_eq!(merged.moments.min(), ref_moments.min(), "{label}");
+    assert_eq!(merged.moments.max(), ref_moments.max(), "{label}");
+    assert!(
+        (merged.moments.mean() - ref_moments.mean()).abs() <= 1e-12,
+        "{label}: mean {} vs {}",
+        merged.moments.mean(),
+        ref_moments.mean()
+    );
+    assert!(
+        (merged.moments.variance() - ref_moments.variance()).abs() <= 1e-12,
+        "{label}: variance {} vs {}",
+        merged.moments.variance(),
+        ref_moments.variance()
+    );
+}
+
+/// THE headline test: two real workers, one killed mid-shard, its shards
+/// re-issued — and the merged state is byte-identical to the no-fault,
+/// single-process reference anyway.
+#[test]
+fn killed_worker_is_reissued_and_the_merge_is_byte_identical() {
+    // Shards of 1000 sram6t_dc samples take hundreds of milliseconds in a
+    // debug build — a wide window to kill a worker mid-shard.
+    let spec = FleetSpec {
+        circuit: "sram6t_dc".to_string(),
+        analysis: Some("dc".to_string()),
+        seed: 7,
+        total: 6000,
+        histogram: Some((0.0, 0.9, 48)),
+        tdigest_compression: None,
+    };
+    let plan = plan_shards(spec.total, 6);
+
+    let mut victim = LocalWorker::spawn(binary(), 2).expect("victim worker boots");
+    let survivor = LocalWorker::spawn(binary(), 2).expect("survivor worker boots");
+    let victim_addr = victim.addr();
+    let coordinator =
+        Coordinator::new(vec![victim_addr, survivor.addr()], config()).expect("two workers");
+
+    let (events_tx, events_rx) = mpsc::channel::<FleetEvent>();
+    let campaign = {
+        let spec = spec.clone();
+        let plan = plan.clone();
+        std::thread::spawn(move || {
+            coordinator.run_shards(&spec, &plan, &mut |event| {
+                let _ = events_tx.send(event.clone());
+            })
+        })
+    };
+
+    // Wait until the victim has a shard in flight, give it a moment to be
+    // genuinely mid-shard, then kill the process.
+    let mut events = Vec::new();
+    loop {
+        let event = events_rx
+            .recv_timeout(Duration::from_secs(60))
+            .expect("campaign makes progress");
+        let hit = matches!(
+            &event,
+            FleetEvent::Dispatched { worker, .. } if *worker == victim_addr
+        );
+        events.push(event);
+        if hit {
+            break;
+        }
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    victim.kill();
+    assert!(!victim.is_alive(), "SIGKILL is not negotiable");
+
+    // Drain the remaining events while the campaign finishes.
+    events.extend(events_rx.iter());
+    let report = campaign
+        .join()
+        .expect("coordinator thread does not panic")
+        .expect("campaign survives the kill");
+
+    // The fault actually happened and was actually handled.
+    assert!(
+        report.reissues >= 1,
+        "killing a worker mid-shard must force at least one re-issue"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, FleetEvent::Retrying { .. })),
+        "a retry event must be observed"
+    );
+    // Every distinct shard completed exactly once in the merge.
+    assert_eq!(report.merged.shards, plan.len());
+
+    assert_matches_reference(&report.merged, &spec, "kill/retry campaign");
+}
+
+/// No-fault determinism: different worker counts and different partitions
+/// of the same campaign give byte-identical merged histograms and
+/// rounding-identical moments.
+#[test]
+fn worker_count_and_partition_do_not_change_the_answer() {
+    let spec = FleetSpec {
+        circuit: "device_idsat".to_string(),
+        analysis: None,
+        seed: 99,
+        total: 400,
+        histogram: None,
+        tdigest_compression: None,
+    };
+
+    let a = LocalWorker::spawn(binary(), 2).expect("worker a boots");
+    let b = LocalWorker::spawn(binary(), 2).expect("worker b boots");
+
+    // Campaign one: a single worker, 3 shards.
+    let solo = Coordinator::new(vec![a.addr()], config()).unwrap();
+    let solo_report = solo
+        .run_shards(&spec, &plan_shards(spec.total, 3), &mut |_| {})
+        .expect("solo campaign succeeds");
+
+    // Campaign two: both workers, 5 shards — a different partition of the
+    // same index space.
+    let duo = Coordinator::new(vec![a.addr(), b.addr()], config()).unwrap();
+    let duo_report = duo
+        .run_shards(&spec, &plan_shards(spec.total, 5), &mut |_| {})
+        .expect("duo campaign succeeds");
+
+    assert_matches_reference(&solo_report.merged, &spec, "1 worker / 3 shards");
+    assert_matches_reference(&duo_report.merged, &spec, "2 workers / 5 shards");
+    assert_eq!(
+        MergeableSink::to_bytes(solo_report.merged.histogram.as_ref().unwrap()),
+        MergeableSink::to_bytes(duo_report.merged.histogram.as_ref().unwrap()),
+        "the two campaigns disagreed with each other"
+    );
+}
