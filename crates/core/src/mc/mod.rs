@@ -19,7 +19,11 @@
 //! [`ParallelRunner::run_streaming`], which holds O(workers) sample memory
 //! however long the run. Beyond one process,
 //! [`ParallelRunner::run_streaming_range`] executes a disjoint shard of
-//! the index space so independent processes/machines combine their
+//! the index space, and [`ParallelRunner::run_streaming_batched`] hands
+//! batch-capable workers K consecutive indices per claim (tiled as
+//! [`plan_batches`] describes) for K-lane hot paths like
+//! `spice::Session::dc_batch`, so independent processes/machines combine
+//! their
 //! [`MergeableSink`] sketches ([`TDigest`], [`Histogram`],
 //! [`WelfordSink`]) afterwards. `ARCHITECTURE.md` at the repo root
 //! diagrams the data flow.
@@ -60,7 +64,7 @@ pub mod parallel;
 pub mod shard;
 
 pub use parallel::{EarlyStop, McOutcome, ParallelRunner, StreamOutcome};
-pub use shard::{plan_shards, Shard};
+pub use shard::{plan_batches, plan_shards, BatchPlanError, Shard};
 // The sink vocabulary consumed by `ParallelRunner::run_streaming`, re-
 // exported so Monte Carlo call sites need a single import path.
 pub use stats::histogram::Histogram;

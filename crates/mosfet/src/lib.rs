@@ -11,6 +11,10 @@
 //!   (the "golden" reference). It is deliberately a different physical
 //!   formulation, so VS-vs-golden comparisons exercise real model mismatch.
 //!
+//! For batched Monte Carlo evaluation, [`soa::VsSoa`] regroups K VS
+//! instances into structure-of-arrays columns with bit-identical currents
+//! per lane.
+//!
 //! Per-instance mismatch enters through [`variation::VariationDelta`]
 //! (additive perturbations of the statistical parameter set of Table I of
 //! the paper: `VT0`, `Leff`, `Weff`, `µ`, `Cinv`), generated from a Pelgrom
@@ -34,6 +38,7 @@
 
 pub mod bsim;
 pub mod model;
+pub mod soa;
 pub mod temperature;
 pub mod types;
 pub mod variation;

@@ -1,0 +1,215 @@
+//! Structure-of-arrays batch view over Virtual Source model instances.
+//!
+//! A batched Monte Carlo DC solve evaluates the *same transistor* under K
+//! different mismatch draws every Newton iteration. Evaluating K boxed
+//! [`VsModel`]s means K virtual dispatches and K scattered parameter
+//! structs per bias point; [`VsSoa`] instead copies each lane's **cached
+//! effective values** into K-wide columns once per batch, so the hot loop
+//! is a statically dispatched walk over contiguous storage.
+//!
+//! Bit-identity contract: [`VsSoa::ids`] replicates the exact
+//! floating-point operation sequence of [`VsModel::ids`] — same `fold`,
+//! same guarded `softplus`/`logistic`, same multiplication order — on
+//! values copied (not recomputed) from the scalar model, so lane `l`
+//! produces bit-identical currents to the boxed model it was built from.
+//! The batched equivalence suites in `numerics`, `mosfet`, and `spice`
+//! pin this property.
+
+use crate::model::{fold, Bias, MosfetModel};
+use crate::types::{Polarity, PHI_T};
+use crate::vs::{logistic, softplus, VsModel};
+
+/// K Virtual Source lanes as columns of effective parameter values.
+///
+/// Construct with [`VsSoa::from_models`]; evaluate one lane with
+/// [`VsSoa::ids`]. All lanes share one polarity (an SRAM batch varies
+/// mismatch, never device type — mixed-polarity batches fall back to
+/// dynamic dispatch at the call site).
+#[derive(Debug, Clone)]
+pub struct VsSoa {
+    polarity: Polarity,
+    vt0: Vec<f64>,
+    dibl: Vec<f64>,
+    body_k: Vec<f64>,
+    aphit: Vec<f64>,
+    nphit: Vec<f64>,
+    cinv: Vec<f64>,
+    vdsats: Vec<f64>,
+    beta: Vec<f64>,
+    inv_beta: Vec<f64>,
+    weff: Vec<f64>,
+    vxo: Vec<f64>,
+}
+
+impl VsSoa {
+    /// Builds columns from one model per lane. Returns `None` for an empty
+    /// batch or mixed polarities — callers keep boxed per-lane models for
+    /// those cases.
+    pub fn from_models<'a, I>(models: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = &'a VsModel>,
+    {
+        let mut iter = models.into_iter();
+        // One lane per model: reserving up front keeps batch construction
+        // (once per Monte Carlo batch) from reallocating column by column.
+        let cap = iter.size_hint().0.max(1);
+        let first = iter.next()?;
+        let mut soa = VsSoa {
+            polarity: first.polarity(),
+            vt0: Vec::with_capacity(cap),
+            dibl: Vec::with_capacity(cap),
+            body_k: Vec::with_capacity(cap),
+            aphit: Vec::with_capacity(cap),
+            nphit: Vec::with_capacity(cap),
+            cinv: Vec::with_capacity(cap),
+            vdsats: Vec::with_capacity(cap),
+            beta: Vec::with_capacity(cap),
+            inv_beta: Vec::with_capacity(cap),
+            weff: Vec::with_capacity(cap),
+            vxo: Vec::with_capacity(cap),
+        };
+        soa.push_lane(first);
+        for m in iter {
+            if m.polarity() != soa.polarity {
+                return None;
+            }
+            soa.push_lane(m);
+        }
+        Some(soa)
+    }
+
+    fn push_lane(&mut self, m: &VsModel) {
+        let e = m.eff();
+        self.vt0.push(e.vt0);
+        self.dibl.push(e.dibl);
+        self.body_k.push(m.params().body_k);
+        self.aphit.push(e.aphit);
+        self.nphit.push(e.nphit);
+        self.cinv.push(e.cinv);
+        self.vdsats.push(e.vdsats);
+        self.beta.push(m.params().beta);
+        self.inv_beta.push(e.inv_beta);
+        self.weff.push(e.weff);
+        self.vxo.push(e.vxo);
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.vt0.len()
+    }
+
+    /// Shared polarity of all lanes.
+    pub fn polarity(&self) -> Polarity {
+        self.polarity
+    }
+
+    /// Drain current of lane `l` at `bias` — bit-identical to
+    /// [`VsModel::ids`] on the model lane `l` was built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes()`.
+    pub fn ids(&self, l: usize, bias: Bias) -> f64 {
+        let f = fold(self.polarity, bias);
+        let (vgs, vds, vbs) = (f.vgs, f.vds, f.vbs);
+        // The exact operation sequence of `VsModel::core` on copied values.
+        let vt = self.vt0[l] - self.dibl[l] * vds - self.body_k[l] * vbs;
+        let ff = logistic((vgs - (vt - self.aphit[l] / 2.0)) / self.aphit[l]);
+        let qixo = self.cinv[l]
+            * self.nphit[l]
+            * softplus((vgs - (vt - self.aphit[l] * ff)) / self.nphit[l]);
+        let vdsat = self.vdsats[l] * (1.0 - ff) + PHI_T * ff;
+        let x = vds / vdsat;
+        let fsat = if x <= 0.0 {
+            0.0
+        } else {
+            x / (1.0 + x.powf(self.beta[l])).powf(self.inv_beta[l])
+        };
+        let id = self.weff[l] * qixo * self.vxo[l] * fsat;
+        f.unfold_current(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Geometry;
+    use crate::variation::{StatParam, VariationDelta};
+    use crate::vs::VsParams;
+
+    fn lanes_for(polarity: Polarity) -> Vec<VsModel> {
+        let params = match polarity {
+            Polarity::Nmos => VsParams::nmos_40nm(),
+            Polarity::Pmos => VsParams::pmos_40nm(),
+        };
+        let g = Geometry::from_nm(600.0, 40.0);
+        vec![
+            VsModel::new(params, polarity, g),
+            VsModel::with_variation(
+                params,
+                polarity,
+                g,
+                VariationDelta::single(StatParam::Vt0, 0.031),
+            ),
+            VsModel::with_variation(
+                params,
+                polarity,
+                g,
+                VariationDelta::single(StatParam::Leff, -1.7e-9),
+            ),
+            VsModel::with_variation(
+                params,
+                polarity,
+                g,
+                VariationDelta::single(StatParam::Mu, -0.04 * params.mu),
+            ),
+        ]
+    }
+
+    #[test]
+    fn lanes_bit_identical_to_scalar_models() {
+        for polarity in [Polarity::Nmos, Polarity::Pmos] {
+            let models = lanes_for(polarity);
+            let soa = VsSoa::from_models(&models).unwrap();
+            assert_eq!(soa.lanes(), models.len());
+            // Sweep all operating regions, both vds signs, body bias.
+            for &vgs in &[-0.2, 0.0, 0.3, 0.45, 0.9, -0.9] {
+                for &vds in &[-0.9, -0.05, 0.0, 0.05, 0.4, 0.9] {
+                    for &vbs in &[-0.3, 0.0, 0.2] {
+                        let bias = Bias { vgs, vds, vbs };
+                        for (l, m) in models.iter().enumerate() {
+                            assert_eq!(
+                                soa.ids(l, bias).to_bits(),
+                                m.ids(bias).to_bits(),
+                                "lane {l} at {bias:?} ({polarity:?})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_polarity_and_empty_batches_are_rejected() {
+        let g = Geometry::from_nm(600.0, 40.0);
+        let n = VsModel::nominal_nmos_40nm(g);
+        let p = VsModel::nominal_pmos_40nm(g);
+        assert!(VsSoa::from_models([&n, &p]).is_none());
+        assert!(VsSoa::from_models(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn as_vs_roundtrips_through_boxed_models() {
+        let g = Geometry::from_nm(600.0, 40.0);
+        let boxed: Box<dyn MosfetModel> = Box::new(VsModel::nominal_nmos_40nm(g));
+        let vs = boxed.as_vs().expect("VsModel downcasts to itself");
+        let soa = VsSoa::from_models([vs]).unwrap();
+        let bias = Bias {
+            vgs: 0.7,
+            vds: 0.5,
+            vbs: 0.0,
+        };
+        assert_eq!(soa.ids(0, bias).to_bits(), boxed.ids(bias).to_bits());
+    }
+}

@@ -118,8 +118,9 @@ impl VsParams {
     }
 }
 
-/// Numerically safe `ln(1 + exp(x))`.
-fn softplus(x: f64) -> f64 {
+/// Numerically safe `ln(1 + exp(x))`. Shared with the SoA evaluator
+/// ([`crate::soa`]) so batched lanes run the exact scalar guard branches.
+pub(crate) fn softplus(x: f64) -> f64 {
     if x > 35.0 {
         x
     } else if x < -35.0 {
@@ -129,8 +130,8 @@ fn softplus(x: f64) -> f64 {
     }
 }
 
-/// Numerically safe logistic `1 / (1 + exp(x))`.
-fn logistic(x: f64) -> f64 {
+/// Numerically safe logistic `1 / (1 + exp(x))`. Shared with [`crate::soa`].
+pub(crate) fn logistic(x: f64) -> f64 {
     if x > 35.0 {
         (-x).exp()
     } else if x < -35.0 {
@@ -162,24 +163,26 @@ pub struct VsModel {
     eff: EffectiveVs,
 }
 
-/// Mismatch-adjusted parameter values.
+/// Mismatch-adjusted parameter values. `pub(crate)` so the SoA batch view
+/// ([`crate::soa::VsSoa`]) can copy the *cached* effective values verbatim
+/// instead of recomputing them — what keeps batched lanes bit-identical.
 #[derive(Debug, Clone, Copy)]
-struct EffectiveVs {
-    vt0: f64,
-    leff: f64,
-    weff: f64,
-    mu: f64,
-    cinv: f64,
-    vxo: f64,
-    dibl: f64,
+pub(crate) struct EffectiveVs {
+    pub(crate) vt0: f64,
+    pub(crate) leff: f64,
+    pub(crate) weff: f64,
+    pub(crate) mu: f64,
+    pub(crate) cinv: f64,
+    pub(crate) vxo: f64,
+    pub(crate) dibl: f64,
     /// Precomputed `α φt` (Fermi transition width).
-    aphit: f64,
+    pub(crate) aphit: f64,
     /// Precomputed `n0 φt` (subthreshold slope).
-    nphit: f64,
+    pub(crate) nphit: f64,
     /// Precomputed saturation voltage scale `vxo Leff / µ`.
-    vdsats: f64,
+    pub(crate) vdsats: f64,
     /// Precomputed `1/β`.
-    inv_beta: f64,
+    pub(crate) inv_beta: f64,
 }
 
 impl VsModel {
@@ -255,6 +258,11 @@ impl VsModel {
     /// The model parameters this instance was built from.
     pub fn params(&self) -> &VsParams {
         &self.params
+    }
+
+    /// The cached effective (mismatch-adjusted) quantities.
+    pub(crate) fn eff(&self) -> &EffectiveVs {
+        &self.eff
     }
 
     /// The applied mismatch.
@@ -341,6 +349,10 @@ impl MosfetModel for VsModel {
 
     fn clone_box(&self) -> Box<dyn MosfetModel> {
         Box::new(self.clone())
+    }
+
+    fn as_vs(&self) -> Option<&VsModel> {
+        Some(self)
     }
 }
 

@@ -1,0 +1,478 @@
+//! K-lane batched LU decomposition (structure-of-arrays).
+//!
+//! The Monte Carlo DC hot path factors thousands of matrices that share
+//! one sparsity pattern and order — only the MOSFET stamp values differ
+//! between samples. [`BMatrix`] stores K such matrices in one contiguous
+//! lane-major buffer and [`BLu`] factors and solves all lanes in one pass
+//! over cache-resident storage, amortizing dispatch and allocation across
+//! the batch.
+//!
+//! Partial pivoting is value-dependent, so each lane keeps its *own*
+//! permutation and runs its own elimination — the sharing is layout and
+//! traversal, never arithmetic. Both run through the exact slice kernels
+//! used by the scalar [`Lu`](crate::lu::Lu), which makes every lane
+//! bit-identical to the equivalent scalar factor/solve by construction:
+//! the determinism contract the batched circuit engine builds on.
+
+use crate::lu::{eliminate_slice, solve_slice};
+use crate::NumericsError;
+
+/// K square matrices of one order in a single lane-major buffer: lane `l`
+/// occupies `data[l*n*n .. (l+1)*n*n]`, row-major within the lane — the
+/// same layout as a scalar [`Matrix`](crate::Matrix), repeated K times.
+#[derive(Debug, Clone)]
+pub struct BMatrix {
+    n: usize,
+    k: usize,
+    data: Vec<f64>,
+}
+
+impl BMatrix {
+    /// A zero-filled batch of `k` matrices of order `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] when `n` or `k` is zero —
+    /// a batch with no lanes (or no rows) is a caller bug, not a state.
+    pub fn zeros(n: usize, k: usize) -> Result<Self, NumericsError> {
+        if n == 0 || k == 0 {
+            return Err(NumericsError::InvalidArgument {
+                context: format!("batched matrix of order {n} with {k} lanes"),
+            });
+        }
+        Ok(BMatrix {
+            n,
+            k,
+            data: vec![0.0; k * n * n],
+        })
+    }
+
+    /// Order of each lane's matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.k
+    }
+
+    /// Borrows lane `l` as a row-major `n*n` slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes()`.
+    pub fn lane(&self, l: usize) -> &[f64] {
+        let nn = self.n * self.n;
+        &self.data[l * nn..(l + 1) * nn]
+    }
+
+    /// Mutably borrows lane `l` as a row-major `n*n` slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes()`.
+    pub fn lane_mut(&mut self, l: usize) -> &mut [f64] {
+        let nn = self.n * self.n;
+        &mut self.data[l * nn..(l + 1) * nn]
+    }
+
+    /// Zero-fills lane `l` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes()`.
+    pub fn zero_lane(&mut self, l: usize) {
+        self.lane_mut(l).iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// The whole lane-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+/// A batch of K LU factorizations sharing order, storage layout, and
+/// traversal — with per-lane pivoting, per-lane failure status, and
+/// lane-major contiguous storage.
+///
+/// # Example
+///
+/// Two lanes of the same 2×2 structure with different values; lane 0
+/// matches the scalar [`Lu`](crate::lu::Lu) solve bit for bit:
+///
+/// ```
+/// use numerics::blu::{BLu, BMatrix};
+/// use numerics::{lu::Lu, Matrix};
+///
+/// # fn main() -> Result<(), numerics::NumericsError> {
+/// let mut a = BMatrix::zeros(2, 2)?;
+/// a.lane_mut(0).copy_from_slice(&[2.0, 1.0, 1.0, 3.0]);
+/// a.lane_mut(1).copy_from_slice(&[4.0, 1.0, 1.0, 3.0]);
+///
+/// let mut f = BLu::new(2, 2)?;
+/// f.factor_batch(&a)?;
+/// let b = [3.0, 5.0, 3.0, 5.0]; // lane-major right-hand sides
+/// let mut x = [0.0; 4];
+/// f.solve_batch(&b, &mut x, &[true, true])?;
+///
+/// let scalar = Lu::factor(&Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]))?
+///     .solve(&[3.0, 5.0])?;
+/// assert_eq!(x[0].to_bits(), scalar[0].to_bits());
+/// assert_eq!(x[1].to_bits(), scalar[1].to_bits());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BLu {
+    n: usize,
+    k: usize,
+    /// Combined L/U values, lane-major (`k * n * n`).
+    lu: Vec<f64>,
+    /// Per-lane row permutations, lane-major (`k * n`).
+    perm: Vec<usize>,
+    /// Per-lane permutation signs.
+    sign: Vec<f64>,
+    /// Per-lane factorization status; a singular lane poisons only itself.
+    status: Vec<Result<(), NumericsError>>,
+}
+
+impl BLu {
+    /// An empty batched factorization for `k` lanes of order `n`. All lanes
+    /// start in a failed state; call [`BLu::factor_batch`] or
+    /// [`BLu::refactor_batch`] before solving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidArgument`] when `n` or `k` is zero.
+    pub fn new(n: usize, k: usize) -> Result<Self, NumericsError> {
+        if n == 0 || k == 0 {
+            return Err(NumericsError::InvalidArgument {
+                context: format!("batched LU of order {n} with {k} lanes"),
+            });
+        }
+        Ok(BLu {
+            n,
+            k,
+            lu: vec![0.0; k * n * n],
+            perm: vec![0; k * n],
+            sign: vec![1.0; k],
+            status: vec![
+                Err(NumericsError::InvalidArgument {
+                    context: "lane not yet factored".into(),
+                });
+                k
+            ],
+        })
+    }
+
+    /// Order of each lane's matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.k
+    }
+
+    /// Factors every lane of `a`. Equivalent to
+    /// [`BLu::refactor_batch`] with all lanes active.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] when `a`'s order or lane
+    /// count differs from this factorization's. A *singular lane* is not an
+    /// error here — it is recorded in [`BLu::lane_status`] and only that
+    /// lane becomes unusable.
+    pub fn factor_batch(&mut self, a: &BMatrix) -> Result<(), NumericsError> {
+        let all = vec![true; self.k];
+        self.refactor_batch(a, &all)
+    }
+
+    /// Re-factors the lanes of `a` where `active` is `true`, reusing this
+    /// object's storage — no allocation. Inactive lanes keep their previous
+    /// factorization and status untouched (frozen converged/failed Newton
+    /// lanes in the batched circuit engine rely on this).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] when `a`'s order or
+    /// lane count differs from this factorization's, or when `active.len()`
+    /// is not the lane count. Per-lane singularity is reported via
+    /// [`BLu::lane_status`], not as an `Err`.
+    pub fn refactor_batch(&mut self, a: &BMatrix, active: &[bool]) -> Result<(), NumericsError> {
+        if a.order() != self.n || a.lanes() != self.k {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!(
+                    "refactor of order-{} x{}-lane batch into order-{} x{}-lane BLu",
+                    a.order(),
+                    a.lanes(),
+                    self.n,
+                    self.k
+                ),
+            });
+        }
+        if active.len() != self.k {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!(
+                    "active mask length {} for {}-lane BLu",
+                    active.len(),
+                    self.k
+                ),
+            });
+        }
+        let nn = self.n * self.n;
+        for (l, &on) in active.iter().enumerate() {
+            if !on {
+                continue;
+            }
+            let lu = &mut self.lu[l * nn..(l + 1) * nn];
+            lu.copy_from_slice(a.lane(l));
+            let perm = &mut self.perm[l * self.n..(l + 1) * self.n];
+            match eliminate_slice(lu, self.n, perm) {
+                Ok(sign) => {
+                    self.sign[l] = sign;
+                    self.status[l] = Ok(());
+                }
+                Err(e) => self.status[l] = Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A_l x_l = b_l` for every active lane, reading lane-major
+    /// right-hand sides from `b` (`k * n` values) and writing lane-major
+    /// solutions into `x`. Inactive lanes leave their slice of `x`
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::DimensionMismatch`] when `b`, `x`, or
+    /// `active` have the wrong length, and [`NumericsError::InvalidArgument`]
+    /// when an *active* lane's factorization previously failed — deactivate
+    /// failed lanes (see [`BLu::lane_ok`]) before solving.
+    pub fn solve_batch(
+        &self,
+        b: &[f64],
+        x: &mut [f64],
+        active: &[bool],
+    ) -> Result<(), NumericsError> {
+        let kn = self.k * self.n;
+        if b.len() != kn || x.len() != kn {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!(
+                    "rhs length {} / out length {} for {}-lane order-{} BLu",
+                    b.len(),
+                    x.len(),
+                    self.k,
+                    self.n
+                ),
+            });
+        }
+        if active.len() != self.k {
+            return Err(NumericsError::DimensionMismatch {
+                context: format!(
+                    "active mask length {} for {}-lane BLu",
+                    active.len(),
+                    self.k
+                ),
+            });
+        }
+        let nn = self.n * self.n;
+        for (l, &on) in active.iter().enumerate() {
+            if !on {
+                continue;
+            }
+            if let Err(e) = &self.status[l] {
+                return Err(NumericsError::InvalidArgument {
+                    context: format!("solve on unfactored lane {l}: {e}"),
+                });
+            }
+            solve_slice(
+                &self.lu[l * nn..(l + 1) * nn],
+                self.n,
+                &self.perm[l * self.n..(l + 1) * self.n],
+                &b[l * self.n..(l + 1) * self.n],
+                &mut x[l * self.n..(l + 1) * self.n],
+            );
+        }
+        Ok(())
+    }
+
+    /// The factorization status of lane `l`: `Ok` after a successful
+    /// factor, the per-lane error otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes()`.
+    pub fn lane_status(&self, l: usize) -> &Result<(), NumericsError> {
+        &self.status[l]
+    }
+
+    /// Whether lane `l` holds a usable factorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= lanes()`.
+    pub fn lane_ok(&self, l: usize) -> bool {
+        self.status[l].is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::Lu;
+    use crate::Matrix;
+
+    /// Deterministic value stream for test matrices (no external deps).
+    fn splitmix(state: &mut u64) -> f64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        // Map to roughly [-1, 1] with a diagonal-friendly spread.
+        (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+
+    fn random_lane(n: usize, state: &mut u64) -> Vec<f64> {
+        let mut m = vec![0.0; n * n];
+        for (idx, v) in m.iter_mut().enumerate() {
+            *v = splitmix(state);
+            // Strengthen the diagonal so lanes are comfortably non-singular.
+            if idx % (n + 1) == 0 {
+                *v += 4.0;
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn lanes_bit_identical_to_scalar_lu() {
+        let (n, k) = (7, 5);
+        let mut state = 42u64;
+        let mut a = BMatrix::zeros(n, k).unwrap();
+        let mut rhs = vec![0.0; k * n];
+        for l in 0..k {
+            a.lane_mut(l).copy_from_slice(&random_lane(n, &mut state));
+            for v in &mut rhs[l * n..(l + 1) * n] {
+                *v = splitmix(&mut state);
+            }
+        }
+        let mut f = BLu::new(n, k).unwrap();
+        f.factor_batch(&a).unwrap();
+        let mut x = vec![0.0; k * n];
+        f.solve_batch(&rhs, &mut x, &vec![true; k]).unwrap();
+        for l in 0..k {
+            let rows: Vec<&[f64]> = (0..n).map(|i| &a.lane(l)[i * n..(i + 1) * n]).collect();
+            let scalar = Lu::factor(&Matrix::from_rows(&rows))
+                .unwrap()
+                .solve(&rhs[l * n..(l + 1) * n])
+                .unwrap();
+            for (bx, sx) in x[l * n..(l + 1) * n].iter().zip(&scalar) {
+                assert_eq!(bx.to_bits(), sx.to_bits(), "lane {l} diverged from scalar");
+            }
+        }
+    }
+
+    #[test]
+    fn singular_lane_poisons_only_itself() {
+        let (n, k) = (2, 3);
+        let mut a = BMatrix::zeros(n, k).unwrap();
+        a.lane_mut(0).copy_from_slice(&[2.0, 1.0, 1.0, 3.0]);
+        a.lane_mut(1).copy_from_slice(&[1.0, 2.0, 2.0, 4.0]); // singular
+        a.lane_mut(2).copy_from_slice(&[4.0, 0.0, 0.0, 4.0]);
+        let mut f = BLu::new(n, k).unwrap();
+        f.factor_batch(&a).unwrap();
+        assert!(f.lane_ok(0) && !f.lane_ok(1) && f.lane_ok(2));
+        assert!(matches!(
+            f.lane_status(1),
+            Err(NumericsError::SingularMatrix { .. })
+        ));
+        // Healthy lanes solve with the singular lane masked off.
+        let b = [3.0, 5.0, 0.0, 0.0, 8.0, 4.0];
+        let mut x = [0.0; 6];
+        f.solve_batch(&b, &mut x, &[true, false, true]).unwrap();
+        assert!((x[4] - 2.0).abs() < 1e-12 && (x[5] - 1.0).abs() < 1e-12);
+        // Solving the failed lane while active is a typed error.
+        assert!(matches!(
+            f.solve_batch(&b, &mut x, &[true, true, true]),
+            Err(NumericsError::InvalidArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_skips_inactive_lanes() {
+        let (n, k) = (2, 2);
+        let mut a = BMatrix::zeros(n, k).unwrap();
+        a.lane_mut(0).copy_from_slice(&[2.0, 0.0, 0.0, 2.0]);
+        a.lane_mut(1).copy_from_slice(&[3.0, 0.0, 0.0, 3.0]);
+        let mut f = BLu::new(n, k).unwrap();
+        f.factor_batch(&a).unwrap();
+        // New values in lane 1 only; lane 0 frozen.
+        a.lane_mut(0).copy_from_slice(&[5.0, 0.0, 0.0, 5.0]);
+        a.lane_mut(1).copy_from_slice(&[6.0, 0.0, 0.0, 6.0]);
+        f.refactor_batch(&a, &[false, true]).unwrap();
+        let b = [2.0, 2.0, 6.0, 6.0];
+        let mut x = [0.0; 4];
+        f.solve_batch(&b, &mut x, &[true, true]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-15, "frozen lane used old factor");
+        assert!((x[2] - 1.0).abs() < 1e-15, "active lane used new factor");
+    }
+
+    #[test]
+    fn zero_dimensions_are_typed_errors() {
+        assert!(matches!(
+            BMatrix::zeros(0, 4),
+            Err(NumericsError::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            BMatrix::zeros(3, 0),
+            Err(NumericsError::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            BLu::new(0, 1),
+            Err(NumericsError::InvalidArgument { .. })
+        ));
+        assert!(matches!(
+            BLu::new(3, 0),
+            Err(NumericsError::InvalidArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_shapes_are_typed_errors() {
+        let a = BMatrix::zeros(3, 2).unwrap();
+        let mut f = BLu::new(2, 2).unwrap();
+        assert!(matches!(
+            f.factor_batch(&a),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+        let a = BMatrix::zeros(2, 2).unwrap();
+        assert!(matches!(
+            f.refactor_batch(&a, &[true]),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+        let mut x = [0.0; 4];
+        assert!(matches!(
+            f.solve_batch(&[1.0; 3], &mut x, &[true, true]),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            f.solve_batch(&[1.0; 4], &mut x, &[true]),
+            Err(NumericsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solve_before_factor_is_rejected() {
+        let f = BLu::new(2, 1).unwrap();
+        let mut x = [0.0; 2];
+        assert!(matches!(
+            f.solve_batch(&[1.0, 1.0], &mut x, &[true]),
+            Err(NumericsError::InvalidArgument { .. })
+        ));
+    }
+}

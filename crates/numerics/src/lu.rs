@@ -35,12 +35,22 @@ pub struct Lu {
 }
 
 /// Relative pivot threshold below which the matrix is declared singular.
-const PIVOT_TOL: f64 = 1e-300;
+pub(crate) const PIVOT_TOL: f64 = 1e-300;
 
-/// The elimination kernel shared by [`Lu::factor`] and [`Lu::refactor`]:
-/// factors `lu` in place, filling `perm` and returning the permutation sign.
-fn eliminate(lu: &mut Matrix, perm: &mut [usize]) -> Result<f64, NumericsError> {
-    let n = lu.rows();
+/// The elimination kernel shared by [`Lu`] and the batched
+/// [`BLu`](crate::blu::BLu) lanes: factors the row-major `n`×`n` slice `lu`
+/// in place, filling `perm` and returning the permutation sign.
+///
+/// Keeping this a plain-slice routine is what makes batched lanes
+/// bit-identical to scalar solves by construction — both paths run the
+/// exact same floating-point operation sequence on the same layout.
+pub(crate) fn eliminate_slice(
+    lu: &mut [f64],
+    n: usize,
+    perm: &mut [usize],
+) -> Result<f64, NumericsError> {
+    debug_assert_eq!(lu.len(), n * n);
+    debug_assert_eq!(perm.len(), n);
     for (i, p) in perm.iter_mut().enumerate() {
         *p = i;
     }
@@ -48,9 +58,9 @@ fn eliminate(lu: &mut Matrix, perm: &mut [usize]) -> Result<f64, NumericsError> 
     for k in 0..n {
         // Find pivot row.
         let mut p = k;
-        let mut pmax = lu[(k, k)].abs();
+        let mut pmax = lu[k * n + k].abs();
         for i in (k + 1)..n {
-            let v = lu[(i, k)].abs();
+            let v = lu[i * n + k].abs();
             if v > pmax {
                 pmax = v;
                 p = i;
@@ -61,26 +71,52 @@ fn eliminate(lu: &mut Matrix, perm: &mut [usize]) -> Result<f64, NumericsError> 
         }
         if p != k {
             for j in 0..n {
-                let tmp = lu[(k, j)];
-                lu[(k, j)] = lu[(p, j)];
-                lu[(p, j)] = tmp;
+                lu.swap(k * n + j, p * n + j);
             }
             perm.swap(k, p);
             sign = -sign;
         }
-        let pivot = lu[(k, k)];
+        let pivot = lu[k * n + k];
         for i in (k + 1)..n {
-            let m = lu[(i, k)] / pivot;
-            lu[(i, k)] = m;
+            let m = lu[i * n + k] / pivot;
+            lu[i * n + k] = m;
             if m != 0.0 {
                 for j in (k + 1)..n {
-                    let ukj = lu[(k, j)];
-                    lu[(i, j)] -= m * ukj;
+                    let ukj = lu[k * n + j];
+                    lu[i * n + j] -= m * ukj;
                 }
             }
         }
     }
     Ok(sign)
+}
+
+/// The substitution kernel shared by [`Lu::solve_into`] and
+/// [`BLu::solve_batch`](crate::blu::BLu::solve_batch): permutation apply,
+/// unit-lower forward substitution, then back substitution, on a row-major
+/// `n`×`n` factored slice. Lengths are the caller's contract.
+pub(crate) fn solve_slice(lu: &[f64], n: usize, perm: &[usize], b: &[f64], x: &mut [f64]) {
+    debug_assert_eq!(lu.len(), n * n);
+    // Apply permutation: y = P b.
+    for (xi, &p) in x.iter_mut().zip(perm) {
+        *xi = b[p];
+    }
+    // Forward substitution with unit-lower L.
+    for i in 1..n {
+        let mut s = x[i];
+        for j in 0..i {
+            s -= lu[i * n + j] * x[j];
+        }
+        x[i] = s;
+    }
+    // Back substitution with U.
+    for i in (0..n).rev() {
+        let mut s = x[i];
+        for j in (i + 1)..n {
+            s -= lu[i * n + j] * x[j];
+        }
+        x[i] = s / lu[i * n + i];
+    }
 }
 
 impl Lu {
@@ -99,7 +135,7 @@ impl Lu {
         let n = a.rows();
         let mut lu = a.clone();
         let mut perm: Vec<usize> = (0..n).collect();
-        let sign = eliminate(&mut lu, &mut perm)?;
+        let sign = eliminate_slice(lu.as_mut_slice(), n, &mut perm)?;
         Ok(Lu { lu, perm, sign })
     }
 
@@ -127,10 +163,8 @@ impl Lu {
                 ),
             });
         }
-        for i in 0..n {
-            self.lu.row_mut(i).copy_from_slice(a.row(i));
-        }
-        self.sign = eliminate(&mut self.lu, &mut self.perm)?;
+        self.lu.as_mut_slice().copy_from_slice(a.as_slice());
+        self.sign = eliminate_slice(self.lu.as_mut_slice(), n, &mut self.perm)?;
         Ok(())
     }
 
@@ -165,26 +199,7 @@ impl Lu {
                 ),
             });
         }
-        // Apply permutation: y = P b.
-        for (xi, &p) in x.iter_mut().zip(&self.perm) {
-            *xi = b[p];
-        }
-        // Forward substitution with unit-lower L.
-        for i in 1..n {
-            let mut s = x[i];
-            for j in 0..i {
-                s -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = s;
-        }
-        // Back substitution with U.
-        for i in (0..n).rev() {
-            let mut s = x[i];
-            for j in (i + 1)..n {
-                s -= self.lu[(i, j)] * x[j];
-            }
-            x[i] = s / self.lu[(i, i)];
-        }
+        solve_slice(self.lu.as_slice(), n, &self.perm, b, x);
         Ok(())
     }
 
