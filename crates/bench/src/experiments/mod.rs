@@ -9,6 +9,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod highsigma;
 pub mod table2;
 pub mod table3;
 pub mod table4;
@@ -18,9 +19,21 @@ pub mod vddscale;
 pub type ExpResult = Result<String, Box<dyn std::error::Error + Send + Sync>>;
 
 /// All experiment names: the paper's artifacts in order, then extensions.
-pub const ALL: [&str; 13] = [
-    "fig1", "fig2", "table2", "fig3", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-    "table4", "vddscale",
+pub const ALL: [&str; 14] = [
+    "fig1",
+    "fig2",
+    "table2",
+    "fig3",
+    "table3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "table4",
+    "vddscale",
+    "highsigma",
 ];
 
 /// Dispatches an experiment by name.
@@ -39,6 +52,7 @@ pub fn run(name: &str, ctx: &crate::ExperimentContext) -> ExpResult {
         "fig7" => fig7::run(ctx),
         "fig8" => fig8::run(ctx),
         "fig9" => fig9::run(ctx),
+        "highsigma" => highsigma::run(ctx),
         "table2" => table2::run(ctx),
         "table3" => table3::run(ctx),
         "table4" => table4::run(ctx),

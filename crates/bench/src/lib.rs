@@ -24,6 +24,7 @@
 //! | `fig8`   | Fig. 8  | DFF setup-time PDF |
 //! | `fig9`   | Fig. 9  | SRAM butterfly + READ/HOLD SNM PDFs + QQ |
 //! | `table4` | Table IV | Monte Carlo runtime/memory, VS vs kit |
+//! | `highsigma` | extension | 5σ SRAM SNM failure probability via two-phase importance sampling |
 //!
 //! Circuit-level Monte Carlo loops shard across cores through
 //! `vscore::mc::ParallelRunner` (override the worker count with

@@ -253,16 +253,42 @@ fn lobe_snm(corner_curve: &[(f64, f64)], bound_curve: &[(f64, f64)], v_max: f64)
 /// `curve1` and `curve2` are the outputs of [`butterfly`], both in the
 /// `(v_l, v_r)` plane.
 pub fn snm(curve1: &[(f64, f64)], curve2: &[(f64, f64)], vdd: f64) -> f64 {
-    // Upper-left eye: corners walk along curve 1, bounded above by curve 2.
-    // (Curve 1 hugs the left/lower boundary of that eye: for a given v_l its
-    // v_r is lower.) We try both assignments and both mirrored eyes, taking
-    // the physically meaningful (positive) square in each eye.
-    let eye1 = lobe_snm(curve1, curve2, vdd).max(lobe_snm(curve2, curve1, vdd));
-    // Mirror across the diagonal to measure the other eye.
+    let (eye1, eye2) = eye_margins(curve1, curve2, vdd);
+    eye1.min(eye2)
+}
+
+/// The two per-eye maximal-square margins of a butterfly, *before* the
+/// `min` that defines the SNM: `(upper-left eye, lower-right eye)`.
+///
+/// The SNM is a minimum of these two, which makes it non-smooth exactly at
+/// the symmetric nominal point where both eyes are equal — a gradient of
+/// the SNM there mixes the two eyes' (different) sensitivities and aims
+/// nowhere useful. Rare-event machinery that needs a smooth objective
+/// (e.g. fitting an importance-sampling shift toward one failure mode)
+/// should target a single eye through this function; the left/right
+/// device symmetry of the cell makes the two eye margins exchangeable in
+/// distribution, so single-eye tail probabilities convert to SNM tail
+/// probabilities by inclusion–exclusion.
+pub fn eye_margins(curve1: &[(f64, f64)], curve2: &[(f64, f64)], vdd: f64) -> (f64, f64) {
+    // Upper-left eye: curve 1 hugs its lower-left boundary (for a given
+    // v_l, curve 1's v_r sits just above the metastable level while curve 2
+    // crosses the top of the region), so corners walk along curve 1 growing
+    // squares up-right until they hit curve 2. The assignment matters —
+    // taking `max` over both assignments (as this function once did)
+    // collapses both margins to the *larger* eye, which made the measured
+    // SNM grow with mismatch asymmetry instead of shrink.
+    let eye1 = lobe_snm(curve1, curve2, vdd);
+    // Lower-right eye: mirror the butterfly across the diagonal, which
+    // maps it onto the upper-left eye with the curve roles swapped. Using
+    // the mirrored construction (rather than swapping the assignment on
+    // the raw curves) keeps the two evaluations exactly symmetric in
+    // their sampling grids: a mismatch-free cell yields bit-identical
+    // margins instead of differing by interpolation error through the
+    // steep VTC transition.
     let m1: Vec<(f64, f64)> = curve1.iter().map(|&(x, y)| (y, x)).collect();
     let m2: Vec<(f64, f64)> = curve2.iter().map(|&(x, y)| (y, x)).collect();
-    let eye2 = lobe_snm(&m1, &m2, vdd).max(lobe_snm(&m2, &m1, vdd));
-    eye1.min(eye2)
+    let eye2 = lobe_snm(&m2, &m1, vdd);
+    (eye1, eye2)
 }
 
 /// Builds the full 6T cell (both halves cross-coupled, bit lines and word
@@ -444,6 +470,17 @@ impl SnmBench {
         let (c1, c2) = self.curves()?;
         Ok(snm(&c1, &c2, self.vdd))
     }
+
+    /// Per-eye margins of the current sample (see [`eye_margins`]); the
+    /// SNM is their minimum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sweep failures.
+    pub fn eye_margins(&mut self) -> Result<(f64, f64), SpiceError> {
+        let (c1, c2) = self.curves()?;
+        Ok(eye_margins(&c1, &c2, self.vdd))
+    }
 }
 
 /// A persistent read-disturb AC bench on the full 6T cell: elaborated once,
@@ -593,6 +630,66 @@ mod tests {
         let op1 = s.dc_owned_with_guess(&[(l, VDD), (r, 0.0)]).unwrap();
         assert!(op1.voltage(l) > 0.75 * VDD);
         assert!(op1.voltage(r) < 0.35 * VDD);
+    }
+
+    /// Regression for the eye-assignment bug: shifting one inverter's
+    /// switching threshold must shrink one eye and grow the other, and the
+    /// SNM (the min) must *degrade*. The old `max`-over-assignments code
+    /// returned the larger eye for both, so asymmetry improved the
+    /// reported SNM.
+    #[test]
+    fn threshold_mismatch_splits_the_eyes() {
+        let steep = |vm: f64, x: f64| VDD / (1.0 + ((x - vm) / 0.01).exp());
+        let n = 201;
+        let curves = |dvm: f64| {
+            let c2: Vec<(f64, f64)> = (0..n)
+                .map(|i| {
+                    let x = VDD * i as f64 / (n - 1) as f64;
+                    (x, steep(VDD / 2.0 + dvm, x))
+                })
+                .collect();
+            let c1: Vec<(f64, f64)> = (0..n)
+                .map(|i| {
+                    let x = VDD * i as f64 / (n - 1) as f64;
+                    (steep(VDD / 2.0, x), x)
+                })
+                .collect();
+            (c1, c2)
+        };
+        let (c1, c2) = curves(0.0);
+        let (e1, e2) = eye_margins(&c1, &c2, VDD);
+        let s0 = snm(&c1, &c2, VDD);
+        assert!((e1 - e2).abs() < 1e-3, "symmetric butterfly: {e1} vs {e2}");
+        for dvm in [0.05, -0.05, 0.1] {
+            let (c1, c2) = curves(dvm);
+            let (e1, e2) = eye_margins(&c1, &c2, VDD);
+            let (grown, shrunk) = if dvm > 0.0 { (e1, e2) } else { (e2, e1) };
+            assert!(
+                grown > s0 + 0.2 * dvm.abs(),
+                "eye must grow: {grown} vs {s0}"
+            );
+            assert!(
+                shrunk < s0 - 0.5 * dvm.abs(),
+                "eye must shrink: {shrunk} vs {s0}"
+            );
+            let s = snm(&c1, &c2, VDD);
+            assert!(s < s0, "asymmetry must degrade the SNM: {s} vs {s0}");
+            assert_eq!(s, e1.min(e2));
+        }
+    }
+
+    #[test]
+    fn eye_margins_decompose_the_snm() {
+        let sz = SramSizing::default();
+        let mut f = NominalVsFactory;
+        let mut bench = SnmBench::new(sz, VDD, SnmMode::Read, 41, &mut f).unwrap();
+        let (e1, e2) = bench.eye_margins().unwrap();
+        let s = bench.snm().unwrap();
+        assert_eq!(e1.min(e2), s, "SNM is exactly the smaller eye");
+        // A nominal (mismatch-free) cell is left/right symmetric, so the
+        // two eyes agree to sweep resolution.
+        assert!((e1 - e2).abs() < 1e-6, "eyes {e1} vs {e2}");
+        assert!(e1 > 0.0 && e2 > 0.0);
     }
 
     #[test]

@@ -68,6 +68,9 @@ pub use shard::{plan_batches, plan_shards, BatchPlanError, Shard};
 // The sink vocabulary consumed by `ParallelRunner::run_streaming`, re-
 // exported so Monte Carlo call sites need a single import path.
 pub use stats::histogram::Histogram;
+pub use stats::importance::{
+    ExactSum, GaussianProposal, Statistic, WeightedHistogram, WeightedMoments, WeightedSink,
+};
 pub use stats::sink::{
     CodecError, CsvSink, MergeableSink, P2Quantiles, Sink, VecSink, WelfordSink, WelfordWatch,
 };
@@ -143,11 +146,39 @@ pub enum ModelFamily {
     Bsim,
 }
 
+/// Where an [`McFactory`]'s standard-normal mismatch draws come from.
+///
+/// The default is the factory's internal [`Sampler`]. The rare-event
+/// engine swaps in the two other sources: per-dimension mean-shifted
+/// proposals for importance sampling (accumulating the exact
+/// log-likelihood-ratio weight as draws happen), and pinned literal
+/// values for derivative probing of the metric surface.
+#[derive(Debug, Clone)]
+enum DrawMode {
+    /// Plain Monte Carlo: each draw is `sampler.standard_normal()`.
+    Random,
+    /// Importance sampling: draw `k` comes from `N(shifts[k], 1)` via the
+    /// factory sampler, and the exact log-weight of the shifted proposal
+    /// accumulates into the factory's pending log-weight.
+    Shifted(std::sync::Arc<[f64]>),
+    /// Deterministic probing: draw `k` *is* `values[k]`, no randomness.
+    Pinned(std::sync::Arc<[f64]>),
+}
+
 /// A sampling device factory for circuit-level Monte Carlo.
 ///
 /// Every call to [`DeviceFactory::nmos`]/[`DeviceFactory::pmos`] draws an
 /// independent mismatch vector — the within-die assumption of the paper.
 /// Construct with [`MismatchSpec::default`] (all zeros) for nominal devices.
+///
+/// For rare-event runs the factory's standard-normal draws can be
+/// redirected: [`McFactory::set_proposal_shifts`] turns every subsequent
+/// draw into a mean-shifted importance-sampling proposal (with the exact
+/// log-likelihood weight accumulated and collected via
+/// [`McFactory::take_log_weight`]), and [`McFactory::set_pinned`] replaces
+/// draws with literal values for finite-difference probing of a metric
+/// surface. [`McFactory::draws_taken`] counts draws in any mode, which is
+/// how an experiment discovers the mismatch dimensionality of a bench.
 #[derive(Debug, Clone)]
 pub struct McFactory {
     family: ModelFamily,
@@ -158,6 +189,9 @@ pub struct McFactory {
     spec_nmos: MismatchSpec,
     spec_pmos: MismatchSpec,
     sampler: Sampler,
+    mode: DrawMode,
+    draws: usize,
+    log_weight: f64,
 }
 
 impl McFactory {
@@ -178,6 +212,9 @@ impl McFactory {
             spec_nmos,
             spec_pmos,
             sampler,
+            mode: DrawMode::Random,
+            draws: 0,
+            log_weight: 0.0,
         }
     }
 
@@ -198,6 +235,9 @@ impl McFactory {
             spec_nmos,
             spec_pmos,
             sampler,
+            mode: DrawMode::Random,
+            draws: 0,
+            log_weight: 0.0,
         }
     }
 
@@ -213,12 +253,108 @@ impl McFactory {
     pub fn set_sampler(&mut self, sampler: Sampler) {
         self.sampler = sampler;
     }
+
+    /// Redirects subsequent standard-normal draws through mean-shifted
+    /// unit-variance importance-sampling proposals: draw `k` comes from
+    /// `N(shifts[k], 1)`, and the exact log-likelihood-ratio weight of the
+    /// shifted proposal accumulates until [`McFactory::take_log_weight`]
+    /// collects it. Resets the draw counter and pending log-weight, so the
+    /// next device build starts the shift vector from dimension 0.
+    ///
+    /// The shift vector must cover every draw the bench makes — a draw
+    /// beyond `shifts.len()` panics, catching a mismatch between the
+    /// fitted shift direction and the bench's actual dimensionality
+    /// instead of silently recycling shifts.
+    pub fn set_proposal_shifts(&mut self, shifts: std::sync::Arc<[f64]>) {
+        assert!(
+            shifts.iter().all(|s| s.is_finite()),
+            "proposal shifts must be finite"
+        );
+        self.mode = DrawMode::Shifted(shifts);
+        self.draws = 0;
+        self.log_weight = 0.0;
+    }
+
+    /// Replaces subsequent draws with literal pinned values: draw `k`
+    /// returns exactly `values[k]` — no randomness, log-weight stays zero.
+    /// This is the finite-difference probe mode: evaluate a bench at a
+    /// chosen point of the mismatch space (e.g. `±h·e_k` around nominal)
+    /// to estimate the gradient of the metric surface. Resets the draw
+    /// counter; draws beyond `values.len()` panic.
+    pub fn set_pinned(&mut self, values: std::sync::Arc<[f64]>) {
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "pinned draw values must be finite"
+        );
+        self.mode = DrawMode::Pinned(values);
+        self.draws = 0;
+        self.log_weight = 0.0;
+    }
+
+    /// Restores plain random draws from the internal sampler.
+    pub fn clear_draw_mode(&mut self) {
+        self.mode = DrawMode::Random;
+        self.draws = 0;
+        self.log_weight = 0.0;
+    }
+
+    /// Collects the log-likelihood-ratio weight accumulated since the last
+    /// mode change or collection, and rearms for the next sample: the draw
+    /// counter returns to 0 (the shift vector restarts at dimension 0) and
+    /// the pending log-weight clears. Always exactly `0.0` in random and
+    /// pinned modes and for all-zero shifts — the degenerate IS run *is*
+    /// plain MC, to the bit.
+    pub fn take_log_weight(&mut self) -> f64 {
+        self.draws = 0;
+        std::mem::replace(&mut self.log_weight, 0.0)
+    }
+
+    /// Standard-normal draws consumed since the last mode change or
+    /// [`McFactory::take_log_weight`] — the probe for a bench's mismatch
+    /// dimensionality (e.g. one 6T SRAM resample = 6 devices × 5
+    /// parameters = 30 draws).
+    pub fn draws_taken(&self) -> usize {
+        self.draws
+    }
+
+    /// One standard-normal-equivalent draw routed through the active
+    /// `DrawMode`.
+    fn draw(&mut self) -> f64 {
+        let k = self.draws;
+        self.draws += 1;
+        match &self.mode {
+            DrawMode::Random => self.sampler.standard_normal(),
+            DrawMode::Shifted(shifts) => {
+                assert!(
+                    k < shifts.len(),
+                    "bench drew dimension {k} but the proposal shift vector has {} entries",
+                    shifts.len()
+                );
+                let shift = shifts[k];
+                let x = shift + self.sampler.standard_normal();
+                // Exact log-likelihood ratio of N(0,1) over N(shift,1):
+                // ((x-shift)² - x²)/2 — identically 0.0 for a zero shift,
+                // so degenerate IS reduces to plain MC bit-exactly.
+                let z = x - shift;
+                self.log_weight += 0.5 * (z * z - x * x);
+                x
+            }
+            DrawMode::Pinned(values) => {
+                assert!(
+                    k < values.len(),
+                    "bench drew dimension {k} but only {} pinned values were supplied",
+                    values.len()
+                );
+                values[k]
+            }
+        }
+    }
 }
 
 impl DeviceFactory for McFactory {
     fn nmos(&mut self, geom: Geometry) -> Box<dyn MosfetModel> {
         let spec = self.spec_nmos;
-        let delta = spec.sample(geom, || self.sampler.standard_normal());
+        let delta = spec.sample(geom, || self.draw());
         match self.family {
             ModelFamily::Vs => Box::new(VsModel::with_variation(
                 self.vs_nmos,
@@ -237,7 +373,7 @@ impl DeviceFactory for McFactory {
 
     fn pmos(&mut self, geom: Geometry) -> Box<dyn MosfetModel> {
         let spec = self.spec_pmos;
-        let delta = spec.sample(geom, || self.sampler.standard_normal());
+        let delta = spec.sample(geom, || self.draw());
         match self.family {
             ModelFamily::Vs => Box::new(VsModel::with_variation(
                 self.vs_pmos,
@@ -348,6 +484,106 @@ mod tests {
         let mut f2 = mk();
         assert_eq!(f1.nmos(g).ids(bias), f2.nmos(g).ids(bias));
         assert_eq!(f1.family(), "bsim");
+    }
+
+    #[test]
+    fn zero_shift_proposal_draws_are_bit_identical_to_plain_mc() {
+        let spec = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+        let mk = || {
+            McFactory::vs(
+                VsParams::nmos_40nm(),
+                VsParams::pmos_40nm(),
+                spec,
+                spec,
+                Sampler::from_seed(77),
+            )
+        };
+        let g = Geometry::from_nm(300.0, 40.0);
+        let bias = mosfet::Bias {
+            vgs: VDD,
+            vds: VDD,
+            vbs: 0.0,
+        };
+        let mut plain = mk();
+        let mut shifted = mk();
+        shifted.set_proposal_shifts(std::sync::Arc::from(vec![0.0; 10]));
+        let a = plain.nmos(g).ids(bias);
+        let b = shifted.nmos(g).ids(bias);
+        assert_eq!(a.to_bits(), b.to_bits(), "degenerate IS must be plain MC");
+        assert_eq!(shifted.draws_taken(), 5, "one device = 5 mismatch draws");
+        assert_eq!(shifted.take_log_weight().to_bits(), 0.0f64.to_bits());
+        assert_eq!(shifted.draws_taken(), 0, "collection rearms the counter");
+    }
+
+    #[test]
+    fn shifted_draws_accumulate_the_exact_log_weight() {
+        let spec = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+        let mut f = McFactory::vs(
+            VsParams::nmos_40nm(),
+            VsParams::pmos_40nm(),
+            spec,
+            spec,
+            Sampler::from_seed(5),
+        );
+        let shifts: Vec<f64> = vec![1.5, -0.5, 0.0, 2.0, 0.25];
+        // Reconstruct the expected weight from the same normal stream.
+        let mut ref_sampler = Sampler::from_seed(5);
+        let mut want = 0.0;
+        for &b in &shifts {
+            let x = b + ref_sampler.standard_normal();
+            want += 0.5 * ((x - b) * (x - b) - x * x);
+        }
+        f.set_proposal_shifts(std::sync::Arc::from(shifts));
+        let _ = f.nmos(Geometry::from_nm(300.0, 40.0));
+        assert_eq!(f.take_log_weight().to_bits(), want.to_bits());
+        // Second collection without new draws is exactly zero.
+        assert_eq!(f.take_log_weight(), 0.0);
+    }
+
+    #[test]
+    fn pinned_draws_are_deterministic_probes() {
+        let spec = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+        let mut f = McFactory::vs(
+            VsParams::nmos_40nm(),
+            VsParams::pmos_40nm(),
+            spec,
+            spec,
+            Sampler::from_seed(1),
+        );
+        let g = Geometry::from_nm(300.0, 40.0);
+        let bias = mosfet::Bias {
+            vgs: VDD,
+            vds: VDD,
+            vbs: 0.0,
+        };
+        f.set_pinned(std::sync::Arc::from(vec![0.0; 5]));
+        let nominal = f.nmos(g).ids(bias);
+        f.set_pinned(std::sync::Arc::from(vec![0.0; 5]));
+        let again = f.nmos(g).ids(bias);
+        assert_eq!(nominal.to_bits(), again.to_bits(), "pinned probes repeat");
+        assert_eq!(f.take_log_weight(), 0.0, "probing carries no weight");
+        // A Vt0 perturbation moves the current; random draws resume after.
+        f.set_pinned(std::sync::Arc::from(vec![3.0, 0.0, 0.0, 0.0, 0.0]));
+        let perturbed = f.nmos(g).ids(bias);
+        assert_ne!(nominal, perturbed);
+        f.clear_draw_mode();
+        let random = f.nmos(g).ids(bias);
+        assert_ne!(random, nominal);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned values were supplied")]
+    fn exhausting_pinned_values_panics() {
+        let spec = MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29);
+        let mut f = McFactory::vs(
+            VsParams::nmos_40nm(),
+            VsParams::pmos_40nm(),
+            spec,
+            spec,
+            Sampler::from_seed(1),
+        );
+        f.set_pinned(std::sync::Arc::from(vec![0.0; 4])); // one draw short
+        let _ = f.nmos(Geometry::from_nm(300.0, 40.0));
     }
 
     #[test]

@@ -613,6 +613,104 @@ impl ParallelRunner {
         )
     }
 
+    /// Executes the shard `offset .. offset + len` of an
+    /// **importance-sampling** experiment: the `sample` closure returns a
+    /// `(value, log_weight)` record — the metric drawn under a *proposal*
+    /// distribution plus its exact log-likelihood-ratio against the
+    /// nominal distribution — and every record flows through the unchanged
+    /// index-ordered fold into a weighted sink
+    /// ([`stats::WeightedMoments`], [`stats::WeightedHistogram`], or any
+    /// [`Sink<(f64, f64)>`](Sink) fan-out tuple of them).
+    ///
+    /// Everything [`ParallelRunner::run_streaming_range`] guarantees holds
+    /// verbatim: sample `i` draws the pure `(seed, i)` stream, records fold
+    /// in ascending index order, the sink state is bit-identical for any
+    /// worker count, and disjoint shards of one experiment merge through
+    /// the [`stats::WeightedSink`] byte codec. The weighted sinks
+    /// accumulate in exact fixed-point sums, so the merged-shard guarantee
+    /// is *stronger* than for Welford moments: merged bytes equal
+    /// single-run bytes exactly, for any partitioning. A configured
+    /// [`EarlyStop`] rule is ignored for the same reason as in
+    /// `run_streaming_range`, and [`StreamOutcome::moments`] stays empty —
+    /// unweighted moments of proposal draws estimate nothing about the
+    /// nominal distribution; read the weighted sink instead.
+    ///
+    /// With the nominal (identity) proposal every log-weight is exactly
+    /// `0.0` and the record values are the plain-MC stream bit-for-bit, so
+    /// degenerate IS runs reproduce unweighted runs exactly (pinned by the
+    /// determinism suite).
+    ///
+    /// # Example
+    ///
+    /// A 4σ tail probability, resolved with 4000 proposal draws — plain MC
+    /// would see roughly zero hits at this budget:
+    ///
+    /// ```
+    /// use vscore::mc::{GaussianProposal, ParallelRunner, WeightedMoments};
+    ///
+    /// let proposal = GaussianProposal::new(4.0, 1.0);
+    /// let mut sink = WeightedMoments::above(4.0);
+    /// ParallelRunner::new(11)
+    ///     .workers(2)
+    ///     .run_streaming_is(
+    ///         0,
+    ///         4000,
+    ///         |_, _| Ok::<(), std::convert::Infallible>(()),
+    ///         |(), s, _| Ok(proposal.draw_weighted(s)),
+    ///         &mut sink,
+    ///     )
+    ///     .unwrap();
+    /// let truth = stats::gaussian::tail(4.0); // ~3.17e-5
+    /// assert!((sink.estimate() / truth - 1.0).abs() < 0.2);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first worker-state `build` error (the sink is left
+    /// unfinished).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + len` overflows the sample index space, as
+    /// [`ParallelRunner::run_streaming_range`].
+    pub fn run_streaming_is<W, E, B, S, K>(
+        &self,
+        offset: usize,
+        len: usize,
+        build: B,
+        sample: S,
+        sink: &mut K,
+    ) -> Result<StreamOutcome, E>
+    where
+        E: Send,
+        B: Fn(usize, &mut Sampler) -> Result<W, E> + Sync,
+        S: Fn(&mut W, &mut Sampler, usize) -> Result<(f64, f64), E> + Sync,
+        K: Sink<(f64, f64)> + ?Sized,
+    {
+        let end = offset
+            .checked_add(len)
+            .filter(|&end| end < usize::MAX)
+            .expect("shard range must end below usize::MAX (the sample index space)");
+        self.stream_impl(
+            offset,
+            end,
+            self.check_every,
+            1,
+            build,
+            &|w,
+              st: &mut W,
+              base: &Sampler,
+              lo,
+              hi,
+              emit: &(dyn Fn(usize, usize, (f64, f64)) + Sync)| {
+                sample_chunk(&sample, w, st, base, lo, hi, emit)
+            },
+            sink,
+            None,
+            None,
+        )
+    }
+
     /// Executes the shard `offset .. offset + len` with workers claiming
     /// **batches of `lanes` consecutive sample indices** instead of one
     /// index at a time — the entry point for batch-capable hot paths such

@@ -16,8 +16,8 @@ use spice::Session;
 use stats::histogram::Histogram;
 use stats::{Sampler, Welford};
 use vscore::mc::{
-    CsvSink, EarlyStop, McFactory, MergeableSink, P2Quantiles, ParallelRunner, Sink, TDigest,
-    VecSink, WelfordSink,
+    CsvSink, EarlyStop, GaussianProposal, McFactory, MergeableSink, P2Quantiles, ParallelRunner,
+    Sink, TDigest, VecSink, WeightedHistogram, WeightedMoments, WeightedSink, WelfordSink,
 };
 use vscore::metrics::DeviceMetrics;
 use vscore::sensitivity::{VariedModel, VsBuilder};
@@ -34,6 +34,18 @@ fn builder() -> VsBuilder {
 
 fn spec() -> MismatchSpec {
     MismatchSpec::from_paper_units(2.3, 3.71, 3.71, 944.0, 0.29)
+}
+
+/// A VS-family device factory over the paper's mismatch spec, fed by the
+/// given sampler — the template shape every SRAM workload here uses.
+fn sram_factory(sampler: Sampler) -> McFactory {
+    McFactory::vs(
+        VsParams::nmos_40nm(),
+        VsParams::pmos_40nm(),
+        spec(),
+        spec(),
+        sampler,
+    )
 }
 
 /// Runs the stateless device-level workload on `workers` threads.
@@ -1155,4 +1167,250 @@ fn zero_length_shard_finishes_the_sink_empty() {
     assert_eq!(out.attempted, 0);
     assert_eq!(out.observed, 0);
     assert!(sink.moments().is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Importance sampling: run_streaming_is + weighted sinks
+// ---------------------------------------------------------------------------
+
+/// The weighted fleet sink set: estimator + weighted histogram, fanned out
+/// through the generic tuple `Sink` impl exactly like the unweighted set.
+type IsSinks = (WeightedMoments, WeightedHistogram);
+
+fn is_sinks() -> IsSinks {
+    (
+        WeightedMoments::above(4.0),
+        WeightedHistogram::new(-2.0, 9.0, 22),
+    )
+}
+
+/// Runs the shard `offset..offset + len` of a shifted-proposal IS workload
+/// on `workers` threads, returning the weighted sink states.
+fn is_shard(seed: u64, offset: usize, len: usize, workers: usize) -> IsSinks {
+    let proposal = GaussianProposal::new(4.0, 1.25);
+    let mut sinks = is_sinks();
+    ParallelRunner::new(seed)
+        .workers(workers)
+        .run_streaming_is(
+            offset,
+            len,
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+            |(), sampler, _| Ok(proposal.draw_weighted(sampler)),
+            &mut sinks,
+        )
+        .expect("infallible setup");
+    sinks
+}
+
+/// Weighted sink bytes must be bit-identical across 1/2/3/7 workers — the
+/// streaming determinism contract extended to `(value, log_weight)`
+/// records.
+#[test]
+fn is_weighted_sink_bytes_are_worker_count_invariant() {
+    let (m1, h1) = is_shard(61, 0, 700, 1);
+    let (reference_m, reference_h) = (m1.to_bytes(), h1.to_bytes());
+    for workers in [2, 3, 7] {
+        let (m, h) = is_shard(61, 0, 700, workers);
+        assert_eq!(
+            m.to_bytes(),
+            reference_m,
+            "moments bytes at {workers} workers"
+        );
+        assert_eq!(
+            h.to_bytes(),
+            reference_h,
+            "histogram bytes at {workers} workers"
+        );
+    }
+    // Sanity: the run actually estimated the 4σ tail it was aimed at.
+    assert!((m1.estimate() / stats::gaussian::tail(4.0) - 1.0).abs() < 0.3);
+    assert!(m1.ess() > 0.0);
+}
+
+/// Disjoint `run_streaming_is` shards merged through the byte codec must
+/// reproduce the single-run sink bytes *exactly* — stronger than the
+/// Welford fleet guarantee, because the weighted sinks accumulate in
+/// exact fixed-point sums. Any partitioning, any per-shard worker count.
+#[test]
+fn is_shards_merge_bit_identically_across_partitionings() {
+    let (seed, n) = (29u64, 600);
+    let (single_m, single_h) = is_shard(seed, 0, n, 2);
+    let partitions: [&[(usize, usize, usize)]; 3] = [
+        &[(0, 600, 1)],
+        &[(0, 170, 1), (170, 63, 2), (233, 367, 3)],
+        &[(0, 1, 1), (1, 299, 7), (300, 300, 2)],
+    ];
+    for cuts in partitions {
+        let mut merged = is_sinks();
+        for &(offset, len, workers) in cuts {
+            let (m, h) = is_shard(seed, offset, len, workers);
+            // Cross the wire: every shard round-trips through its codec.
+            let m = WeightedMoments::from_bytes(&m.to_bytes()).expect("moments round trip");
+            let h = WeightedHistogram::from_bytes(&h.to_bytes()).expect("histogram round trip");
+            merged.0.merge_from(&m);
+            merged.1.merge_from(&h);
+        }
+        assert_eq!(
+            merged.0.to_bytes(),
+            single_m.to_bytes(),
+            "moments bytes differ for partition {cuts:?}"
+        );
+        assert_eq!(
+            merged.1.to_bytes(),
+            single_h.to_bytes(),
+            "histogram bytes differ for partition {cuts:?}"
+        );
+    }
+    assert_eq!(single_m.count(), n as u64);
+    assert_eq!(single_h.total(), n as u64);
+}
+
+/// The nominal (shift = 0, scale = 1) proposal reduces `run_streaming_is`
+/// to plain MC bit-exactly: the record values are the unweighted stream
+/// and every log-weight is +0.0.
+#[test]
+fn nominal_proposal_reduces_to_plain_mc_bit_exactly() {
+    let (seed, n) = (47u64, 500);
+    let proposal = GaussianProposal::nominal();
+    let mut is_records: VecSink<(f64, f64)> = VecSink::new();
+    ParallelRunner::new(seed)
+        .workers(3)
+        .run_streaming_is(
+            0,
+            n,
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+            |(), sampler, _| Ok(proposal.draw_weighted(sampler)),
+            &mut is_records,
+        )
+        .expect("infallible setup");
+    let mut plain: VecSink<f64> = VecSink::new();
+    ParallelRunner::new(seed)
+        .workers(2)
+        .run_streaming(
+            n,
+            |_, _| Ok::<(), std::convert::Infallible>(()),
+            |(), sampler, _| Ok(sampler.standard_normal()),
+            &mut plain,
+        )
+        .expect("infallible setup");
+    assert_eq!(is_records.records().len(), n);
+    for ((i, (x, log_w)), (j, z)) in is_records.records().iter().zip(plain.records()) {
+        assert_eq!(i, j);
+        assert_eq!(x.to_bits(), z.to_bits(), "sample {i}: value stream shifted");
+        assert_eq!(
+            log_w.to_bits(),
+            0.0f64.to_bits(),
+            "sample {i}: weight not +0.0"
+        );
+    }
+}
+
+/// Circuit-level IS through `McFactory::set_proposal_shifts`: the SRAM SNM
+/// workload under a mean-shifted proposal stays worker-count invariant at
+/// the byte level, and with zero shifts it reproduces the plain-MC SNM
+/// values bit-exactly.
+#[test]
+fn sram_is_run_is_worker_count_invariant_and_degenerates_to_plain_mc() {
+    let shifts: std::sync::Arc<[f64]> = (0..30)
+        .map(|k| if k % 5 == 0 { -0.8 } else { 0.1 })
+        .collect();
+    let run = |workers: usize, shifts: std::sync::Arc<[f64]>| {
+        let mut sinks = (
+            WeightedMoments::below(0.1),
+            WeightedHistogram::new(0.0, 0.4, 16),
+        );
+        ParallelRunner::new(5)
+            .workers(workers)
+            .run_streaming_is(
+                0,
+                24,
+                |_, setup| {
+                    let mut f = sram_factory(setup.fork(0));
+                    let bench = circuits::sram::SnmBench::new(
+                        SramSizing::default(),
+                        VDD,
+                        circuits::sram::SnmMode::Hold,
+                        31,
+                        &mut f,
+                    )?;
+                    Ok((f, bench))
+                },
+                |(f, bench), sampler, _| {
+                    f.set_sampler(sampler.clone());
+                    f.set_proposal_shifts(shifts.clone());
+                    bench.resample(SramSizing::default(), f)?;
+                    let snm = bench.snm()?;
+                    Ok::<_, spice::SpiceError>((snm, f.take_log_weight()))
+                },
+                &mut sinks,
+            )
+            .expect("sram elaboration");
+        (sinks.0.to_bytes(), sinks.1.to_bytes())
+    };
+    let reference = run(1, shifts.clone());
+    for workers in [2, 3] {
+        assert_eq!(run(workers, shifts.clone()), reference, "{workers} workers");
+    }
+
+    // Zero shifts: the weighted records must be the plain-MC SNM values
+    // with +0.0 log-weights.
+    let zero: std::sync::Arc<[f64]> = std::sync::Arc::from(vec![0.0; 30]);
+    let mut is_records: VecSink<(f64, f64)> = VecSink::new();
+    ParallelRunner::new(5)
+        .workers(2)
+        .run_streaming_is(
+            0,
+            12,
+            |_, setup| {
+                let mut f = sram_factory(setup.fork(0));
+                let bench = circuits::sram::SnmBench::new(
+                    SramSizing::default(),
+                    VDD,
+                    circuits::sram::SnmMode::Hold,
+                    31,
+                    &mut f,
+                )?;
+                Ok((f, bench))
+            },
+            |(f, bench), sampler, _| {
+                f.set_sampler(sampler.clone());
+                f.set_proposal_shifts(zero.clone());
+                bench.resample(SramSizing::default(), f)?;
+                let snm = bench.snm()?;
+                Ok::<_, spice::SpiceError>((snm, f.take_log_weight()))
+            },
+            &mut is_records,
+        )
+        .expect("sram elaboration");
+    let mut plain_records: VecSink<f64> = VecSink::new();
+    ParallelRunner::new(5)
+        .workers(3)
+        .run_streaming(
+            12,
+            |_, setup| {
+                let mut f = sram_factory(setup.fork(0));
+                let bench = circuits::sram::SnmBench::new(
+                    SramSizing::default(),
+                    VDD,
+                    circuits::sram::SnmMode::Hold,
+                    31,
+                    &mut f,
+                )?;
+                Ok((f, bench))
+            },
+            |(f, bench), sampler, _| {
+                f.set_sampler(sampler.clone());
+                bench.resample(SramSizing::default(), f)?;
+                bench.snm()
+            },
+            &mut plain_records,
+        )
+        .expect("sram elaboration");
+    assert_eq!(is_records.records().len(), plain_records.records().len());
+    for ((i, (snm, log_w)), (j, plain)) in is_records.records().iter().zip(plain_records.records())
+    {
+        assert_eq!(i, j);
+        assert_eq!(snm.to_bits(), plain.to_bits(), "sample {i}: SNM shifted");
+        assert_eq!(log_w.to_bits(), 0.0f64.to_bits(), "sample {i}");
+    }
 }

@@ -82,6 +82,10 @@ fn shard_spec(engine: &Engine, shard: Shard) -> ExperimentSpec {
         want_tdigest: true,
         histogram: template.default_histogram,
         tdigest_compression: 100.0,
+        proposal: (0.0, 1.0),
+        threshold: 3.0,
+        want_wmoments: false,
+        want_whistogram: false,
     }
 }
 

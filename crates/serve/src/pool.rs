@@ -25,7 +25,7 @@ use mosfet::{vs::VsParams, Geometry, MismatchSpec, MosfetModel, Polarity};
 use spice::{NodeId, Session, SpiceError};
 use stats::histogram::Histogram;
 use stats::sink::{Sink, WelfordSink};
-use stats::{Sampler, TDigest};
+use stats::{GaussianProposal, Sampler, TDigest, WeightedHistogram, WeightedMoments};
 use std::sync::Mutex;
 use vscore::mc::{McFactory, ParallelRunner};
 use vscore::metrics::DeviceMetrics;
@@ -106,6 +106,9 @@ enum TemplateRuntime {
     SramDc(Box<SramRuntime>),
     /// Device-level Idsat Monte Carlo; no circuit session needed.
     DeviceIdsat,
+    /// Standard-normal tail probability by mean-shift importance
+    /// sampling; pure stats, no circuit session needed.
+    GaussTail,
 }
 
 /// One registered template: the static description plus runtime state.
@@ -164,6 +167,18 @@ impl Engine {
                     },
                     runtime: TemplateRuntime::DeviceIdsat,
                 },
+                Template {
+                    info: TemplateInfo {
+                        id: "gauss_tail",
+                        description: "standard-normal tail probability P(Z > threshold) \
+                                      by mean-shift importance sampling; metric = Z \
+                                      under the proposal, with exact log-weights",
+                        analyses: &["is"],
+                        unit: "1",
+                        default_histogram: (-4.0, 8.0, 48),
+                    },
+                    runtime: TemplateRuntime::GaussTail,
+                },
             ],
         })
     }
@@ -194,7 +209,7 @@ impl Engine {
                         let idle = &rt.idle;
                         idle.lock().expect("no poisoned locks").len()
                     }
-                    TemplateRuntime::DeviceIdsat => 0,
+                    TemplateRuntime::DeviceIdsat | TemplateRuntime::GaussTail => 0,
                 };
                 (t.info.id, idle)
             })
@@ -227,6 +242,7 @@ impl Engine {
                 self.execute_sram(spec, &rt.master, rt.l, rt.r, &rt.idle)
             }
             TemplateRuntime::DeviceIdsat => Ok(execute_device_idsat(spec)),
+            TemplateRuntime::GaussTail => Ok(execute_gauss_tail(spec)),
         }
     }
 
@@ -360,6 +376,75 @@ fn execute_device_idsat(spec: &ExperimentSpec) -> RunResult {
     )
 }
 
+/// The importance-sampled template: every sample draws from the spec's
+/// mean-shift/scale Gaussian proposal and carries the exact
+/// log-likelihood-ratio weight; the weighted sinks estimate nominal
+/// `N(0, 1)` statistics. Each `(value, log-weight)` record is a pure
+/// function of `(seed, index)`, so disjoint shards merge bit-identically
+/// with a single run over the union — the same determinism contract as
+/// the circuit templates, extended through the weighted codec.
+fn execute_gauss_tail(spec: &ExperimentSpec) -> RunResult {
+    let (shift, scale) = spec.proposal;
+    let proposal = GaussianProposal::new(shift, scale);
+    let mut sinks = WeightedSinkSet::for_spec(spec);
+    let outcome = ParallelRunner::new(spec.seed)
+        .workers(1)
+        .run_streaming_is(
+            spec.offset,
+            spec.len,
+            |_, _| Ok::<(), SpiceError>(()),
+            |(), sampler, _i| Ok(proposal.draw_weighted(sampler)),
+            &mut sinks,
+        )
+        .expect("gauss_tail workload setup is infallible");
+    RunResult::collect_weighted(
+        outcome.observed as u64,
+        outcome.failures as u64,
+        spec,
+        sinks,
+    )
+}
+
+/// The per-run weighted sink bundle for importance-sampled templates:
+/// the tail estimator always (it feeds the run report), the weighted
+/// histogram only when its payload is requested.
+pub struct WeightedSinkSet {
+    /// Always-on nominal-tail estimator `P(X > threshold)`.
+    pub moments: WeightedMoments,
+    /// Weighted histogram of the nominal distribution, when requested.
+    pub histogram: Option<WeightedHistogram>,
+}
+
+impl WeightedSinkSet {
+    /// Builds the bundle a spec asked for.
+    #[must_use]
+    pub fn for_spec(spec: &ExperimentSpec) -> Self {
+        let (lo, hi, bins) = spec.histogram;
+        WeightedSinkSet {
+            moments: WeightedMoments::above(spec.threshold),
+            histogram: spec
+                .want_whistogram
+                .then(|| WeightedHistogram::new(lo, hi, bins)),
+        }
+    }
+}
+
+impl Sink<(f64, f64)> for WeightedSinkSet {
+    fn observe(&mut self, index: usize, record: (f64, f64)) {
+        self.moments.observe(index, record);
+        if let Some(h) = &mut self.histogram {
+            h.observe(index, record);
+        }
+    }
+
+    fn finish(&mut self) {
+        Sink::finish(&mut self.moments);
+        if let Some(h) = &mut self.histogram {
+            Sink::finish(h);
+        }
+    }
+}
+
 /// The per-run sink bundle: moments always (they feed the run report),
 /// histogram and t-digest only when the spec requests those payloads.
 /// One concrete type avoids a combinatorial explosion of tuple sinks.
@@ -414,6 +499,7 @@ mod tests {
     use super::*;
     use crate::store::ExperimentSpec;
     use stats::sink::MergeableSink;
+    use stats::WeightedSink;
 
     fn spec(circuit: &str, seed: u64, offset: usize, len: usize) -> ExperimentSpec {
         ExperimentSpec {
@@ -428,6 +514,30 @@ mod tests {
             want_tdigest: true,
             histogram: (0.0, 1.0, 16),
             tdigest_compression: 100.0,
+            proposal: (0.0, 1.0),
+            threshold: 3.0,
+            want_wmoments: false,
+            want_whistogram: false,
+        }
+    }
+
+    fn is_spec(seed: u64, offset: usize, len: usize) -> ExperimentSpec {
+        ExperimentSpec {
+            circuit: "gauss_tail".to_string(),
+            analysis: "is".to_string(),
+            seed,
+            offset,
+            len,
+            total: None,
+            want_welford: false,
+            want_histogram: false,
+            want_tdigest: false,
+            histogram: (-4.0, 8.0, 48),
+            tdigest_compression: 100.0,
+            proposal: (4.0, 1.0),
+            threshold: 4.0,
+            want_wmoments: true,
+            want_whistogram: true,
         }
     }
 
@@ -435,7 +545,7 @@ mod tests {
     fn registry_exposes_both_templates() {
         let engine = Engine::new().expect("templates elaborate");
         let ids: Vec<_> = engine.templates().map(|t| t.id).collect();
-        assert_eq!(ids, vec!["sram6t_dc", "device_idsat"]);
+        assert_eq!(ids, vec!["sram6t_dc", "device_idsat", "gauss_tail"]);
         assert!(engine.template("sram6t_dc").is_some());
         assert!(engine.template("nope").is_none());
     }
@@ -456,11 +566,55 @@ mod tests {
     }
 
     #[test]
+    fn weighted_shards_merge_bit_identically_to_the_single_run() {
+        let engine = Engine::new().expect("templates elaborate");
+        // Three uneven partitions of the same 900-sample experiment.
+        let whole = engine.execute(&is_spec(21, 0, 900)).unwrap();
+        let a = engine.execute(&is_spec(21, 0, 137)).unwrap();
+        let b = engine.execute(&is_spec(21, 137, 563)).unwrap();
+        let c = engine.execute(&is_spec(21, 700, 200)).unwrap();
+
+        let mut m = WeightedMoments::from_bytes(a.wmoments_bytes.as_ref().unwrap()).unwrap();
+        for shard in [&b, &c] {
+            m.try_merge_from(
+                &WeightedMoments::from_bytes(shard.wmoments_bytes.as_ref().unwrap()).unwrap(),
+            )
+            .unwrap();
+        }
+        assert_eq!(m.to_bytes(), whole.wmoments_bytes.clone().unwrap());
+
+        let mut h = WeightedHistogram::from_bytes(a.whistogram_bytes.as_ref().unwrap()).unwrap();
+        for shard in [&b, &c] {
+            h.try_merge_from(
+                &WeightedHistogram::from_bytes(shard.whistogram_bytes.as_ref().unwrap()).unwrap(),
+            )
+            .unwrap();
+        }
+        assert_eq!(h.to_bytes(), whole.whistogram_bytes.clone().unwrap());
+
+        // And the merged estimator resolves the analytic 4-sigma tail.
+        let truth = stats::gaussian::tail(4.0);
+        assert!((m.estimate() / truth - 1.0).abs() < 0.3);
+        assert_eq!(whole.mean, m.estimate());
+        // Mismatched thresholds refuse to merge instead of corrupting.
+        let mut other = engine.execute(&is_spec(21, 0, 10)).unwrap();
+        other.wmoments_bytes = None;
+        let mut wrong = is_spec(21, 0, 10);
+        wrong.threshold = 3.0;
+        let wrong = engine.execute(&wrong).unwrap();
+        assert!(m
+            .try_merge_from(
+                &WeightedMoments::from_bytes(wrong.wmoments_bytes.as_ref().unwrap()).unwrap()
+            )
+            .is_err());
+    }
+
+    #[test]
     fn sram_pool_reuses_sessions_across_jobs() {
         let engine = Engine::new().expect("templates elaborate");
         assert_eq!(
             engine.pool_sizes(),
-            vec![("sram6t_dc", 0), ("device_idsat", 0)]
+            vec![("sram6t_dc", 0), ("device_idsat", 0), ("gauss_tail", 0)]
         );
         let r1 = engine.execute(&spec("sram6t_dc", 3, 0, 8)).unwrap();
         assert_eq!(

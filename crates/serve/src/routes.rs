@@ -13,7 +13,10 @@
 //!
 //! Spec validation is strict: unknown fields are rejected, not ignored,
 //! so a typo'd `"samlpes"` fails loudly instead of silently running a
-//! default-sized experiment.
+//! default-sized experiment. Importance-sampling templates (analysis
+//! `"is"`) accept `proposal`/`threshold` and the weighted sinks
+//! `wmoments`/`whistogram`; plain templates reject them, and vice versa
+//! — a spec cannot silently mix the weighted and unweighted worlds.
 
 use crate::error::ApiError;
 use crate::http::Request;
@@ -197,6 +200,12 @@ fn result_json(result: &RunResult) -> Json {
     if let Some(bytes) = &result.tdigest_bytes {
         sketches.push(("tdigest", s(&hex_encode(bytes))));
     }
+    if let Some(bytes) = &result.wmoments_bytes {
+        sketches.push(("wmoments", s(&hex_encode(bytes))));
+    }
+    if let Some(bytes) = &result.whistogram_bytes {
+        sketches.push(("whistogram", s(&hex_encode(bytes))));
+    }
     obj(vec![
         ("observed", num(result.observed as f64)),
         ("failures", num(result.failures as f64)),
@@ -231,6 +240,8 @@ fn parse_spec(body: &Json, ctx: &ServerCtx) -> Result<ExperimentSpec, ApiError> 
         "sinks",
         "histogram",
         "tdigest",
+        "proposal",
+        "threshold",
     ];
     for (key, _) in members {
         if !KNOWN.contains(&key.as_str()) {
@@ -270,7 +281,21 @@ fn parse_spec(body: &Json, ctx: &ServerCtx) -> Result<ExperimentSpec, ApiError> 
 
     let (offset, len, total) = parse_shard(body, ctx.max_samples)?;
 
-    let (want_welford, want_histogram, want_tdigest) = parse_sinks(body)?;
+    // Importance-sampling templates take a different sink/parameter
+    // surface than plain ones; the capability is declared by the
+    // template's analysis list, not hard-coded template ids.
+    let weighted = template.analyses.contains(&"is");
+    if !weighted {
+        for field in ["proposal", "threshold"] {
+            if body.get(field).is_some() {
+                return Err(ApiError::bad_request(format!(
+                    "`{field}` applies only to importance-sampling templates; \
+                     circuit `{circuit}` is not one"
+                )));
+            }
+        }
+    }
+    let sinks = parse_sinks(body, weighted)?;
 
     let histogram = match body.get("histogram") {
         None => template.default_histogram,
@@ -280,6 +305,22 @@ fn parse_spec(body: &Json, ctx: &ServerCtx) -> Result<ExperimentSpec, ApiError> 
         None => 100.0,
         Some(v) => parse_tdigest(v)?,
     };
+    let proposal = match body.get("proposal") {
+        None => (0.0, 1.0),
+        Some(v) => parse_proposal(v)?,
+    };
+    let threshold = match body.get("threshold") {
+        None => 3.0,
+        Some(v) => {
+            let t = v
+                .as_f64()
+                .ok_or_else(|| ApiError::bad_request("`threshold` must be a number"))?;
+            if !t.is_finite() {
+                return Err(ApiError::bad_request("`threshold` must be finite"));
+            }
+            t
+        }
+    };
 
     Ok(ExperimentSpec {
         circuit: circuit.to_string(),
@@ -288,12 +329,54 @@ fn parse_spec(body: &Json, ctx: &ServerCtx) -> Result<ExperimentSpec, ApiError> 
         offset,
         len,
         total,
-        want_welford,
-        want_histogram,
-        want_tdigest,
+        want_welford: sinks.welford,
+        want_histogram: sinks.histogram,
+        want_tdigest: sinks.tdigest,
         histogram,
         tdigest_compression,
+        proposal,
+        threshold,
+        want_wmoments: sinks.wmoments,
+        want_whistogram: sinks.whistogram,
     })
+}
+
+/// A Gaussian proposal `{shift, scale}`; both fields optional, bounded
+/// to keep the exact log-weights within `f64` range.
+fn parse_proposal(v: &Json) -> Result<(f64, f64), ApiError> {
+    let Json::Obj(members) = v else {
+        return Err(ApiError::bad_request("`proposal` must be an object"));
+    };
+    for (key, _) in members {
+        if !matches!(key.as_str(), "shift" | "scale") {
+            return Err(ApiError::bad_request(format!(
+                "unknown proposal field `{key}`"
+            )));
+        }
+    }
+    let shift = match v.get("shift") {
+        None => 0.0,
+        Some(x) => x
+            .as_f64()
+            .ok_or_else(|| ApiError::bad_request("`proposal.shift` must be a number"))?,
+    };
+    let scale = match v.get("scale") {
+        None => 1.0,
+        Some(x) => x
+            .as_f64()
+            .ok_or_else(|| ApiError::bad_request("`proposal.scale` must be a number"))?,
+    };
+    if !shift.is_finite() || shift.abs() > 50.0 {
+        return Err(ApiError::bad_request(
+            "`proposal.shift` must be finite with |shift| <= 50",
+        ));
+    }
+    if !scale.is_finite() || !(scale > 0.0) || scale > 100.0 {
+        return Err(ApiError::bad_request(
+            "`proposal.scale` must be in (0, 100]",
+        ));
+    }
+    Ok((shift, scale))
 }
 
 #[allow(clippy::type_complexity)]
@@ -381,30 +464,72 @@ fn parse_shard(body: &Json, max_samples: usize) -> Result<(usize, usize, Option<
     Ok((offset as usize, len as usize, total))
 }
 
-fn parse_sinks(body: &Json) -> Result<(bool, bool, bool), ApiError> {
+/// Which sink payloads a spec requests.
+struct SinkChoice {
+    welford: bool,
+    histogram: bool,
+    tdigest: bool,
+    wmoments: bool,
+    whistogram: bool,
+}
+
+fn parse_sinks(body: &Json, weighted: bool) -> Result<SinkChoice, ApiError> {
+    let mut choice = SinkChoice {
+        welford: false,
+        histogram: false,
+        tdigest: false,
+        wmoments: false,
+        whistogram: false,
+    };
     let Some(v) = body.get("sinks") else {
-        return Ok((true, true, true));
+        // Default: everything the template's world offers.
+        if weighted {
+            choice.wmoments = true;
+            choice.whistogram = true;
+        } else {
+            choice.welford = true;
+            choice.histogram = true;
+            choice.tdigest = true;
+        }
+        return Ok(choice);
     };
     let items = v
         .as_arr()
         .ok_or_else(|| ApiError::bad_request("`sinks` must be an array of sink names"))?;
-    let (mut welford, mut histogram, mut tdigest) = (false, false, false);
     for item in items {
-        match item.as_str() {
-            Some("welford") => welford = true,
-            Some("histogram") => histogram = true,
-            Some("tdigest") => tdigest = true,
+        let name = item.as_str();
+        let is_weighted_sink = matches!(name, Some("wmoments" | "whistogram"));
+        if is_weighted_sink != weighted {
+            return Err(ApiError::bad_request(if weighted {
+                "importance-sampling templates take the weighted sinks \
+                 \"wmoments\" and \"whistogram\" only"
+            } else {
+                "weighted sinks apply only to importance-sampling templates"
+            }));
+        }
+        match name {
+            Some("welford") => choice.welford = true,
+            Some("histogram") => choice.histogram = true,
+            Some("tdigest") => choice.tdigest = true,
+            Some("wmoments") => choice.wmoments = true,
+            Some("whistogram") => choice.whistogram = true,
             _ => {
                 return Err(ApiError::bad_request(
-                    "`sinks` entries must be \"welford\", \"histogram\", or \"tdigest\"",
+                    "`sinks` entries must be \"welford\", \"histogram\", \"tdigest\", \
+                     \"wmoments\", or \"whistogram\"",
                 ));
             }
         }
     }
-    if !(welford || histogram || tdigest) {
+    if !(choice.welford
+        || choice.histogram
+        || choice.tdigest
+        || choice.wmoments
+        || choice.whistogram)
+    {
         return Err(ApiError::bad_request("`sinks` must name at least one sink"));
     }
-    Ok((welford, histogram, tdigest))
+    Ok(choice)
 }
 
 fn parse_histogram(v: &Json) -> Result<(f64, f64, usize), ApiError> {
@@ -502,7 +627,7 @@ mod tests {
         let (status, body) = handle(&request("GET", "/circuits", ""), &ctx);
         assert_eq!(status, 200);
         let circuits = body.get("circuits").and_then(Json::as_arr).unwrap();
-        assert_eq!(circuits.len(), 2);
+        assert_eq!(circuits.len(), 3);
         assert_eq!(
             circuits[0].get("id").and_then(Json::as_str),
             Some("sram6t_dc")
@@ -587,6 +712,42 @@ mod tests {
                 r#"{"circuit": "sram6t_dc", "shard": {"offset": 0, "len": 0}, "total": 10}"#,
                 "at least 1",
             ),
+            (
+                r#"{"circuit": "sram6t_dc", "samples": 5, "proposal": {"shift": 3}}"#,
+                "importance-sampling templates",
+            ),
+            (
+                r#"{"circuit": "sram6t_dc", "samples": 5, "threshold": 4.0}"#,
+                "importance-sampling templates",
+            ),
+            (
+                r#"{"circuit": "sram6t_dc", "samples": 5, "sinks": ["wmoments"]}"#,
+                "importance-sampling templates",
+            ),
+            (
+                r#"{"circuit": "gauss_tail", "samples": 5, "sinks": ["welford"]}"#,
+                "weighted sinks",
+            ),
+            (
+                r#"{"circuit": "gauss_tail", "samples": 5, "proposal": {"shift": 99}}"#,
+                "|shift| <= 50",
+            ),
+            (
+                r#"{"circuit": "gauss_tail", "samples": 5, "proposal": {"scale": 0}}"#,
+                "(0, 100]",
+            ),
+            (
+                r#"{"circuit": "gauss_tail", "samples": 5, "proposal": {"mean": 3}}"#,
+                "unknown proposal field",
+            ),
+            (
+                r#"{"circuit": "gauss_tail", "samples": 5, "threshold": "high"}"#,
+                "`threshold` must be a number",
+            ),
+            (
+                r#"{"circuit": "gauss_tail", "samples": 5, "analysis": "dc"}"#,
+                "does not support",
+            ),
         ] {
             let (status, reply) = handle(&request("POST", "/experiments", body), &ctx);
             assert_eq!(status, 400, "body {body:?} gave {}", reply.to_text());
@@ -602,6 +763,23 @@ mod tests {
                 "{body:?}: message {message:?} lacks {needle:?}"
             );
         }
+    }
+
+    #[test]
+    fn weighted_spec_round_trips_through_submission() {
+        let ctx = ctx();
+        let body = r#"{"circuit": "gauss_tail", "seed": 5, "samples": 40,
+                       "proposal": {"shift": 4.0}, "threshold": 4.0,
+                       "sinks": ["wmoments", "whistogram"]}"#;
+        let (status, reply) = handle(&request("POST", "/experiments", body), &ctx);
+        assert_eq!(status, 202, "{}", reply.to_text());
+        let run = reply.get("run").unwrap();
+        assert_eq!(run.get("analysis").and_then(Json::as_str), Some("is"));
+        let spec = &ctx.store.get(1).unwrap().spec;
+        assert_eq!(spec.proposal, (4.0, 1.0));
+        assert_eq!(spec.threshold, 4.0);
+        assert!(spec.want_wmoments && spec.want_whistogram);
+        assert!(!spec.want_welford && !spec.want_histogram && !spec.want_tdigest);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::error::ApiError;
 use crate::pool::SinkSet;
 use stats::sink::MergeableSink;
+use stats::WeightedSink;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Condvar, Mutex};
 
@@ -45,6 +46,16 @@ pub struct ExperimentSpec {
     pub histogram: (f64, f64, usize),
     /// t-digest compression — must likewise match across merged shards.
     pub tdigest_compression: f64,
+    /// Gaussian proposal `(shift, scale)` for importance-sampled
+    /// templates; `(0.0, 1.0)` is the plain nominal draw.
+    pub proposal: (f64, f64),
+    /// Tail threshold the weighted-moments sink estimates `P(X > t)` at.
+    /// Must match across shards that will be merged.
+    pub threshold: f64,
+    /// Return the weighted-moments sketch bytes (IS templates only).
+    pub want_wmoments: bool,
+    /// Return the weighted-histogram sketch bytes (IS templates only).
+    pub want_whistogram: bool,
 }
 
 /// Where a run is in its lifecycle.
@@ -127,6 +138,10 @@ pub struct RunResult {
     pub histogram_bytes: Option<Vec<u8>>,
     /// Serialized [`stats::TDigest`] state, when requested.
     pub tdigest_bytes: Option<Vec<u8>>,
+    /// Serialized [`stats::WeightedMoments`] state, when requested.
+    pub wmoments_bytes: Option<Vec<u8>>,
+    /// Serialized [`stats::WeightedHistogram`] state, when requested.
+    pub whistogram_bytes: Option<Vec<u8>>,
 }
 
 impl RunResult {
@@ -143,6 +158,33 @@ impl RunResult {
             welford_bytes: spec.want_welford.then(|| sinks.welford.to_bytes()),
             histogram_bytes: sinks.histogram.as_ref().map(MergeableSink::to_bytes),
             tdigest_bytes: sinks.tdigest.as_ref().map(MergeableSink::to_bytes),
+            wmoments_bytes: None,
+            whistogram_bytes: None,
+        }
+    }
+
+    /// Assembles the result from a finished importance-sampled shard's
+    /// weighted sink bundle. The scalar `moments` block reports the tail
+    /// estimator: `count` is the record count, `mean` the estimated
+    /// nominal probability, `variance` the estimator variance.
+    #[must_use]
+    pub fn collect_weighted(
+        observed: u64,
+        failures: u64,
+        spec: &ExperimentSpec,
+        sinks: crate::pool::WeightedSinkSet,
+    ) -> Self {
+        RunResult {
+            observed,
+            failures,
+            count: sinks.moments.count(),
+            mean: sinks.moments.estimate(),
+            variance: sinks.moments.variance(),
+            welford_bytes: None,
+            histogram_bytes: None,
+            tdigest_bytes: None,
+            wmoments_bytes: spec.want_wmoments.then(|| sinks.moments.to_bytes()),
+            whistogram_bytes: sinks.histogram.as_ref().map(WeightedSink::to_bytes),
         }
     }
 }
@@ -396,6 +438,10 @@ mod tests {
             want_tdigest: false,
             histogram: (0.0, 1.0, 8),
             tdigest_compression: 100.0,
+            proposal: (0.0, 1.0),
+            threshold: 3.0,
+            want_wmoments: false,
+            want_whistogram: false,
         }
     }
 

@@ -8,7 +8,12 @@
 //! t-digest quantiles must agree to tight tolerance — the fleet-merge
 //! contract, demonstrated through the full network stack.
 //!
-//! A second test drives every abuse path (garbage framing, bad JSON,
+//! A second test runs the same contract through the importance-sampling
+//! template: disjoint `gauss_tail` shards posted over HTTP must merge
+//! their weighted sketches bit-identically to the whole-range run, and
+//! the merged estimator must land on the analytic Gaussian tail.
+//!
+//! A third test drives every abuse path (garbage framing, bad JSON,
 //! unknown routes, oversized bodies, mismatched sketch merges) and checks
 //! each one comes back as a structured error envelope, never a dropped
 //! connection or a panic.
@@ -177,6 +182,10 @@ fn disjoint_shards_over_http_merge_to_the_single_process_run() {
             want_tdigest: true,
             histogram: (0.0, 0.9, 48),
             tdigest_compression: 100.0,
+            proposal: (0.0, 1.0),
+            threshold: 3.0,
+            want_wmoments: false,
+            want_whistogram: false,
         });
     let reference = reference.expect("reference run succeeds");
     let ref_hist = Histogram::from_bytes(reference.histogram_bytes.as_ref().unwrap()).unwrap();
@@ -210,6 +219,76 @@ fn disjoint_shards_over_http_merge_to_the_single_process_run() {
         );
         assert!((q - q_ref).abs() <= 0.02, "q{p}: {q} vs {q_ref}");
     }
+
+    handle.shutdown();
+}
+
+#[test]
+fn weighted_shards_over_http_merge_to_the_whole_range_run() {
+    use stats::{WeightedHistogram, WeightedMoments, WeightedSink};
+
+    let server = Server::bind(&ServerConfig::default()).expect("server boots");
+    let addr = server.addr();
+    let handle = server.start();
+
+    let post = |offset: usize, len: usize| -> u64 {
+        let body = format!(
+            r#"{{"circuit": "gauss_tail", "seed": 13,
+                "shard": {{"offset": {offset}, "len": {len}}},
+                "proposal": {{"shift": 4.0}}, "threshold": 4.0,
+                "histogram": {{"lo": -4.0, "hi": 8.0, "bins": 24}}}}"#
+        );
+        let (status, reply) = http(addr, "POST", "/experiments", Some(&body));
+        assert_eq!(status, 202, "{}", reply.to_text());
+        reply
+            .get("run")
+            .and_then(|r| r.get("id"))
+            .and_then(Json::as_u64)
+            .expect("run id")
+    };
+
+    // Three uneven shards vs the whole range, all over the wire.
+    let whole = await_run(addr, post(0, 3000));
+    let parts = [post(0, 811), post(811, 1489), post(2300, 700)];
+    let [a, b, c] = parts.map(|id| await_run(addr, id));
+
+    let mut moments = WeightedMoments::from_bytes(&sketch_bytes(&a, "wmoments")).unwrap();
+    let mut hist = WeightedHistogram::from_bytes(&sketch_bytes(&a, "whistogram")).unwrap();
+    for shard in [&b, &c] {
+        moments
+            .try_merge_from(&WeightedMoments::from_bytes(&sketch_bytes(shard, "wmoments")).unwrap())
+            .expect("shards share the threshold");
+        hist.try_merge_from(
+            &WeightedHistogram::from_bytes(&sketch_bytes(shard, "whistogram")).unwrap(),
+        )
+        .expect("shards share the binning");
+    }
+    assert_eq!(
+        moments.to_bytes(),
+        sketch_bytes(&whole, "wmoments"),
+        "merged weighted moments must be bit-identical to the whole-range run"
+    );
+    assert_eq!(
+        hist.to_bytes(),
+        sketch_bytes(&whole, "whistogram"),
+        "merged weighted histogram must be bit-identical to the whole-range run"
+    );
+    // The merged estimator resolves the analytic 4-sigma tail — a value
+    // plain MC at 3000 samples (expected hits ~0.1) cannot see.
+    let truth = stats::gaussian::tail(4.0);
+    assert!(
+        (moments.estimate() / truth - 1.0).abs() < 0.2,
+        "merged IS estimate {} vs analytic {truth}",
+        moments.estimate()
+    );
+    // The scalar report mirrors the estimator.
+    let mean = whole
+        .get("result")
+        .and_then(|r| r.get("moments"))
+        .and_then(|m| m.get("mean"))
+        .and_then(Json::as_f64)
+        .expect("moments.mean");
+    assert_eq!(mean, moments.estimate());
 
     handle.shutdown();
 }

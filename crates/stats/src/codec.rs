@@ -70,6 +70,10 @@ pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
 pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
@@ -103,6 +107,16 @@ impl<'a> Reader<'a> {
             Some(&v) => Err(CodecError::Version(v)),
             None => Err(CodecError::Truncated),
         }
+    }
+
+    pub(crate) fn take_u8(&mut self) -> Result<u8, CodecError> {
+        let b = self
+            .bytes
+            .get(self.pos)
+            .copied()
+            .ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
     }
 
     pub(crate) fn take_u64(&mut self) -> Result<u64, CodecError> {
@@ -151,9 +165,12 @@ mod tests {
         put_header(&mut out, b'X');
         put_u64(&mut out, 42);
         put_f64(&mut out, -0.5);
+        put_u8(&mut out, 7);
         let mut r = Reader::with_header(&out, b'X').unwrap();
         assert_eq!(r.take_u64().unwrap(), 42);
         assert_eq!(r.take_f64().unwrap().to_bits(), (-0.5f64).to_bits());
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u8(), Err(CodecError::Truncated));
         r.finish().unwrap();
     }
 

@@ -54,6 +54,87 @@ pub fn erfc(x: f64) -> f64 {
     }
 }
 
+/// Upper-tail probability `Φ̄(x) = P(Z > x)` of the standard normal, to
+/// near machine precision.
+///
+/// The rational [`cdf`] approximation carries an *absolute* error of
+/// ~1.5e-7, which swamps a 5σ tail probability (~2.9e-7) entirely — so
+/// rare-event validation needs this dedicated routine. It evaluates
+/// `0.5·erfc(x/√2)` with a high-precision `erfc`: the confluent
+/// hypergeometric series for small arguments and a Lentz-evaluated
+/// continued fraction in the tail, both with ~1e-14 *relative* error.
+///
+/// ```
+/// // Φ̄(5) — the 5σ one-sided yield-loss probability.
+/// let p = stats::gaussian::tail(5.0);
+/// assert!((p / 2.866515718791939e-7 - 1.0).abs() < 1e-10);
+/// ```
+pub fn tail(x: f64) -> f64 {
+    0.5 * erfc_precise(x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function to ~1e-14 relative error.
+///
+/// `z < 2` uses the erf Maclaurin-type series
+/// `erf(z) = (2/√π)·e^(−z²)·Σ (2z²)ⁿ·z / (2n+1)!!`; `z ≥ 2` uses the
+/// classical continued fraction
+/// `erfc(z) = e^(−z²)/√π · 1/(z + (1/2)/(z + 1/(z + (3/2)/(z + …))))`
+/// evaluated by the modified Lentz algorithm. Unlike [`erfc`], the result
+/// keeps full relative precision deep into the tail (underflowing to zero
+/// only past `z ≈ 27`).
+pub fn erfc_precise(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc_precise(-x);
+    }
+    let two_over_sqrt_pi = 2.0 / std::f64::consts::PI.sqrt();
+    if x < 2.0 {
+        // erf(x) via the scaled series: every term is positive, so there
+        // is no cancellation and the relative error stays at rounding
+        // level. Terms shrink once 2x²/(2n+1) < 1; cap generously.
+        let x2 = x * x;
+        let mut term = x;
+        let mut sum = x;
+        for n in 1..200 {
+            term *= 2.0 * x2 / (2.0 * n as f64 + 1.0);
+            let next = sum + term;
+            if next == sum {
+                break;
+            }
+            sum = next;
+        }
+        1.0 - two_over_sqrt_pi * (-x2).exp() * sum
+    } else {
+        // Continued fraction a₁/(b₁+ a₂/(b₂+ …)) with bₖ = x and
+        // aₖ = (k−1)/2 for k ≥ 2 (a₁ = 1), by modified Lentz.
+        const TINY: f64 = 1e-300;
+        let mut f = TINY;
+        let mut c = f;
+        let mut d = 0.0;
+        for k in 1..200 {
+            let (a, b) = if k == 1 {
+                (1.0, x)
+            } else {
+                ((k as f64 - 1.0) / 2.0, x)
+            };
+            d = b + a * d;
+            if d == 0.0 {
+                d = TINY;
+            }
+            c = b + a / c;
+            if c == 0.0 {
+                c = TINY;
+            }
+            d = 1.0 / d;
+            let delta = c * d;
+            f *= delta;
+            if (delta - 1.0).abs() < 1e-16 {
+                break;
+            }
+        }
+        0.5 * two_over_sqrt_pi * (-x * x).exp() * f
+    }
+}
+
 /// Inverse of the standard normal cdf (the "probit" function).
 ///
 /// Acklam's rational approximation followed by one Halley refinement step;
@@ -165,6 +246,52 @@ mod tests {
     #[should_panic]
     fn inv_cdf_rejects_zero() {
         inv_cdf(0.0);
+    }
+
+    #[test]
+    fn tail_matches_literature_values() {
+        // Φ̄ reference values to 12 significant digits.
+        let cases = [
+            (0.0, 0.5),
+            (1.0, 0.158_655_253_931_457),
+            (2.0, 0.022_750_131_948_179_2),
+            (3.0, 1.349_898_031_630_09e-3),
+            (5.0, 2.866_515_718_791_94e-7),
+            (6.0, 9.865_876_450_376_95e-10),
+        ];
+        for &(x, want) in &cases {
+            let got = tail(x);
+            assert!(
+                (got / want - 1.0).abs() < 1e-10,
+                "tail({x}) = {got:e}, want {want:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_symmetry_and_range() {
+        for &x in &[-3.0, -1.0, 0.5, 2.0, 4.5] {
+            assert!((tail(x) + tail(-x) - 1.0).abs() < 1e-14);
+        }
+        // Deep tail stays finite and positive as long as e^(−x²/2) does,
+        // then underflows cleanly to zero.
+        assert!(tail(30.0) > 0.0 && tail(30.0) < 1e-190);
+        assert!(tail(40.0) == 0.0, "underflows cleanly far out");
+        assert!(tail(-40.0) == 1.0);
+    }
+
+    #[test]
+    fn erfc_precise_branches_agree_at_the_seam() {
+        // Series (z < 2) and continued fraction (z ≥ 2) must agree where
+        // they meet — cross-check both against each other around z = 2 by
+        // nudging across the branch cut.
+        let below = erfc_precise(1.999_999_999_9);
+        let above = erfc_precise(2.000_000_000_1);
+        assert!((below / above - 1.0).abs() < 1e-8);
+        // And against the coarse rational erfc at moderate arguments.
+        for &z in &[0.2, 0.9, 1.5, 2.5, 3.0] {
+            assert!((erfc_precise(z) - erfc(z)).abs() < 2e-7);
+        }
     }
 
     #[test]

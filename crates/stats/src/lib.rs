@@ -18,7 +18,14 @@
 //!   independent runs combine their sketches.
 //! * [`tdigest`] — the mergeable t-digest quantile sketch (Dunning &
 //!   Ertl), the fleet-scale replacement for the single-stream P² sketch.
-//! * [`gaussian`] — the standard normal pdf / cdf / inverse cdf.
+//! * [`importance`] — the rare-event engine: shifted/scaled Gaussian
+//!   proposals with exact log-likelihood-ratio weights, weighted
+//!   mergeable sinks ([`WeightedMoments`], [`WeightedHistogram`]) whose
+//!   exact-sum accumulators make shard merges bit-identical across
+//!   partitionings, and the Kish ESS diagnostic.
+//! * [`gaussian`] — the standard normal pdf / cdf / inverse cdf, plus a
+//!   high-precision tail probability [`gaussian::tail`] good to ~1e-14
+//!   relative error for validating 5σ+ importance-sampling estimates.
 //! * [`histogram`] — fixed-bin histograms with density normalization.
 //! * [`kde`] — Gaussian kernel density estimates (the smooth PDF curves in
 //!   paper Figs. 5, 7, 8, 9).
@@ -52,6 +59,7 @@ pub mod descriptive;
 pub mod ellipse;
 pub mod gaussian;
 pub mod histogram;
+pub mod importance;
 pub mod kde;
 pub mod ks;
 pub mod qq;
@@ -61,6 +69,9 @@ pub mod tdigest;
 pub mod welford;
 
 pub use descriptive::Summary;
+pub use importance::{
+    ExactSum, GaussianProposal, Statistic, WeightedHistogram, WeightedMoments, WeightedSink,
+};
 pub use sampler::Sampler;
 pub use sink::{MergeableSink, Sink};
 pub use tdigest::TDigest;

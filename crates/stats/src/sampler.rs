@@ -139,6 +139,16 @@ impl Sampler {
     }
 
     /// Standard normal deviate via Box-Muller (polar form).
+    ///
+    /// The polar transform yields deviates in pairs; the second deviate of
+    /// each pair is **not** discarded — it is cached in `self.spare` and
+    /// returned by the next call, so normals cost one rejection loop per
+    /// *pair* and the output stream is a stable function of the seed. The
+    /// spare travels with [`Sampler::clone`] (the state derives purely from
+    /// the raw bit stream plus this cache), while [`Sampler::fork`] /
+    /// [`Sampler::stream`] children start with an empty cache. The
+    /// `golden_normal_stream` regression test pins exact values so the
+    /// stream can never silently shift for existing seeds.
     pub fn standard_normal(&mut self) -> f64 {
         if let Some(z) = self.spare.take() {
             return z;
@@ -242,6 +252,46 @@ mod tests {
         let mut third = base.stream(5);
         for _ in 0..32 {
             assert_eq!(again.uniform(), third.uniform());
+        }
+    }
+
+    #[test]
+    fn golden_normal_stream() {
+        // Exact pinned values (shortest round-trip literals): the normal
+        // stream — including the cached second Box-Muller deviate at every
+        // odd position — must never shift for existing seeds. A change to
+        // the rejection loop, the spare cache, or the underlying uniform
+        // stream shows up here as a bit-level mismatch.
+        let golden_42: [f64; 8] = [
+            0.9813983900724986,
+            -0.565720104673956,
+            1.3403256427520227,
+            0.4023128702992608,
+            -0.9642205062941384,
+            0.2705508644582529,
+            0.1962265296745266,
+            1.1536067585699392,
+        ];
+        let golden_2026: [f64; 8] = [
+            -1.2318694160150374,
+            1.9252746234367122,
+            0.41529039451784316,
+            0.6812677817485245,
+            1.3051137848805936,
+            -0.10444901153310236,
+            0.8270388402977622,
+            0.17476599653201627,
+        ];
+        for (seed, golden) in [(42u64, golden_42), (2026u64, golden_2026)] {
+            let mut s = Sampler::from_seed(seed);
+            for (i, want) in golden.into_iter().enumerate() {
+                let got = s.standard_normal();
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "seed {seed} draw {i}: got {got:?}, want {want:?}"
+                );
+            }
         }
     }
 

@@ -64,6 +64,10 @@ fn reference(spec: &FleetSpec) -> (Vec<u8>, Welford) {
             want_tdigest: true,
             histogram: spec.histogram.unwrap_or(template.default_histogram),
             tdigest_compression: spec.tdigest_compression.unwrap_or(100.0),
+            proposal: (0.0, 1.0),
+            threshold: 3.0,
+            want_wmoments: false,
+            want_whistogram: false,
         })
         .expect("reference run succeeds");
     let moments = WelfordSink::from_bytes(result.welford_bytes.as_ref().unwrap())
