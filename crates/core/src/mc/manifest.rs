@@ -1,0 +1,321 @@
+//! The shard manifest: a crash-tolerant journal of completed shards, so
+//! an interrupted campaign resumes from durable results instead of
+//! recomputing them.
+//!
+//! A manifest is a [`stats::artifact`] **journal** (unsealed — no footer,
+//! torn trailing appends tolerated) with two section kinds:
+//!
+//! * one leading **binding** section (tag `'B'`) carrying opaque bytes
+//!   that identify the campaign — the coordinator passes a canonical
+//!   encoding of circuit/analysis/seed/total/sink config. Opening a
+//!   manifest with different binding bytes fails with
+//!   [`CodecError::Mismatch`], so results from one campaign can never be
+//!   resumed into another.
+//! * zero or more **entry** sections (tag `'C'`), one appended (and
+//!   fsynced) per completed shard: the shard's `(offset, len)`, the
+//!   FNV-1a 64 digest of the shard artifact's file bytes, and the
+//!   artifact's file name. On resume the digest lets the reader reject a
+//!   shard whose artifact was corrupted after the manifest recorded it.
+//!
+//! Because every sample is a pure function of `(seed, index)`, a resumed
+//! campaign that trusts these entries and recomputes only the missing
+//! shards merges to *bit-identical* sketch bytes — the e2e suite pins
+//! this.
+
+use stats::artifact::{frame_section, header_bytes, Journal};
+use stats::codec::{self, CodecError, Reader};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+
+/// Section tag for the campaign binding.
+pub const BINDING_TAG: u8 = b'B';
+/// Section tag for a completed-shard entry.
+pub const ENTRY_TAG: u8 = b'C';
+
+/// Why a manifest could not be created, opened, or appended to.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The manifest bytes are corrupt, from a different campaign, or from
+    /// a format this build does not understand.
+    Codec(CodecError),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Io(e) => write!(f, "manifest i/o error: {e}"),
+            ManifestError::Codec(e) => write!(f, "manifest decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl From<std::io::Error> for ManifestError {
+    fn from(e: std::io::Error) -> Self {
+        ManifestError::Io(e)
+    }
+}
+
+impl From<CodecError> for ManifestError {
+    fn from(e: CodecError) -> Self {
+        ManifestError::Codec(e)
+    }
+}
+
+/// One completed shard on durable storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// First sample index of the shard.
+    pub offset: usize,
+    /// Number of samples in the shard.
+    pub len: usize,
+    /// FNV-1a 64 digest of the shard artifact's complete file bytes.
+    pub digest: u64,
+    /// File name of the shard artifact, relative to the manifest's
+    /// directory.
+    pub artifact: String,
+}
+
+impl ManifestEntry {
+    fn to_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        codec::put_header(&mut out, ENTRY_TAG);
+        codec::put_u64(&mut out, self.offset as u64);
+        codec::put_u64(&mut out, self.len as u64);
+        codec::put_u64(&mut out, self.digest);
+        codec::put_bytes(&mut out, self.artifact.as_bytes());
+        out
+    }
+
+    fn from_payload(payload: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::with_header(payload, ENTRY_TAG)?;
+        let offset = r.take_u64()? as usize;
+        let len = r.take_u64()? as usize;
+        let digest = r.take_u64()?;
+        let name = r.take_bytes()?;
+        r.finish()?;
+        let artifact = String::from_utf8(name)
+            .map_err(|_| CodecError::Invalid("manifest artifact name is not UTF-8"))?;
+        Ok(ManifestEntry {
+            offset,
+            len,
+            digest,
+            artifact,
+        })
+    }
+}
+
+fn binding_payload(binding: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    codec::put_header(&mut out, BINDING_TAG);
+    codec::put_bytes(&mut out, binding);
+    out
+}
+
+fn binding_from_payload(payload: &[u8]) -> Result<Vec<u8>, CodecError> {
+    let mut r = Reader::with_header(payload, BINDING_TAG)?;
+    let bytes = r.take_bytes()?;
+    r.finish()?;
+    Ok(bytes)
+}
+
+/// An open shard manifest: the decoded entries plus the append handle.
+#[derive(Debug)]
+pub struct Manifest {
+    file: File,
+    entries: Vec<ManifestEntry>,
+    torn: bool,
+}
+
+impl Manifest {
+    /// Creates a fresh manifest at `path` bound to `binding`, truncating
+    /// any existing file.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Io`] if the file cannot be written.
+    pub fn create(path: &Path, binding: &[u8]) -> Result<Self, ManifestError> {
+        let mut file = File::create(path)?;
+        file.write_all(&header_bytes())?;
+        file.write_all(&frame_section(&binding_payload(binding)))?;
+        file.sync_data()?;
+        Ok(Manifest {
+            file,
+            entries: Vec::new(),
+            torn: false,
+        })
+    }
+
+    /// Opens an existing manifest at `path`, verifying it is bound to
+    /// `binding`, and decodes its completed-shard entries. A torn
+    /// trailing append (crash mid-record) is discarded and flagged via
+    /// [`Manifest::torn`]; mid-file corruption is a hard error.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Io`] on file errors; [`ManifestError::Codec`]
+    /// with [`CodecError::Mismatch`] when the binding differs, or any
+    /// journal decode error on corruption.
+    pub fn open(path: &Path, binding: &[u8]) -> Result<Self, ManifestError> {
+        let mut bytes = Vec::new();
+        File::open(path)?.read_to_end(&mut bytes)?;
+        let journal = Journal::from_bytes(&bytes)?;
+        let mut sections = journal.sections.into_iter();
+        let first = sections
+            .next()
+            .ok_or(ManifestError::Codec(CodecError::Truncated))?;
+        if binding_from_payload(&first)? != binding {
+            return Err(ManifestError::Codec(CodecError::Mismatch(
+                "manifest is bound to a different campaign",
+            )));
+        }
+        let entries = sections
+            .map(|s| ManifestEntry::from_payload(&s))
+            .collect::<Result<Vec<_>, _>>()?;
+        // Reopen for appending: if a torn tail was discarded, rewrite the
+        // journal to its decoded prefix so the next append lands on a
+        // clean section boundary.
+        let file = if journal.torn {
+            let mut file = File::create(path)?;
+            file.write_all(&header_bytes())?;
+            file.write_all(&frame_section(&binding_payload(binding)))?;
+            for entry in &entries {
+                file.write_all(&frame_section(&entry.to_payload()))?;
+            }
+            file.sync_data()?;
+            file
+        } else {
+            OpenOptions::new().append(true).open(path)?
+        };
+        Ok(Manifest {
+            file,
+            entries,
+            torn: journal.torn,
+        })
+    }
+
+    /// Opens `path` if it exists (verifying the binding), otherwise
+    /// creates it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Manifest::open`] / [`Manifest::create`].
+    pub fn open_or_create(path: &Path, binding: &[u8]) -> Result<Self, ManifestError> {
+        if path.exists() {
+            Manifest::open(path, binding)
+        } else {
+            Manifest::create(path, binding)
+        }
+    }
+
+    /// The completed-shard entries decoded at open time plus those
+    /// recorded since.
+    #[must_use]
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// Whether opening discarded a torn trailing append — evidence of a
+    /// crash mid-record, already repaired.
+    #[must_use]
+    pub fn torn(&self) -> bool {
+        self.torn
+    }
+
+    /// Appends a completed-shard entry and fsyncs it durable before
+    /// returning — after this, a crash cannot lose the shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError::Io`] if the append or sync fails.
+    pub fn record(&mut self, entry: ManifestEntry) -> Result<(), ManifestError> {
+        self.file.write_all(&frame_section(&entry.to_payload()))?;
+        self.file.sync_data()?;
+        self.entries.push(entry);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("statvs_manifest_{name}_{}", std::process::id()))
+    }
+
+    fn entry(offset: usize, len: usize) -> ManifestEntry {
+        ManifestEntry {
+            offset,
+            len,
+            digest: 0xdead_beef ^ offset as u64,
+            artifact: format!("shard-{offset}-{len}.svaf"),
+        }
+    }
+
+    #[test]
+    fn create_record_reopen_round_trips() {
+        let path = temp_path("roundtrip");
+        let mut m = Manifest::create(&path, b"campaign-a").unwrap();
+        m.record(entry(0, 100)).unwrap();
+        m.record(entry(100, 50)).unwrap();
+        drop(m);
+
+        let m = Manifest::open(&path, b"campaign-a").unwrap();
+        assert_eq!(m.entries(), &[entry(0, 100), entry(100, 50)]);
+        assert!(!m.torn());
+
+        // A different binding must refuse to resume.
+        assert!(matches!(
+            Manifest::open(&path, b"campaign-b"),
+            Err(ManifestError::Codec(CodecError::Mismatch(_)))
+        ));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_and_repaired() {
+        let path = temp_path("torn");
+        let mut m = Manifest::create(&path, b"c").unwrap();
+        m.record(entry(0, 10)).unwrap();
+        m.record(entry(10, 10)).unwrap();
+        drop(m);
+
+        // Chop mid-way through the last record, as a crash would.
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+
+        let m = Manifest::open(&path, b"c").unwrap();
+        assert!(m.torn());
+        assert_eq!(m.entries(), &[entry(0, 10)]);
+        drop(m);
+
+        // The repair rewrote a clean journal: reopening is not torn and
+        // appending works on the clean boundary.
+        let mut m = Manifest::open(&path, b"c").unwrap();
+        assert!(!m.torn());
+        m.record(entry(10, 10)).unwrap();
+        drop(m);
+        let m = Manifest::open(&path, b"c").unwrap();
+        assert_eq!(m.entries(), &[entry(0, 10), entry(10, 10)]);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_or_create_creates_then_opens() {
+        let path = temp_path("ooc");
+        let _ = fs::remove_file(&path);
+        let mut m = Manifest::open_or_create(&path, b"x").unwrap();
+        m.record(entry(0, 5)).unwrap();
+        drop(m);
+        let m = Manifest::open_or_create(&path, b"x").unwrap();
+        assert_eq!(m.entries().len(), 1);
+        fs::remove_file(&path).unwrap();
+    }
+}

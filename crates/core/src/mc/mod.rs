@@ -60,9 +60,11 @@
 //! assert!(out.moments().std() > 0.0);
 //! ```
 
+pub mod manifest;
 pub mod parallel;
 pub mod shard;
 
+pub use manifest::{Manifest, ManifestEntry, ManifestError};
 pub use parallel::{EarlyStop, McOutcome, ParallelRunner, StreamOutcome};
 pub use shard::{plan_batches, plan_shards, BatchPlanError, Shard};
 // The sink vocabulary consumed by `ParallelRunner::run_streaming`, re-

@@ -28,9 +28,10 @@
 
 use crate::client::{ClientError, HttpClient};
 use crate::merge::{merge_payloads, MergeError, MergedResult, ShardPayload};
+use crate::persist::{CampaignStore, StoreError};
 use serve::json::{num, obj, s, Json};
 use serve::store::hex_decode;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 use vscore::mc::{plan_shards, Shard};
@@ -157,6 +158,20 @@ pub enum FleetEvent {
         /// Why the attempt was abandoned.
         reason: String,
     },
+    /// A shard's payload was recovered from the campaign store instead of
+    /// being dispatched — the resume path.
+    Restored {
+        /// The shard.
+        shard: Shard,
+    },
+    /// A campaign-store entry was rejected (missing, corrupt, or
+    /// mismatched artifact); its shard will be recomputed.
+    RestoreSkipped {
+        /// The artifact file the manifest pointed at.
+        artifact: String,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 /// Why a campaign failed.
@@ -186,6 +201,8 @@ pub enum FleetError {
     },
     /// The collected payloads refused to merge (corrupt worker output).
     Merge(MergeError),
+    /// The campaign store failed to persist or recover durable state.
+    Store(StoreError),
 }
 
 impl std::fmt::Display for FleetError {
@@ -205,6 +222,7 @@ impl std::fmt::Display for FleetError {
                 "shard {shard} exhausted its {attempts} attempts; last error: {last_error}"
             ),
             FleetError::Merge(e) => write!(f, "merge refused: {e}"),
+            FleetError::Store(e) => write!(f, "{e}"),
         }
     }
 }
@@ -217,6 +235,12 @@ impl From<MergeError> for FleetError {
     }
 }
 
+impl From<StoreError> for FleetError {
+    fn from(e: StoreError) -> Self {
+        FleetError::Store(e)
+    }
+}
+
 /// A finished campaign: the merged result plus dispatch accounting.
 #[derive(Debug)]
 pub struct FleetReport {
@@ -226,6 +250,8 @@ pub struct FleetReport {
     pub dispatches: usize,
     /// Dispatches beyond the first per shard — the retry count.
     pub reissues: usize,
+    /// Shards recovered from the campaign store instead of dispatched.
+    pub restored: usize,
     /// Wall-clock duration of the campaign.
     pub wall: Duration,
 }
@@ -326,6 +352,40 @@ impl Coordinator {
         shards: &[Shard],
         observe: &mut dyn FnMut(&FleetEvent),
     ) -> Result<FleetReport, FleetError> {
+        self.run_campaign(spec, shards, None, observe)
+    }
+
+    /// Runs a campaign backed by a [`CampaignStore`]: shards already
+    /// durable in the store are restored instead of dispatched, and every
+    /// newly completed shard is persisted before it counts — so a
+    /// `SIGKILL` at any instant loses at most the shards in flight, and a
+    /// restart with the same store recomputes only those. Determinism
+    /// makes the resumed merge bit-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetError`]; additionally [`FleetError::Store`] when
+    /// persisting a completed shard fails (durability is the point — a
+    /// store that cannot be written must not be silently skipped).
+    pub fn run_shards_resumable(
+        &self,
+        spec: &FleetSpec,
+        shards: &[Shard],
+        store: &mut CampaignStore,
+        observe: &mut dyn FnMut(&FleetEvent),
+    ) -> Result<FleetReport, FleetError> {
+        self.run_campaign(spec, shards, Some(store), observe)
+    }
+
+    /// The dispatch → poll → retry loop shared by the plain and
+    /// resumable entry points.
+    fn run_campaign(
+        &self,
+        spec: &FleetSpec,
+        shards: &[Shard],
+        mut store: Option<&mut CampaignStore>,
+        observe: &mut dyn FnMut(&FleetEvent),
+    ) -> Result<FleetReport, FleetError> {
         let start = Instant::now();
         let distinct = validate_plan(shards, spec.total)?;
         let mut slots: Vec<Slot> = distinct
@@ -339,10 +399,37 @@ impl Coordinator {
             .collect();
 
         let mut payloads: Vec<ShardPayload> = Vec::with_capacity(slots.len());
+        let mut restored = 0usize;
+        if let Some(store) = store.as_deref_mut() {
+            let recovered = store.restore();
+            for skip in recovered.skipped {
+                observe(&FleetEvent::RestoreSkipped {
+                    artifact: skip.artifact,
+                    reason: skip.reason,
+                });
+            }
+            // Only payloads whose shard is exactly in this plan are
+            // usable; anything else (a different partition) is ignored
+            // and recomputed.
+            let by_shard: BTreeMap<Shard, ShardPayload> = recovered
+                .payloads
+                .into_iter()
+                .map(|p| (p.shard, p))
+                .collect();
+            for slot in &mut slots {
+                if let Some(payload) = by_shard.get(&slot.shard) {
+                    payloads.push(payload.clone());
+                    slot.state = SlotState::Done;
+                    restored += 1;
+                    observe(&FleetEvent::Restored { shard: slot.shard });
+                }
+            }
+        }
+
         let mut cursor = 0usize; // round-robin worker cursor
         let mut dispatches = 0usize;
         let mut reissues = 0usize;
-        let mut remaining = slots.len();
+        let mut remaining = slots.len() - restored;
 
         while remaining > 0 {
             let now = Instant::now();
@@ -441,6 +528,13 @@ impl Coordinator {
                         };
                         match self.poll(addr, run_id, slot.shard) {
                             PollVerdict::Done(payload) => {
+                                // Persist before counting the shard done:
+                                // a crash after this line can restore it,
+                                // a crash before recomputes it — never a
+                                // completed-but-lost shard.
+                                if let Some(store) = store.as_deref_mut() {
+                                    store.save(&payload)?;
+                                }
                                 payloads.push(*payload);
                                 slot.state = SlotState::Done;
                                 remaining -= 1;
@@ -521,6 +615,7 @@ impl Coordinator {
             merged,
             dispatches,
             reissues,
+            restored,
             wall: start.elapsed(),
         })
     }

@@ -23,13 +23,20 @@
 //!   fault-injection primitive for the e2e suite.
 //! - [`coordinator`] — the dispatch → poll → retry state machine.
 //! - [`merge`] — order-independent, duplicate-tolerant payload merging.
+//! - [`persist`] — the durable campaign store (sealed shard artifacts +
+//!   crash-tolerant manifest) behind
+//!   [`Coordinator::run_shards_resumable`]: a killed campaign restarted
+//!   over the same store recomputes only the shards that were in flight,
+//!   and the resumed merge is bit-identical to an uninterrupted run.
 
 pub mod client;
 pub mod coordinator;
 pub mod merge;
+pub mod persist;
 pub mod worker;
 
 pub use client::{ClientError, HttpClient};
 pub use coordinator::{Coordinator, FleetConfig, FleetError, FleetEvent, FleetReport, FleetSpec};
 pub use merge::{merge_payloads, MergeError, MergedResult, ShardPayload};
+pub use persist::{CampaignStore, RestoreSkip, Restored, StoreError};
 pub use worker::LocalWorker;

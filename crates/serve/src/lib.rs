@@ -4,8 +4,9 @@
 //! HTTP service with zero external dependencies: a hand-rolled HTTP/1.1
 //! layer ([`http`]), an in-repo JSON codec ([`json`]), structured error
 //! envelopes ([`error`]), a template registry with per-circuit session
-//! pools ([`pool`]), and a run store plus bounded job queue ([`store`]),
-//! all on `std::net::TcpListener` and plain threads.
+//! pools ([`pool`]), a run store plus bounded job queue ([`store`]), and
+//! an optional disk-backed replay cache ([`cache`]) that survives
+//! restarts, all on `std::net::TcpListener` and plain threads.
 //!
 //! The protocol is shard-oriented: a `POST /experiments` body names a
 //! circuit template, a seed, and a `{offset, len}` shard of the sample
@@ -23,6 +24,7 @@
 //! server.run(); // accept loop on this thread
 //! ```
 
+pub mod cache;
 pub mod error;
 pub mod http;
 pub mod json;
@@ -30,6 +32,7 @@ pub mod pool;
 pub mod routes;
 pub mod store;
 
+use cache::ReplayCache;
 use error::ApiError;
 use http::{read_request, write_json_response, HttpError};
 use pool::Engine;
@@ -60,6 +63,9 @@ pub struct ServerConfig {
     pub max_samples: usize,
     /// Largest accepted request body, bytes.
     pub max_body: usize,
+    /// Artifact directory for the replay cache; `None` disables
+    /// persistence (results live only in memory, as before).
+    pub artifact_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +76,7 @@ impl Default for ServerConfig {
             queue_capacity: 64,
             max_samples: 1_000_000,
             max_body: 64 * 1024,
+            artifact_dir: None,
         }
     }
 }
@@ -88,23 +95,31 @@ pub struct ServerCtx {
     pub max_samples: usize,
     /// Largest accepted request body, bytes.
     pub max_body: usize,
+    /// The replay cache, when an artifact directory is configured.
+    pub cache: Option<ReplayCache>,
 }
 
 impl ServerCtx {
     /// Builds the shared state, elaborating every template's master
-    /// session.
+    /// session and opening the replay cache when configured.
     ///
     /// # Errors
     ///
-    /// Propagates [`spice::SpiceError`] from template elaboration.
-    pub fn new(cfg: &ServerConfig) -> Result<Self, spice::SpiceError> {
+    /// [`StartError::Engine`] from template elaboration,
+    /// [`StartError::Io`] when the artifact directory cannot be created.
+    pub fn new(cfg: &ServerConfig) -> Result<Self, StartError> {
+        let cache = match &cfg.artifact_dir {
+            None => None,
+            Some(dir) => Some(ReplayCache::open(dir).map_err(StartError::Io)?),
+        };
         Ok(ServerCtx {
-            engine: Engine::new()?,
+            engine: Engine::new().map_err(StartError::Engine)?,
             store: RunStore::new(),
             queue: JobQueue::new(cfg.queue_capacity),
             workers: cfg.workers.max(1),
             max_samples: cfg.max_samples,
             max_body: cfg.max_body,
+            cache,
         })
     }
 }
@@ -148,7 +163,7 @@ impl Server {
     ///
     /// [`StartError`] on bind or elaboration failure.
     pub fn bind(cfg: &ServerConfig) -> Result<Server, StartError> {
-        let ctx = Arc::new(ServerCtx::new(cfg).map_err(StartError::Engine)?);
+        let ctx = Arc::new(ServerCtx::new(cfg)?);
         let listener = TcpListener::bind(("127.0.0.1", cfg.port)).map_err(StartError::Io)?;
         let workers = (0..ctx.workers)
             .map(|_| {
@@ -305,7 +320,14 @@ fn run_worker(ctx: &ServerCtx) {
         };
         ctx.store.mark_running(id);
         match catch_unwind(AssertUnwindSafe(|| ctx.engine.execute(&record.spec))) {
-            Ok(Ok(result)) => ctx.store.complete(id, result),
+            Ok(Ok(result)) => {
+                // Spill to the replay cache best-effort: a failed write
+                // costs a future recomputation, never this result.
+                if let Some(cache) = &ctx.cache {
+                    let _ = cache.store(&record.spec, &result);
+                }
+                ctx.store.complete(id, result);
+            }
             Ok(Err(failure)) => ctx.store.fail(id, failure),
             // A panic is a bug, but one this worker hit with this pool
             // state; re-issuing the pure (seed, offset, len) shard on a

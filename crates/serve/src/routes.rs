@@ -110,6 +110,35 @@ fn post_experiment(req: &Request, ctx: &ServerCtx) -> Result<(u16, Json), ApiErr
     let body =
         Json::parse(text).map_err(|e| ApiError::bad_request(format!("invalid JSON: {e}")))?;
     let spec = parse_spec(&body, ctx)?;
+    // Replay-cache hit: an identical run (same template, spec, seed,
+    // shard) already finished — possibly in a previous process over the
+    // same artifact directory. Register the record as done immediately;
+    // no queue, no worker, and the client sees `cached: true`.
+    if let Some(result) = ctx.cache.as_ref().and_then(|cache| cache.load(&spec)) {
+        let id = ctx.store.create(spec.clone());
+        ctx.store.complete(id, result);
+        return Ok((
+            202,
+            obj(vec![(
+                "run",
+                obj(vec![
+                    ("id", num(id as f64)),
+                    ("status", s(RunStatus::Done.as_str())),
+                    ("cached", Json::Bool(true)),
+                    ("circuit", s(&spec.circuit)),
+                    ("analysis", s(&spec.analysis)),
+                    ("seed", num(spec.seed as f64)),
+                    (
+                        "shard",
+                        obj(vec![
+                            ("offset", num(spec.offset as f64)),
+                            ("len", num(spec.len as f64)),
+                        ]),
+                    ),
+                ]),
+            )]),
+        ));
+    }
     let id = ctx.store.create(spec.clone());
     if let Err(e) = ctx.queue.push(id) {
         // The record exists but will never run; make its state honest. A
@@ -209,6 +238,7 @@ fn result_json(result: &RunResult) -> Json {
     obj(vec![
         ("observed", num(result.observed as f64)),
         ("failures", num(result.failures as f64)),
+        ("cached", Json::Bool(result.cached)),
         (
             "moments",
             obj(vec![

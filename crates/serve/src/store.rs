@@ -142,6 +142,9 @@ pub struct RunResult {
     pub wmoments_bytes: Option<Vec<u8>>,
     /// Serialized [`stats::WeightedHistogram`] state, when requested.
     pub whistogram_bytes: Option<Vec<u8>>,
+    /// Whether this result was replayed from the artifact cache instead
+    /// of computed — surfaced on the wire so clients can tell.
+    pub cached: bool,
 }
 
 impl RunResult {
@@ -160,6 +163,7 @@ impl RunResult {
             tdigest_bytes: sinks.tdigest.as_ref().map(MergeableSink::to_bytes),
             wmoments_bytes: None,
             whistogram_bytes: None,
+            cached: false,
         }
     }
 
@@ -185,6 +189,7 @@ impl RunResult {
             tdigest_bytes: None,
             wmoments_bytes: spec.want_wmoments.then(|| sinks.moments.to_bytes()),
             whistogram_bytes: sinks.histogram.as_ref().map(WeightedSink::to_bytes),
+            cached: false,
         }
     }
 }

@@ -1,0 +1,551 @@
+//! The persistent artifact container: a framed, checksummed file format
+//! for sketch payloads at rest.
+//!
+//! Everything the workspace serializes for the wire — Welford moments,
+//! histograms, t-digests, the weighted importance-sampling sinks — is a
+//! self-describing `[tag, version]` payload from [`crate::codec`]. This
+//! module gives those payloads a durable home: an **artifact** is a file
+//! of such payloads, each wrapped in a length-prefixed, individually
+//! checksummed section, under a magic/version header and (for sealed
+//! artifacts) a whole-file checksum footer:
+//!
+//! ```text
+//! offset  size  field
+//! ──────  ────  ─────────────────────────────────────────────
+//! 0       4     magic "SVAF"
+//! 4       1     container format version (currently 1)
+//!               ┌─ section, repeated ──────────────────────┐
+//! ·       1     │ 'S' section marker                       │
+//! ·       8     │ payload length N        (u64 LE)         │
+//! ·       N     │ payload — a [tag, version] sketch body   │
+//! ·       8     │ FNV-1a 64 checksum of the payload        │
+//!               └──────────────────────────────────────────┘
+//!               ┌─ footer (sealed artifacts only) ─────────┐
+//! ·       1     │ 'E' end marker                           │
+//! ·       8     │ section count           (u64 LE)         │
+//! ·       8     │ FNV-1a 64 checksum of every prior byte   │
+//!               └──────────────────────────────────────────┘
+//! ```
+//!
+//! Two read modes share the framing:
+//!
+//! * **Sealed** ([`Artifact::from_bytes`] / [`ArtifactReader`]) — the
+//!   footer is mandatory; truncation anywhere, a flipped byte anywhere,
+//!   a wrong section count, or trailing bytes all fail with a typed
+//!   [`CodecError`]. Shard artifacts and the serve replay cache use this
+//!   mode: a corrupted file can never be mistaken for a result.
+//! * **Journal** ([`Journal::from_bytes`]) — no footer; sections are
+//!   appended over time and a *torn trailing section* (a crash mid-append)
+//!   is tolerated and reported, while corruption of any complete section
+//!   is still a hard error. The shard manifest uses this mode to survive
+//!   `SIGKILL` between appends.
+//!
+//! Every checksum is FNV-1a 64 ([`fnv1a64`]) — tiny, dependency-free, and
+//! plenty for detecting at-rest corruption (it is not a cryptographic
+//! MAC and does not claim tamper resistance).
+
+use crate::codec::CodecError;
+use crate::sink::MergeableSink;
+use std::io::{self, Write};
+
+/// The four magic bytes opening every artifact file.
+pub const MAGIC: [u8; 4] = *b"SVAF";
+
+/// Current container format version. Bump this — and the golden fixture
+/// under `crates/stats/tests/fixtures/` — on any framing change.
+pub const FORMAT_VERSION: u8 = 1;
+
+/// Marker byte opening each section frame.
+const SECTION_MARKER: u8 = b'S';
+/// Marker byte opening the sealed footer.
+const END_MARKER: u8 = b'E';
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds `bytes` into a running FNV-1a 64 state.
+fn fnv1a64_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// The FNV-1a 64-bit hash — the checksum and digest function of the
+/// artifact layer.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_extend(FNV_OFFSET, bytes)
+}
+
+/// The 5-byte file header (magic + format version), for code that frames
+/// a journal by hand (the shard manifest appends to an open file).
+#[must_use]
+pub fn header_bytes() -> [u8; 5] {
+    [MAGIC[0], MAGIC[1], MAGIC[2], MAGIC[3], FORMAT_VERSION]
+}
+
+/// Wraps one payload in a section frame (`'S'`, length, payload,
+/// payload checksum) — the unit a journal appends atomically.
+#[must_use]
+pub fn frame_section(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len() + 17);
+    frame.push(SECTION_MARKER);
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    frame
+}
+
+/// The leading type tag of a section payload, when it has one — how a
+/// consumer tells a histogram section from a t-digest section.
+#[must_use]
+pub fn section_tag(payload: &[u8]) -> Option<u8> {
+    payload.first().copied()
+}
+
+/// Streaming sealed-artifact writer: header on construction, one section
+/// per [`ArtifactWriter::append`], footer on [`ArtifactWriter::finish`].
+///
+/// The writer keeps a running checksum of every byte it emits, so the
+/// footer seals the exact file contents without a second pass.
+pub struct ArtifactWriter<W: Write> {
+    out: W,
+    hash: u64,
+    sections: u64,
+}
+
+impl<W: Write> ArtifactWriter<W> {
+    /// Opens a new artifact on `out`, writing the header immediately.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        let header = header_bytes();
+        out.write_all(&header)?;
+        Ok(ArtifactWriter {
+            out,
+            hash: fnv1a64(&header),
+            sections: 0,
+        })
+    }
+
+    /// Appends one section carrying `payload`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let frame = frame_section(payload);
+        self.out.write_all(&frame)?;
+        self.hash = fnv1a64_extend(self.hash, &frame);
+        self.sections += 1;
+        Ok(())
+    }
+
+    /// Appends a section carrying a sketch's [`MergeableSink::to_bytes`]
+    /// payload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn append_sink<S: MergeableSink>(&mut self, sink: &S) -> io::Result<()> {
+        self.append(&sink.to_bytes())
+    }
+
+    /// Seals the artifact: writes the footer (section count + whole-file
+    /// checksum), flushes, and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        let mut tail = Vec::with_capacity(9);
+        tail.push(END_MARKER);
+        tail.extend_from_slice(&self.sections.to_le_bytes());
+        self.out.write_all(&tail)?;
+        // The file checksum covers everything before its own field,
+        // including the end marker and section count just written.
+        let hash = fnv1a64_extend(self.hash, &tail);
+        self.out.write_all(&hash.to_le_bytes())?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Seals `sections` into an in-memory artifact — the one-shot counterpart
+/// of [`ArtifactWriter`] for callers that already hold every payload.
+#[must_use]
+pub fn seal<P: AsRef<[u8]>>(sections: impl IntoIterator<Item = P>) -> Vec<u8> {
+    let mut writer = ArtifactWriter::new(Vec::new()).expect("Vec writes are infallible");
+    for payload in sections {
+        writer
+            .append(payload.as_ref())
+            .expect("Vec writes are infallible");
+    }
+    writer.finish().expect("Vec writes are infallible")
+}
+
+/// Validates the header shared by sealed artifacts and journals; returns
+/// the cursor position after it.
+fn parse_header(bytes: &[u8]) -> Result<usize, CodecError> {
+    let magic = bytes.get(..4).ok_or(CodecError::Truncated)?;
+    if magic != MAGIC {
+        return Err(CodecError::Invalid("artifact magic mismatch"));
+    }
+    match bytes.get(4) {
+        None => Err(CodecError::Truncated),
+        Some(&FORMAT_VERSION) => Ok(5),
+        Some(&v) => Err(CodecError::Version(v)),
+    }
+}
+
+/// Streaming reader over a sealed artifact's bytes: validates the header
+/// up front, then yields one checksum-verified section per call until the
+/// footer proves the file complete.
+pub struct ArtifactReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    hash: u64,
+    sections: u64,
+    finished: bool,
+}
+
+impl<'a> ArtifactReader<'a> {
+    /// Validates the magic/version header and positions the cursor on the
+    /// first section.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] on a short header,
+    /// [`CodecError::Invalid`] on wrong magic, [`CodecError::Version`] on
+    /// a container version this build does not understand.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, CodecError> {
+        let pos = parse_header(bytes)?;
+        Ok(ArtifactReader {
+            bytes,
+            pos,
+            hash: fnv1a64(&bytes[..pos]),
+            sections: 0,
+            finished: false,
+        })
+    }
+
+    /// Yields the next section payload, or `Ok(None)` once the footer has
+    /// verified the whole file.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the file ends before the footer,
+    /// [`CodecError::Checksum`] on any section or file checksum mismatch,
+    /// [`CodecError::Invalid`] on an unknown marker or a footer whose
+    /// section count disagrees, [`CodecError::Trailing`] on bytes after
+    /// the footer.
+    pub fn next_section(&mut self) -> Result<Option<&'a [u8]>, CodecError> {
+        if self.finished {
+            return Ok(None);
+        }
+        let marker = *self.bytes.get(self.pos).ok_or(CodecError::Truncated)?;
+        match marker {
+            SECTION_MARKER => {
+                let len_bytes = self
+                    .bytes
+                    .get(self.pos + 1..self.pos + 9)
+                    .ok_or(CodecError::Truncated)?;
+                let len = u64::from_le_bytes(len_bytes.try_into().expect("8-byte chunk"));
+                let body_start = self.pos + 9;
+                let remaining = (self.bytes.len() - body_start) as u64;
+                // The payload plus its 8-byte checksum must fit in the
+                // bytes actually present — a corrupted length field fails
+                // here, before any slicing sized by it.
+                if len.checked_add(8).is_none_or(|need| need > remaining) {
+                    return Err(CodecError::Truncated);
+                }
+                let len = len as usize;
+                let payload = &self.bytes[body_start..body_start + len];
+                let stored = u64::from_le_bytes(
+                    self.bytes[body_start + len..body_start + len + 8]
+                        .try_into()
+                        .expect("8-byte chunk"),
+                );
+                let found = fnv1a64(payload);
+                if stored != found {
+                    return Err(CodecError::Checksum {
+                        expected: stored,
+                        found,
+                    });
+                }
+                let frame_end = body_start + len + 8;
+                self.hash = fnv1a64_extend(self.hash, &self.bytes[self.pos..frame_end]);
+                self.pos = frame_end;
+                self.sections += 1;
+                Ok(Some(payload))
+            }
+            END_MARKER => {
+                let head = self
+                    .bytes
+                    .get(self.pos..self.pos + 9)
+                    .ok_or(CodecError::Truncated)?;
+                let count = u64::from_le_bytes(head[1..9].try_into().expect("8-byte chunk"));
+                if count != self.sections {
+                    return Err(CodecError::Invalid(
+                        "artifact footer section count mismatch",
+                    ));
+                }
+                let stored = u64::from_le_bytes(
+                    self.bytes
+                        .get(self.pos + 9..self.pos + 17)
+                        .ok_or(CodecError::Truncated)?
+                        .try_into()
+                        .expect("8-byte chunk"),
+                );
+                let found = fnv1a64_extend(self.hash, head);
+                if stored != found {
+                    return Err(CodecError::Checksum {
+                        expected: stored,
+                        found,
+                    });
+                }
+                if self.pos + 17 != self.bytes.len() {
+                    return Err(CodecError::Trailing);
+                }
+                self.finished = true;
+                Ok(None)
+            }
+            _ => Err(CodecError::Invalid("unknown artifact section marker")),
+        }
+    }
+}
+
+/// A fully decoded sealed artifact: every section payload, in file order,
+/// each already checksum-verified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// Section payloads in file order.
+    pub sections: Vec<Vec<u8>>,
+}
+
+impl Artifact {
+    /// Decodes and verifies a sealed artifact.
+    ///
+    /// # Errors
+    ///
+    /// Every [`CodecError`] from [`ArtifactReader`]: truncation anywhere,
+    /// any checksum mismatch, wrong magic, an unknown container version,
+    /// a lying section count, or trailing bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut reader = ArtifactReader::new(bytes)?;
+        let mut sections = Vec::new();
+        while let Some(payload) = reader.next_section()? {
+            sections.push(payload.to_vec());
+        }
+        Ok(Artifact { sections })
+    }
+
+    /// The first section whose payload opens with `tag`, if any.
+    #[must_use]
+    pub fn section_with_tag(&self, tag: u8) -> Option<&[u8]> {
+        self.sections
+            .iter()
+            .map(Vec::as_slice)
+            .find(|s| section_tag(s) == Some(tag))
+    }
+}
+
+/// A decoded journal: an unsealed artifact whose trailing section may be
+/// torn by a crash mid-append.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Journal {
+    /// The complete, checksum-verified section payloads in append order.
+    pub sections: Vec<Vec<u8>>,
+    /// Whether a torn (incomplete) trailing section was discarded — the
+    /// signature of a crash between append and completion, distinct from
+    /// corruption (which is a hard error).
+    pub torn: bool,
+}
+
+impl Journal {
+    /// Decodes a journal, tolerating a torn trailing section.
+    ///
+    /// # Errors
+    ///
+    /// Header violations as in [`ArtifactReader::new`];
+    /// [`CodecError::Checksum`] when a *complete* section fails its
+    /// checksum (torn appends only ever truncate, so a bad checksum on a
+    /// full frame is genuine corruption); [`CodecError::Invalid`] on a
+    /// marker byte that is neither a section nor absent.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut pos = parse_header(bytes)?;
+        let mut sections = Vec::new();
+        loop {
+            if pos == bytes.len() {
+                return Ok(Journal {
+                    sections,
+                    torn: false,
+                });
+            }
+            if bytes[pos] != SECTION_MARKER {
+                return Err(CodecError::Invalid("unknown artifact section marker"));
+            }
+            let torn = Journal {
+                sections: sections.clone(),
+                torn: true,
+            };
+            let Some(len_bytes) = bytes.get(pos + 1..pos + 9) else {
+                return Ok(torn);
+            };
+            let len = u64::from_le_bytes(len_bytes.try_into().expect("8-byte chunk"));
+            let body_start = pos + 9;
+            let remaining = (bytes.len() - body_start) as u64;
+            if len.checked_add(8).is_none_or(|need| need > remaining) {
+                return Ok(torn);
+            }
+            let len = len as usize;
+            let payload = &bytes[body_start..body_start + len];
+            let stored = u64::from_le_bytes(
+                bytes[body_start + len..body_start + len + 8]
+                    .try_into()
+                    .expect("8-byte chunk"),
+            );
+            let found = fnv1a64(payload);
+            if stored != found {
+                return Err(CodecError::Checksum {
+                    expected: stored,
+                    found,
+                });
+            }
+            sections.push(payload.to_vec());
+            pos = body_start + len + 8;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sealed_round_trip_preserves_sections_in_order() {
+        let payloads: Vec<Vec<u8>> = vec![vec![b'W', 1, 7, 8], vec![b'H', 1], Vec::new()];
+        let bytes = seal(&payloads);
+        let artifact = Artifact::from_bytes(&bytes).unwrap();
+        assert_eq!(artifact.sections, payloads);
+        assert_eq!(artifact.section_with_tag(b'H'), Some(&[b'H', 1][..]));
+        assert_eq!(artifact.section_with_tag(b'Z'), None);
+
+        // Empty artifacts are legal too.
+        let empty = seal(Vec::<Vec<u8>>::new());
+        assert!(Artifact::from_bytes(&empty).unwrap().sections.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_of_a_sealed_artifact_errors() {
+        let bytes = seal([&[b'T', 1, 42][..], &[b'W', 1][..]]);
+        for cut in 0..bytes.len() {
+            let err = Artifact::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Truncated | CodecError::Invalid(_)),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_mutation_of_a_sealed_artifact_errors() {
+        let bytes = seal([&[b'T', 1, 42][..], &[b'W', 1][..]]);
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0x5a;
+            assert!(
+                Artifact::from_bytes(&mutated).is_err(),
+                "flipping byte {i} went unnoticed"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_after_the_footer_are_rejected() {
+        let mut bytes = seal([&[b'T', 1][..]]);
+        bytes.push(0);
+        assert_eq!(
+            Artifact::from_bytes(&bytes).unwrap_err(),
+            CodecError::Trailing
+        );
+    }
+
+    #[test]
+    fn garbage_headers_fail_with_typed_errors() {
+        assert_eq!(
+            Artifact::from_bytes(&[]).unwrap_err(),
+            CodecError::Truncated
+        );
+        assert_eq!(
+            Artifact::from_bytes(b"SVA").unwrap_err(),
+            CodecError::Truncated
+        );
+        assert_eq!(
+            Artifact::from_bytes(b"NOPE\x01").unwrap_err(),
+            CodecError::Invalid("artifact magic mismatch")
+        );
+        assert_eq!(
+            Artifact::from_bytes(b"SVAF\x63").unwrap_err(),
+            CodecError::Version(0x63)
+        );
+    }
+
+    #[test]
+    fn journals_tolerate_torn_tails_but_not_corruption() {
+        let mut bytes = header_bytes().to_vec();
+        bytes.extend_from_slice(&frame_section(&[b'C', 1, 9]));
+        let second = frame_section(&[b'C', 1, 10, 11]);
+        bytes.extend_from_slice(&second);
+
+        let whole = Journal::from_bytes(&bytes).unwrap();
+        assert_eq!(whole.sections.len(), 2);
+        assert!(!whole.torn);
+
+        // A crash can truncate the trailing append at any byte; the
+        // complete first section must always survive.
+        let first_end = bytes.len() - second.len();
+        for cut in first_end..bytes.len() {
+            let journal = Journal::from_bytes(&bytes[..cut]).unwrap();
+            assert_eq!(journal.sections.len(), 1, "cut at {cut}");
+            assert_eq!(journal.torn, cut != first_end);
+        }
+
+        // Corrupting a complete section is a hard error, not a torn tail.
+        let mut corrupted = bytes.clone();
+        corrupted[first_end - 2] ^= 0xff;
+        assert!(matches!(
+            Journal::from_bytes(&corrupted).unwrap_err(),
+            CodecError::Checksum { .. }
+        ));
+
+        // A sealed artifact is not a journal: its footer marker is alien.
+        let sealed = seal([&[b'C', 1][..]]);
+        assert_eq!(
+            Journal::from_bytes(&sealed).unwrap_err(),
+            CodecError::Invalid("unknown artifact section marker")
+        );
+    }
+
+    #[test]
+    fn writer_and_seal_agree_byte_for_byte() {
+        let payloads = [&[b'W', 1, 2, 3][..], &[b'H', 1][..]];
+        let mut writer = ArtifactWriter::new(Vec::new()).unwrap();
+        for p in payloads {
+            writer.append(p).unwrap();
+        }
+        assert_eq!(writer.finish().unwrap(), seal(payloads));
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

@@ -33,6 +33,14 @@ pub enum CodecError {
     /// (e.g. histograms with different binning) — combining them would
     /// corrupt the state silently, so a wire-facing merge refuses instead.
     Mismatch(&'static str),
+    /// A stored checksum disagrees with the checksum of the bytes it
+    /// covers — the payload was corrupted at rest or in flight.
+    Checksum {
+        /// The checksum recorded alongside the payload.
+        expected: u64,
+        /// The checksum recomputed over the payload actually present.
+        found: u64,
+    },
 }
 
 impl fmt::Display for CodecError {
@@ -57,6 +65,10 @@ impl fmt::Display for CodecError {
             CodecError::Mismatch(what) => {
                 write!(f, "sketch states are incompatible and cannot merge: {what}")
             }
+            CodecError::Checksum { expected, found } => write!(
+                f,
+                "checksum mismatch: stored {expected:#018x}, recomputed {found:#018x}"
+            ),
         }
     }
 }
@@ -64,29 +76,39 @@ impl fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// Current (and only) format version for every sketch tag.
-pub(crate) const VERSION: u8 = 1;
+pub const VERSION: u8 = 1;
 
-pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-pub(crate) fn put_u8(out: &mut Vec<u8>, v: u8) {
+/// Appends a single byte.
+pub fn put_u8(out: &mut Vec<u8>, v: u8) {
     out.push(v);
 }
 
-pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+/// Appends an `f64` as its little-endian bit pattern — bit-exact across
+/// round-trips, including signed zeros and NaN payloads.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
+/// Appends a length-prefixed byte string (`u64` length, then the bytes).
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
 /// Writes the `[tag, version]` header.
-pub(crate) fn put_header(out: &mut Vec<u8>, tag: u8) {
+pub fn put_header(out: &mut Vec<u8>, tag: u8) {
     out.push(tag);
     out.push(VERSION);
 }
 
 /// A bounds-checked cursor over a sketch payload.
 #[derive(Debug, PartialEq, Eq)]
-pub(crate) struct Reader<'a> {
+pub struct Reader<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
@@ -94,7 +116,7 @@ pub(crate) struct Reader<'a> {
 impl<'a> Reader<'a> {
     /// Validates the `[tag, version]` header and positions the cursor
     /// after it.
-    pub(crate) fn with_header(bytes: &'a [u8], tag: u8) -> Result<Self, CodecError> {
+    pub fn with_header(bytes: &'a [u8], tag: u8) -> Result<Self, CodecError> {
         let found = bytes.first().copied();
         if found != Some(tag) {
             return Err(CodecError::Tag {
@@ -109,7 +131,12 @@ impl<'a> Reader<'a> {
         }
     }
 
-    pub(crate) fn take_u8(&mut self) -> Result<u8, CodecError> {
+    /// Reads a single byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] at end of payload.
+    pub fn take_u8(&mut self) -> Result<u8, CodecError> {
         let b = self
             .bytes
             .get(self.pos)
@@ -119,22 +146,50 @@ impl<'a> Reader<'a> {
         Ok(b)
     }
 
-    pub(crate) fn take_u64(&mut self) -> Result<u64, CodecError> {
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than 8 bytes remain.
+    pub fn take_u64(&mut self) -> Result<u64, CodecError> {
         let end = self.pos.checked_add(8).ok_or(CodecError::Truncated)?;
         let chunk = self.bytes.get(self.pos..end).ok_or(CodecError::Truncated)?;
         self.pos = end;
         Ok(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")))
     }
 
-    pub(crate) fn take_f64(&mut self) -> Result<f64, CodecError> {
+    /// Reads an `f64` from its little-endian bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when fewer than 8 bytes remain.
+    pub fn take_f64(&mut self) -> Result<f64, CodecError> {
         Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    /// Reads a length-prefixed byte string written by [`put_bytes`],
+    /// validating the advertised length against the bytes actually
+    /// remaining before any allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the advertised length exceeds the
+    /// remaining payload.
+    pub fn take_bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let n = self.take_count(1)?;
+        let chunk = self
+            .bytes
+            .get(self.pos..self.pos + n)
+            .ok_or(CodecError::Truncated)?;
+        self.pos += n;
+        Ok(chunk.to_vec())
     }
 
     /// Reads an advertised element count and validates it against the
     /// bytes actually remaining (`elem_bytes` payload bytes per element),
     /// so a corrupted length field fails *before* any allocation sized by
     /// it. Every variable-length sketch decoder shares this guard.
-    pub(crate) fn take_count(&mut self, elem_bytes: usize) -> Result<usize, CodecError> {
+    pub fn take_count(&mut self, elem_bytes: usize) -> Result<usize, CodecError> {
         let n = self.take_u64()?;
         let remaining = (self.bytes.len() - self.pos) as u64;
         if n.checked_mul(elem_bytes as u64)
@@ -146,7 +201,7 @@ impl<'a> Reader<'a> {
     }
 
     /// Fails unless the cursor consumed the payload exactly.
-    pub(crate) fn finish(self) -> Result<(), CodecError> {
+    pub fn finish(self) -> Result<(), CodecError> {
         if self.pos == self.bytes.len() {
             Ok(())
         } else {

@@ -35,6 +35,11 @@
 //!   ellipses (Fig. 4).
 //! * [`correlation`] — Pearson correlation.
 //! * [`ks`] — a Kolmogorov-Smirnov normality check.
+//! * [`codec`] — the compact `[tag, version]` byte encoding behind every
+//!   mergeable sketch's wire format, with typed [`codec::CodecError`]s.
+//! * [`artifact`] — the persistent artifact container: framed,
+//!   checksummed files of sketch payloads (sealed artifacts and
+//!   crash-tolerant journals) for resumable campaigns and replay caches.
 //!
 //! `ARCHITECTURE.md` at the repo root shows how these pieces feed the
 //! parallel Monte Carlo executor (`vscore::mc`).
@@ -52,7 +57,8 @@
 //! assert!((sum.std - 2.0).abs() < 0.2);
 //! ```
 
-mod codec;
+pub mod artifact;
+pub mod codec;
 pub mod corners;
 pub mod correlation;
 pub mod descriptive;

@@ -13,14 +13,15 @@
 //! compared byte-for-byte against a no-fault reference.
 
 use fleet::coordinator::{Coordinator, FleetConfig, FleetEvent, FleetSpec};
-use fleet::{HttpClient, LocalWorker};
+use fleet::{CampaignStore, HttpClient, LocalWorker};
 use serve::pool::Engine;
 use serve::store::ExperimentSpec;
+use stats::artifact::{section_tag, Journal};
 use stats::sink::{MergeableSink, WelfordSink};
 use stats::Welford;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vscore::mc::plan_shards;
 
 /// The compiled `statvs` binary under test.
@@ -183,6 +184,146 @@ fn killed_worker_is_reissued_and_the_merge_is_byte_identical() {
     assert_eq!(report.merged.shards, plan.len());
 
     assert_matches_reference(&report.merged, &spec, "kill/retry campaign");
+}
+
+/// Completed `'C'` entries currently journaled in a campaign manifest,
+/// read without opening (and thus without ever writing) the file.
+fn manifest_entries(manifest: &Path) -> usize {
+    let Ok(bytes) = std::fs::read(manifest) else {
+        return 0;
+    };
+    let Ok(journal) = Journal::from_bytes(&bytes) else {
+        return 0;
+    };
+    journal
+        .sections
+        .iter()
+        .filter(|s| section_tag(s) == Some(b'C'))
+        .count()
+}
+
+/// Resume equivalence, end to end: a real `statvs fleet` coordinator
+/// *process* is `SIGKILL`ed mid-campaign after journaling at least one
+/// completed shard, then the campaign is resumed from its manifest.
+/// Restored shards must not be re-dispatched, and the merged result must
+/// be byte-identical to the no-fault single-process reference — a
+/// crash costs wall-clock, never correctness.
+#[test]
+fn sigkilled_campaign_resumes_without_redispatch_and_merges_identically() {
+    let spec = FleetSpec {
+        circuit: "sram6t_dc".to_string(),
+        analysis: Some("dc".to_string()),
+        seed: 13,
+        total: 6000,
+        histogram: Some((0.0, 0.9, 48)),
+        tdigest_compression: None,
+    };
+    const SHARDS: usize = 6;
+    let plan = plan_shards(spec.total, SHARDS);
+
+    // The workers are owned by the *test*, not by the doomed coordinator
+    // child — killing the coordinator must not take the fleet down.
+    let worker_a = LocalWorker::spawn(binary(), 2).expect("worker a boots");
+    let worker_b = LocalWorker::spawn(binary(), 2).expect("worker b boots");
+
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("statvs_resume_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let manifest = dir.join("manifest.svaf");
+
+    // First life: the real CLI, journaling into --artifact-dir.
+    let mut child = std::process::Command::new(binary())
+        .args([
+            "fleet",
+            "--circuit",
+            "sram6t_dc",
+            "--analysis",
+            "dc",
+            "--samples",
+            "6000",
+            "--shards",
+            "6",
+            "--seed",
+            "13",
+            "--histogram",
+            "0.0:0.9:48",
+            "--worker",
+            &worker_a.addr().to_string(),
+            "--worker",
+            &worker_b.addr().to_string(),
+            "--artifact-dir",
+        ])
+        .arg(&dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("fleet coordinator child spawns");
+
+    // Wait for at least one completed shard to reach the manifest, then
+    // SIGKILL the coordinator — mid-campaign, with shards in flight.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while manifest_entries(&manifest) == 0 {
+        if let Some(status) = child.try_wait().expect("child pollable") {
+            panic!("coordinator finished ({status}) before it could be killed");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no shard was journaled within the deadline"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    child.kill().expect("SIGKILL the coordinator");
+    let _ = child.wait();
+    let journaled = manifest_entries(&manifest);
+    assert!(journaled >= 1, "the kill window saw a journaled shard");
+    assert!(
+        journaled < SHARDS,
+        "the campaign must die unfinished for resume to mean anything"
+    );
+
+    // Second life: resume from the manifest. Completed shards come back
+    // from disk; only the remainder is dispatched.
+    let mut store = CampaignStore::open(&dir, &spec).expect("store reopens");
+    let coordinator =
+        Coordinator::new(vec![worker_a.addr(), worker_b.addr()], config()).expect("two workers");
+    let mut events: Vec<FleetEvent> = Vec::new();
+    let report = coordinator
+        .run_shards_resumable(&spec, &plan, &mut store, &mut |event| {
+            events.push(event.clone());
+        })
+        .expect("resumed campaign succeeds");
+
+    // Every journaled shard was restored, none of them re-dispatched.
+    assert_eq!(report.restored, journaled, "all journaled shards restore");
+    let restored: Vec<_> = events
+        .iter()
+        .filter_map(|e| match e {
+            FleetEvent::Restored { shard } => Some(*shard),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(restored.len(), journaled);
+    for shard in &restored {
+        assert!(
+            !events
+                .iter()
+                .any(|e| matches!(e, FleetEvent::Dispatched { shard: s, .. } if s == shard)),
+            "restored shard {shard} was re-dispatched"
+        );
+    }
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, FleetEvent::RestoreSkipped { .. })),
+        "atomically written artifacts must restore cleanly"
+    );
+    assert_eq!(report.merged.shards, plan.len());
+
+    // The headline: crash + resume lands on the exact single-process
+    // bytes, indistinguishable from a campaign that never died.
+    assert_matches_reference(&report.merged, &spec, "killed+resumed campaign");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// No-fault determinism: different worker counts and different partitions
